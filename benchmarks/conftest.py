@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.apps import build_server
+from repro.bench.harness import redirector_chain_mcl
+from repro.runtime.scheduler import InlineScheduler
+
+
+@pytest.fixture
+def chain10():
+    """A deployed 10-redirector chain with an inline scheduler."""
+    server = build_server()
+    stream = server.deploy_script(redirector_chain_mcl(10))
+    yield server, stream, InlineScheduler(stream)
+    if not stream.ended:
+        stream.end()

@@ -1,0 +1,50 @@
+"""Ablation — channel category semantics cost (thesis section 4.2.2).
+
+The five categories differ only in disconnect behaviour, so their steady-
+state transfer cost should be nearly identical — buffering (S vs BK)
+changes admission, not per-message cost.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_channel_ablation
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import ANY
+from repro.runtime.channel import Channel
+
+
+def _channel(category):
+    definition = ast.ChannelDef(
+        name="bench",
+        in_port=ast.PortDecl(ast.PortDirection.IN, "cin", ANY),
+        out_port=ast.PortDecl(ast.PortDirection.OUT, "cout", ANY),
+        category=ast.ChannelCategory(category),
+        buffer_kb=100,
+    )
+    channel = Channel("bench", definition)
+    channel.attach_source(ast.PortRef("a", "po"))
+    channel.attach_sink(ast.PortRef("b", "pi"))
+    return channel
+
+
+@pytest.mark.parametrize("category", ["BB", "BK", "KB", "KK"])
+def test_transfer_cost(benchmark, category):
+    channel = _channel(category)
+
+    def pump():
+        for i in range(100):
+            channel.post(f"m{i}", 10)
+            channel.fetch()
+
+    benchmark(pump)
+
+
+def test_channel_series(benchmark):
+    result = benchmark.pedantic(
+        run_channel_ablation, kwargs={"pairs": 5000}, rounds=1, iterations=1
+    )
+    result.print()
+    times = dict(result.rows)
+    fastest, slowest = min(times.values()), max(times.values())
+    # same order of magnitude across all five categories
+    assert slowest < fastest * 3

@@ -1,0 +1,39 @@
+"""Ablation — MCL compilation and semantic-analysis cost (section 3.3.6).
+
+Deployment-time costs must stay negligible next to reconfiguration (the
+compiler runs once per deployment; Figure 7-6's reconfiguration runs per
+event).  Benchmarks one compile of the web-acceleration script and the
+scaling series over growing chains.
+"""
+
+import pytest
+
+from repro.apps import WEB_ACCELERATION_MCL, build_server
+from repro.bench.ablations import run_compile_ablation
+from repro.semantics import analyze
+
+
+def test_compile_web_acceleration(benchmark):
+    server = build_server()
+    compiled = benchmark(server.compile, WEB_ACCELERATION_MCL)
+    assert compiled.main == "webAccel"
+
+
+def test_analyze_web_acceleration(benchmark):
+    server = build_server()
+    table = server.compile(WEB_ACCELERATION_MCL).main_table()
+    report = benchmark(analyze, table)
+    assert report.consistent
+
+
+def test_compile_series(benchmark):
+    result = benchmark.pedantic(
+        run_compile_ablation,
+        kwargs={"chain_lengths": (5, 20, 50, 100), "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+    compile_times = {n: c for n, c, _a in result.rows}
+    # super-linear blowup would make large compositions undeployable
+    assert compile_times[100] < compile_times[5] * 200

@@ -1,0 +1,50 @@
+"""Ablation — streamlet pooling (thesis section 3.3.4).
+
+"It is also less expensive to reuse pooled streamlet instances than to
+frequently create and destroy instances."  Benchmark targets: acquire/
+release cycles through the Streamlet Manager with pooling on and off; the
+series test verifies constructions collapse under pooling.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_pooling_ablation
+from repro.runtime.directory import StreamletDirectory
+from repro.runtime.streamlet_manager import StreamletManager
+from repro.streamlets import register_builtin_streamlets
+
+
+def _manager(pooling):
+    directory = StreamletDirectory()
+    register_builtin_streamlets(directory)
+    return StreamletManager(directory, pooling=pooling)
+
+
+def _cycle(manager, definition, n=50):
+    for i in range(n):
+        inst = manager.acquire(f"i{i}", definition)
+        manager.release(inst)
+
+
+def test_acquire_release_pooled(benchmark):
+    manager = _manager(True)
+    definition = manager.directory.definition("redirector")
+    benchmark(_cycle, manager, definition)
+    assert manager.created <= 2  # everything after the first is a pool hit
+
+
+def test_acquire_release_unpooled(benchmark):
+    manager = _manager(False)
+    definition = manager.directory.definition("redirector")
+    benchmark(_cycle, manager, definition)
+    assert manager.created >= 50
+
+
+def test_pooling_series(benchmark):
+    result = benchmark.pedantic(
+        run_pooling_ablation, kwargs={"populations": (5, 10, 20)},
+        rounds=1, iterations=1,
+    )
+    result.print()
+    for _n, _pooled_s, _unpooled_s, pooled_ctors, unpooled_ctors in result.rows:
+        assert pooled_ctors < unpooled_ctors

@@ -1,0 +1,38 @@
+"""Ablation — inline vs threaded execution engines.
+
+The thesis credits "extensive use of multi-threading" for its numbers on
+a JVM; under the GIL the deterministic inline pump is the faster engine
+for CPU-bound streamlet work, which is why the experiments default to it.
+This ablation records the gap honestly.
+"""
+
+import pytest
+
+from repro.apps import build_server
+from repro.bench.ablations import run_scheduler_ablation
+from repro.bench.harness import redirector_chain_mcl
+from repro.runtime.scheduler import InlineScheduler
+from repro.workloads.content import synthetic_text_message
+
+
+def test_inline_batch(benchmark):
+    server = build_server()
+    stream = server.deploy_script(redirector_chain_mcl(8))
+    scheduler = InlineScheduler(stream)
+
+    def batch():
+        for i in range(20):
+            stream.post(synthetic_text_message(1024, seed=i))
+        scheduler.pump()
+        stream.collect()
+
+    benchmark(batch)
+
+
+def test_scheduler_series(benchmark):
+    result = benchmark.pedantic(
+        run_scheduler_ablation, kwargs={"n_messages": 50}, rounds=1, iterations=1
+    )
+    result.print()
+    times = dict(result.rows)
+    assert times["inline"] > 0 and times["threaded"] > 0

@@ -1,0 +1,42 @@
+"""Adaptivity experiment — reconfiguration vs the best static policy.
+
+The thesis's central premise, raced head-to-head: over a link that fades
+from fast (20 Mb/s, where compression CPU outweighs its saving) to slow
+(40 Kb/s, where compression is essential), the adaptive deployment must
+
+1. clearly beat the static policy that is wrong for the fade
+   (never-compress), and
+2. match or beat the static policy that is wrong for the fast phase
+   (always-compress),
+
+because it *is* each policy in the phase where that policy is right.
+"""
+
+import pytest
+
+from repro.bench.adaptivity import run_adaptivity
+
+
+def test_adaptivity_race(benchmark):
+    result = benchmark.pedantic(run_adaptivity, rounds=1, iterations=1)
+    result.print()
+
+    adaptive = result.goodput("adaptive")
+    never = result.goodput("never-compress")
+    always = result.goodput("always-compress")
+
+    # the adaptive run really did reconfigure (insert + extract)
+    assert result.events_handled == 2
+
+    # (1) decisively better than the policy that ignores the fade
+    assert adaptive > never * 1.05
+
+    # (2) at worst within noise of the policy tuned for the fade,
+    # despite also serving the fast phase without compression CPU
+    assert adaptive > always * 0.93
+
+    # the adaptive run moved fewer bytes than never-compress (it compressed
+    # during the fade) but more than always-compress (it didn't when fast)
+    bytes_on_link = {k: r.bytes_on_link for k, r in result.reports.items()}
+    assert bytes_on_link["always-compress"] < bytes_on_link["adaptive"]
+    assert bytes_on_link["adaptive"] < bytes_on_link["never-compress"]

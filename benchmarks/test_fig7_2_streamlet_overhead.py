@@ -1,0 +1,41 @@
+"""FIG7-2 — streamlet overhead (thesis section 7.2).
+
+The pytest-benchmark target is the figure's unit operation: one message
+through a redirector chain.  ``test_fig7_2_series`` regenerates the whole
+figure and asserts its *shape* (linear growth), printing the series the
+paper plots.
+"""
+
+import pytest
+
+from repro.bench.fig7_2 import run_fig7_2
+from repro.mime.message import MimeMessage
+from repro.workloads.content import synthetic_text
+
+PAYLOAD = synthetic_text(10 * 1024, seed=1)
+
+
+def _one_pass(stream, scheduler):
+    stream.post(MimeMessage("text/plain", PAYLOAD))
+    scheduler.pump()
+    stream.collect()
+
+
+def test_message_through_chain10(benchmark, chain10):
+    _server, stream, scheduler = chain10
+    benchmark(_one_pass, stream, scheduler)
+
+
+def test_fig7_2_series(benchmark):
+    result = benchmark.pedantic(
+        run_fig7_2,
+        kwargs={"chain_lengths": (1, 5, 10, 15, 20, 25, 30), "repeats": 10},
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+    # the paper's finding: overhead grows linearly with chain length
+    assert result.r_squared > 0.9
+    assert result.per_streamlet_seconds > 0
+    latencies = [latency for _, latency in result.rows]
+    assert latencies[-1] > latencies[0]

@@ -1,0 +1,55 @@
+"""FIG7-3 — passing by reference vs passing by value (thesis section 7.3).
+
+Benchmark targets: one 200 KB message through a 10-redirector chain under
+each buffer-management mode.  The series test regenerates the figure and
+asserts the paper's shape: the by-value penalty grows with message size.
+"""
+
+import pytest
+
+from repro.apps import build_server
+from repro.bench.fig7_3 import run_fig7_3
+from repro.bench.harness import redirector_chain_mcl
+from repro.mime.message import MimeMessage
+from repro.runtime.message_pool import PassMode
+from repro.runtime.scheduler import InlineScheduler
+from repro.workloads.content import synthetic_text
+
+PAYLOAD_200K = synthetic_text(200 * 1024, seed=3)
+
+
+def _deploy(mode):
+    server = build_server(pass_mode=mode)
+    stream = server.deploy_script(redirector_chain_mcl(10))
+    return stream, InlineScheduler(stream)
+
+
+def _one_pass(stream, scheduler):
+    stream.post(MimeMessage("text/plain", bytearray(PAYLOAD_200K)))
+    scheduler.pump()
+    stream.collect()
+
+
+def test_by_reference_200kb(benchmark):
+    stream, scheduler = _deploy(PassMode.REFERENCE)
+    benchmark(_one_pass, stream, scheduler)
+    assert stream.pool.copies == 0
+
+
+def test_by_value_200kb(benchmark):
+    stream, scheduler = _deploy(PassMode.VALUE)
+    benchmark(_one_pass, stream, scheduler)
+    assert stream.pool.copies > 0
+
+
+def test_fig7_3_series(benchmark):
+    result = benchmark.pedantic(
+        run_fig7_3,
+        kwargs={"sizes_kb": (10, 50, 100, 200, 400), "chain": 30, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+    # by-value must cost more at large sizes, and the gap must widen
+    assert result.speedup_at(400) > result.speedup_at(10)
+    assert result.speedup_at(400) > 1.3

@@ -1,0 +1,50 @@
+"""FIG7-7 — MobiGATE end-to-end performance (thesis section 7.5).
+
+Benchmark target: one grid cell (200 Kb/s, 1 ms).  The series test sweeps
+the thesis's bandwidth grid at one delay and asserts the figure's shape:
+
+1. MobiGATE goodput >= direct transfer at low/mid bandwidths;
+2. the advantage shrinks toward 2 Mb/s;
+3. below 100 Kb/s the Text Compressor insertion lifts goodput sharply.
+"""
+
+import pytest
+
+from repro.bench.fig7_7 import run_cell, run_fig7_7
+
+
+def test_one_cell_200kbps(benchmark):
+    cell = benchmark.pedantic(
+        run_cell, args=(200_000.0, 0.001), kwargs={"n_messages": 6},
+        rounds=3, iterations=1,
+    )
+    assert cell.mobigate.messages_delivered == cell.mobigate.messages_sent
+
+
+def test_fig7_7_series(benchmark):
+    bandwidths = tuple(k * 1000.0 for k in (20, 50, 100, 200, 500, 750, 1000, 2000))
+    result = benchmark.pedantic(
+        run_fig7_7,
+        kwargs={"bandwidths_bps": bandwidths, "delays_s": (0.001,), "n_messages": 10},
+        rounds=1,
+        iterations=1,
+    )
+    result.print()
+
+    # (1) MobiGATE wins clearly at low and mid bandwidths
+    for kbps in (20, 50, 200, 500):
+        assert result.at(kbps * 1000.0, 0.001).speedup > 1.0
+
+    # (2) the advantage shrinks as bandwidth rises (overhead ~ saving)
+    low = result.at(50_000.0, 0.001).speedup
+    high = result.at(2_000_000.0, 0.001).speedup
+    assert high < low
+    assert high > 0.9  # near-parity, not a collapse
+
+    # (3) the compressor was inserted exactly below the 100 Kb/s threshold
+    assert result.at(20_000.0, 0.001).compressor_inserted
+    assert result.at(50_000.0, 0.001).compressor_inserted
+    assert not result.at(500_000.0, 0.001).compressor_inserted
+
+    # (4) and it pays: >2x over direct transfer down there
+    assert result.at(20_000.0, 0.001).speedup > 2.0

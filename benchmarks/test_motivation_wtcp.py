@@ -1,0 +1,52 @@
+"""Motivation benchmark — why proxies at the base station win (§2.1).
+
+Regenerates the classic wireless-TCP comparison the thesis cites: plain
+TCP vs the Snoop agent vs Indirect TCP across wireless loss rates.  Not a
+thesis figure, but the measured form of its chapter-1/2 argument that
+intelligence belongs at the wired/wireless boundary — where MobiGATE puts
+its proxy.
+"""
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.netsim.wtcp import run_wtcp
+
+LOSS_RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+
+def test_one_snoop_transfer(benchmark):
+    result = benchmark(run_wtcp, "snoop", wireless_loss=0.05, segments=100, seed=1)
+    assert result.delivered_segments == 100
+
+
+def test_wtcp_series(benchmark):
+    def sweep():
+        rows = []
+        for loss in LOSS_RATES:
+            goodputs = {
+                scheme: run_wtcp(scheme, wireless_loss=loss, seed=3).goodput_bps
+                for scheme in ("plain", "snoop", "split")
+            }
+            rows.append((loss, goodputs))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Motivation: wireless TCP goodput vs loss rate (Kb/s)",
+        ["loss", "plain", "snoop", "split", "snoop/plain"],
+        [
+            (loss, g["plain"] / 1000, g["snoop"] / 1000, g["split"] / 1000,
+             g["snoop"] / g["plain"] if g["plain"] else float("inf"))
+            for loss, g in rows
+        ],
+    )
+    by_loss = dict(rows)
+    # lossless: all schemes healthy
+    assert by_loss[0.0]["plain"] > 0
+    # at 10% loss the base-station fixes dominate plain TCP
+    assert by_loss[0.10]["snoop"] > by_loss[0.10]["plain"] * 3
+    assert by_loss[0.10]["split"] > by_loss[0.10]["plain"] * 2
+    # plain TCP's collapse is monotone in loss
+    plains = [by_loss[loss]["plain"] for loss in LOSS_RATES]
+    assert all(a >= b for a, b in zip(plains, plains[1:]))

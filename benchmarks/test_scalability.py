@@ -1,0 +1,84 @@
+"""Scalability — "with the increase in the number of running applications
+and mobile clients, an acceptable performance should still be obtained"
+(thesis section 3.1).
+
+Deploy N copies of the web-acceleration composition on one server, feed
+them round-robin, and compare per-message processing cost across
+populations.  The claim holds if cost per message stays roughly flat —
+pooling and table-driven routing must not degrade with population.
+"""
+
+import time
+
+import pytest
+
+from repro.apps import build_server
+from repro.bench.reporting import print_series
+from repro.mime.message import MimeMessage
+from repro.runtime.scheduler import InlineScheduler
+from repro.workloads.content import synthetic_text
+
+SOURCE_TEMPLATE = """
+main stream app{i}{{
+  streamlet c = new-streamlet (text_compress);
+  streamlet e = new-streamlet (encryptor);
+  connect (c.po, e.pi);
+}}
+"""
+
+PAYLOAD = synthetic_text(4096, seed=21)
+
+
+def deploy_population(n):
+    """One server hosting ``n`` independent stream applications."""
+    server = build_server()
+    streams = []
+    for i in range(n):
+        stream = server.deploy_script(SOURCE_TEMPLATE.format(i=i), stream=f"app{i}")
+        streams.append((stream, InlineScheduler(stream)))
+    return server, streams
+
+
+def pump_round_robin(streams, messages_per_stream):
+    """Feed every stream in turn; returns total wall seconds."""
+    start = time.perf_counter()
+    for _ in range(messages_per_stream):
+        for stream, scheduler in streams:
+            stream.post(MimeMessage("text/plain", PAYLOAD))
+            scheduler.pump()
+            stream.collect()
+    return time.perf_counter() - start
+
+
+def test_population_16(benchmark):
+    _server, streams = deploy_population(16)
+
+    def one_round():
+        pump_round_robin(streams, 1)
+
+    benchmark(one_round)
+
+
+def test_scalability_series(benchmark):
+    def sweep():
+        rows = []
+        for n in (1, 4, 16, 32):
+            _server, streams = deploy_population(n)
+            pump_round_robin(streams, 2)  # warm
+            elapsed = pump_round_robin(streams, 5)
+            per_message = elapsed / (n * 5)
+            rows.append((n, elapsed, per_message))
+            for stream, _ in streams:
+                stream.end()
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Scalability: per-message cost vs stream population",
+        ["streams", "batch (ms)", "per message (us)"],
+        [(n, elapsed * 1e3, per * 1e6) for n, elapsed, per in rows],
+    )
+    per_costs = {n: per for n, _, per in rows}
+    # per-message cost must not blow up with population (allow 3x headroom
+    # for cache effects; the failure mode guarded against is linear growth)
+    assert per_costs[32] < per_costs[1] * 3

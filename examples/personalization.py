@@ -1,0 +1,72 @@
+"""Per-user customization (section 1.2.1's fourth service entity kind).
+
+A TranSend-style preferences database drives per-message distillation: the
+customizer annotates each message from its user's profile, and downstream
+streamlets honour the annotations — the PDA user gets small, aggressively
+compressed images; the laptop user gets high quality.
+
+Run:  python examples/personalization.py
+"""
+
+from repro.apps import build_server
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import IMAGE
+from repro.runtime.scheduler import InlineScheduler
+from repro.streamlets.customize import (
+    USER_HEADER,
+    Customizer,
+    PreferencesDB,
+    UserPreferences,
+)
+from repro.workloads.content import synthetic_image_message
+
+SOURCE = """
+main stream personalised{
+  streamlet cz = new-streamlet (img_customizer);
+  streamlet g2j = new-streamlet (gif2jpeg);
+  streamlet ds = new-streamlet (img_down_sample);
+  connect (cz.po, g2j.pi);
+  connect (g2j.po, ds.pi);
+}
+"""
+
+
+def main() -> None:
+    server = build_server()
+    # a customizer variant typed for the image branch (the generic one is
+    # */* -> */*, which MCL rightly refuses to feed a typed input)
+    server.directory.advertise(
+        ast.StreamletDef(
+            name="img_customizer",
+            ports=(
+                ast.PortDecl(ast.PortDirection.IN, "pi", IMAGE),
+                ast.PortDecl(ast.PortDirection.OUT, "po", IMAGE),
+            ),
+            kind=ast.StreamletKind.STATEFUL,
+            description="customizer bound to the image branch",
+        ),
+        Customizer,
+    )
+    stream = server.deploy_script(SOURCE)
+
+    prefs = PreferencesDB()
+    prefs.put("pda-user", UserPreferences(quality=15, downsample_factor=4))
+    prefs.put("laptop-user", UserPreferences(quality=85, downsample_factor=1))
+    stream.set_param("cz", "prefs", prefs)
+
+    scheduler = InlineScheduler(stream)
+    for user in ("pda-user", "laptop-user", "anonymous"):
+        message = synthetic_image_message(160, 120, seed=11)
+        original = message.body_size()
+        message.headers.set(USER_HEADER, user)
+        stream.post(message)
+        scheduler.pump()
+        [out] = stream.collect()
+        print(
+            f"{user:12s}: {original:6d} -> {out.body_size():6d} bytes "
+            f"({out.content_type})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The section 7.5 application: speeding up web surfing over slow links.
+
+Images are transcoded (GIF-like → JPEG-like) and down-sampled; when the
+emulated wireless link fades below 100 Kb/s, the context monitor raises
+LOW_BANDWIDTH and the Text Compressor is spliced into the text branch —
+then extracted again when the link recovers.  The MobiGATE client undoes
+the compression transparently via the peer-streamlet stack.
+
+Run:  python examples/web_acceleration.py
+"""
+
+from repro.apps import WEB_ACCELERATION_MCL, build_server
+from repro.client.client import MobiGateClient
+from repro.netsim.emulator import DirectTransfer, EndToEndEmulator
+from repro.netsim.link import WirelessLink
+from repro.netsim.monitor import ContextMonitor
+from repro.netsim.traces import BandwidthTrace
+from repro.util.clock import VirtualClock
+from repro.workloads.generators import WebWorkload
+
+
+def main() -> None:
+    # link: 1 Mb/s, fading to 50 Kb/s between t=2s and t=30s
+    trace = BandwidthTrace.fade(1_000_000, 50_000, start=2.0, duration=28.0)
+
+    clock = VirtualClock()
+    server = build_server(clock=clock)
+    stream = server.deploy_script(WEB_ACCELERATION_MCL)
+    link = WirelessLink(1_000_000, propagation_delay=0.02, clock=clock)
+    monitor = ContextMonitor(link, server.events, low_threshold_bps=100_000, trace=trace)
+    client = MobiGateClient()
+    emulator = EndToEndEmulator(stream, link, client, monitor=monitor)
+
+    workload = list(WebWorkload(seed=42, image_fraction=0.4).messages(30))
+    report = emulator.run(workload)
+
+    print("adaptation timeline (virtual seconds):")
+    for timestamp, event in monitor.raised:
+        print(f"  t={timestamp:8.3f}s  {event}")
+    print(f"\nmessages: {report.messages_sent} sent, "
+          f"{report.messages_delivered} delivered, {report.losses} lost")
+    print(f"offered app bytes: {report.bytes_offered_app}")
+    print(f"bytes on the wireless link: {report.bytes_on_link} "
+          f"(reduction ratio {report.reduction_ratio:.2f})")
+    print(f"goodput with MobiGATE: {report.goodput_bps / 1000:.1f} Kb/s")
+
+    # the no-proxy baseline over the same fading link
+    base_link = WirelessLink(1_000_000, propagation_delay=0.02, clock=VirtualClock())
+    base_monitor_trace = trace  # same conditions, applied manually
+
+    class _TraceDriver:
+        """Drive the baseline link from the same bandwidth trace."""
+
+        def __init__(self, link, trace):
+            self.link, self.trace = link, trace
+
+        def run(self, messages):
+            transfer = DirectTransfer(self.link)
+            for message in messages:
+                self.link.set_bandwidth(self.trace.value_at(self.link.clock.now()))
+                transfer.run([message])
+            transfer.report.elapsed = self.link.clock.now()
+            return transfer.report
+
+    baseline = _TraceDriver(base_link, base_monitor_trace).run(
+        WebWorkload(seed=42, image_fraction=0.4).messages(30)
+    )
+    print(f"goodput direct transfer: {baseline.goodput_bps / 1000:.1f} Kb/s")
+    speedup = report.goodput_bps / baseline.goodput_bps
+    print(f"MobiGATE speedup on this fading link: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

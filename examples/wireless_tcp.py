@@ -1,0 +1,43 @@
+"""The motivation, measured: TCP over wireless links (thesis section 2.1).
+
+Plain TCP misreads random wireless loss as congestion and collapses; the
+Snoop agent and Indirect TCP both fix it by putting intelligence at the
+wired/wireless boundary — exactly where MobiGATE puts its proxy.
+
+Run:  python examples/wireless_tcp.py
+"""
+
+from repro.bench.reporting import print_series
+from repro.netsim.wtcp import run_wtcp
+
+
+def main() -> None:
+    rows = []
+    for loss in (0.0, 0.01, 0.02, 0.05, 0.10, 0.20):
+        results = {
+            scheme: run_wtcp(scheme, wireless_loss=loss, segments=300, seed=7)
+            for scheme in ("plain", "snoop", "split")
+        }
+        rows.append((
+            f"{loss:.0%}",
+            results["plain"].goodput_bps / 1000,
+            results["snoop"].goodput_bps / 1000,
+            results["split"].goodput_bps / 1000,
+            results["plain"].timeouts,
+            results["snoop"].local_retransmissions,
+        ))
+    print_series(
+        "TCP over a lossy wireless hop (300 segments)",
+        ["loss", "plain (Kb/s)", "snoop (Kb/s)", "split (Kb/s)",
+         "plain RTOs", "snoop local rexmits"],
+        rows,
+    )
+    print(
+        "\nThe snoop agent retransmits locally and suppresses duplicate ACKs,\n"
+        "so the sender never sees the wireless loss — its window stays open.\n"
+        "This is the argument for base-station proxies that MobiGATE builds on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""XML streaming: progressive delivery of structured documents (§1.2.1).
+
+A large catalog document would stall a slow link until its last byte; the
+xml_streamer splits it at element boundaries so fragments flow as soon as
+they are ready.  The client's reassembly peer rebuilds the document
+transparently, and the fragment timeline shows the progressive-delivery
+payoff: first fragment on the wire long before the last.
+
+Run:  python examples/xml_streaming.py
+"""
+
+from repro.apps import build_server
+from repro.client.client import MobiGateClient
+from repro.codecs.sgml import Element, parse
+from repro.mime.message import MimeMessage
+from repro.netsim.link import WirelessLink
+from repro.runtime.scheduler import InlineScheduler
+from repro.util.clock import VirtualClock
+from repro.workloads.content import synthetic_text
+
+SOURCE = """
+main stream progressive{
+  streamlet xs = new-streamlet (xml_streamer);
+}
+"""
+
+
+def build_catalog(n_items: int) -> Element:
+    """A product catalog with chunky item descriptions."""
+    catalog = Element("catalog", {"shop": "mobigate-demo", "currency": "credits"})
+    for index in range(n_items):
+        item = Element("item", {"id": str(index), "price": str(10 + index)})
+        item.add(Element("name").add(f"Product {index}"))
+        description = synthetic_text(1200, seed=index).decode("utf-8")
+        item.add(Element("description").add(description))
+        catalog.add(item)
+    return catalog
+
+
+def main() -> None:
+    server = build_server()
+    stream = server.deploy_script(SOURCE)
+    scheduler = InlineScheduler(stream)
+    client = MobiGateClient()
+    link = WirelessLink(50_000, clock=VirtualClock())  # 50 Kb/s
+
+    catalog = build_catalog(8)
+    wire_form = catalog.serialize().encode("utf-8")
+    print(f"document: {len(wire_form)} bytes, {len(catalog.elements())} items")
+
+    stream.post(MimeMessage("application/xml", wire_form))
+    scheduler.pump()
+    fragments = stream.collect()
+    print(f"streamed as {len(fragments)} fragments\n")
+
+    print("fragment arrival timeline on a 50 Kb/s link:")
+    delivered = []
+    for index, fragment in enumerate(fragments):
+        result = link.transmit(fragment.total_size())
+        print(f"  fragment {index}: {fragment.total_size():5d} bytes, "
+              f"arrives t={result.arrival:6.3f}s")
+        delivered.extend(client.receive(fragment))
+
+    whole_transfer = len(wire_form) * 8 / 50_000
+    print(f"\nwhole-document transfer would deliver nothing before "
+          f"t={whole_transfer:.3f}s;")
+    print("streaming put the first item on screen at the first arrival above.")
+
+    [document] = delivered
+    rebuilt = parse(document.body.decode("utf-8"))
+    assert rebuilt == catalog
+    print("client reassembled the complete catalog — identical to the original.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""MobiGATE reproduction — adaptive proxy middleware for wireless links.
+
+A from-scratch Python implementation of the MobiGATE system (Zheng & Chan,
+ICPP 2004 / HKPU MPhil thesis 2005): streamlet composition described in
+the MCL coordination language, checked by the chapter-5 semantic analyses,
+executed by a two-plane runtime, reversed by a thin client, and evaluated
+over a virtual-time wireless emulation.
+
+Quick start::
+
+    from repro import build_server, InlineScheduler, MimeMessage
+
+    server = build_server()
+    stream = server.deploy_script(\"\"\"
+    main stream s{
+      streamlet c = new-streamlet (text_compress);
+      streamlet e = new-streamlet (encryptor);
+      connect (c.po, e.pi);
+    }
+    \"\"\")
+    scheduler = InlineScheduler(stream)
+    stream.post(MimeMessage("text/plain", b"hello " * 100))
+    scheduler.pump()
+    [wire] = stream.collect()
+
+See README.md, DESIGN.md, and docs/ for the full tour.
+"""
+
+from repro.apps import (
+    DISTILLATION_MCL,
+    WEB_ACCELERATION_MCL,
+    build_server,
+)
+from repro.client.client import MobiGateClient
+from repro.errors import MobiGateError
+from repro.events import ContextEvent, EventCatalog, EventCategory
+from repro.mcl import compile_script, parse_script
+from repro.mime import MediaType, MimeMessage, parse_message, serialize_message
+from repro.runtime import (
+    InlineScheduler,
+    MobiGateServer,
+    RuntimeStream,
+    Streamlet,
+    ThreadedScheduler,
+)
+from repro.semantics import analyze, verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "build_server",
+    "DISTILLATION_MCL",
+    "WEB_ACCELERATION_MCL",
+    "MobiGateServer",
+    "MobiGateClient",
+    "RuntimeStream",
+    "Streamlet",
+    "InlineScheduler",
+    "ThreadedScheduler",
+    "MimeMessage",
+    "MediaType",
+    "serialize_message",
+    "parse_message",
+    "compile_script",
+    "parse_script",
+    "analyze",
+    "verify",
+    "ContextEvent",
+    "EventCatalog",
+    "EventCategory",
+    "MobiGateError",
+]

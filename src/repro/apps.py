@@ -1,0 +1,75 @@
+"""The thesis's two canonical stream applications, as MCL source.
+
+* :data:`DISTILLATION_MCL` — the section 4.3 datatype-specific distillation
+  composition (Figure 4-6/4-8): switch → image/text/postscript branches →
+  merge, with LOW_ENERGY and LOW_GRAY reconfiguration handlers.
+* :data:`WEB_ACCELERATION_MCL` — the section 7.5 application: switch →
+  (Gif2Jpeg → ImageDownSample) and text branches → communicator, with the
+  Text Compressor spliced in below 100 Kb/s and extracted on recovery.
+
+:func:`build_server` wires a :class:`MobiGateServer` with the built-in
+streamlet directory so either script deploys directly.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.server import MobiGateServer
+from repro.streamlets import register_builtin_streamlets
+
+DISTILLATION_MCL = """
+// Section 4.3: datatype-specific distillation (Figure 4-6)
+main stream streamApp{
+  streamlet s1 = new-streamlet (switch);
+  streamlet s2 = new-streamlet (img_down_sample);
+  streamlet s3 = new-streamlet (map_to_16_grays);
+  streamlet s4 = new-streamlet (powerSaving);
+  streamlet s5 = new-streamlet (postscript2text);
+  streamlet s6 = new-streamlet (text_compress);
+  streamlet s7 = new-streamlet (merge);
+  streamlet out = new-streamlet (redirector);
+
+  connect (s1.po_img, s2.pi);
+  connect (s1.po_ps, s5.pi);
+  connect (s2.po, s7.pi1);
+  connect (s5.po, s6.pi);
+  connect (s6.po, s7.pi2);
+  connect (s7.po, out.pi);
+
+  when (LOW_ENERGY){
+    insert (s7.po, out.pi, s4);
+  }
+  when (LOW_GRAY){
+    insert (s2.po, s7.pi1, s3);
+  }
+}
+"""
+
+WEB_ACCELERATION_MCL = """
+// Section 7.5: speeding up web surfing over slow links
+main stream webAccel{
+  streamlet sw = new-streamlet (switch);
+  streamlet g2j = new-streamlet (gif2jpeg);
+  streamlet ds = new-streamlet (img_down_sample);
+  streamlet tc = new-streamlet (text_compress);
+  streamlet comm = new-streamlet (communicator);
+
+  connect (sw.po_img, g2j.pi);
+  connect (g2j.po, ds.pi);
+  connect (ds.po, comm.pi1);
+  connect (sw.po_txt, comm.pi2);
+
+  when (LOW_BANDWIDTH){
+    insert (sw.po_txt, comm.pi2, tc);
+  }
+  when (HIGH_BANDWIDTH){
+    remove (tc);
+  }
+}
+"""
+
+
+def build_server(**kwargs) -> MobiGateServer:
+    """A server with the full built-in streamlet library advertised."""
+    server = MobiGateServer(**kwargs)
+    register_builtin_streamlets(server.directory)
+    return server

@@ -1,0 +1,82 @@
+"""Run every experiment and print the paper's series.
+
+Usage::
+
+    python -m repro.bench            # everything (a few minutes)
+    python -m repro.bench fig7_2     # one artifact
+    python -m repro.bench --quick    # reduced sweeps for smoke runs
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.ablations import (
+    run_channel_ablation,
+    run_compile_ablation,
+    run_pooling_ablation,
+    run_scheduler_ablation,
+)
+from repro.bench.fig7_2 import run_fig7_2
+from repro.bench.fig7_3 import run_fig7_3
+from repro.bench.fig7_6 import run_fig7_6
+from repro.bench.fig7_7 import run_fig7_7
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    targets = [a for a in argv if not a.startswith("-")] or [
+        "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp", "adaptivity",
+    ]
+    if "fig7_2" in targets:
+        result = run_fig7_2(repeats=5 if quick else 30)
+        result.print()
+    if "fig7_3" in targets:
+        sizes = (10, 100, 400) if quick else (10, 50, 100, 200, 400, 800)
+        run_fig7_3(sizes, repeats=2 if quick else 5).print()
+    if "fig7_6" in targets:
+        counts = (1, 10, 50) if quick else (1, 5, 10, 20, 50, 100)
+        run_fig7_6(counts, repeats=2 if quick else 5).print()
+    if "fig7_7" in targets:
+        bandwidths = (
+            tuple(k * 1000.0 for k in (20, 100, 500, 2000)) if quick else None
+        )
+        kwargs = {"n_messages": 6 if quick else 12}
+        if bandwidths:
+            result = run_fig7_7(bandwidths, (0.001, 0.05), **kwargs)
+        else:
+            result = run_fig7_7(**kwargs)
+        result.print()
+    if "ablations" in targets:
+        run_pooling_ablation((5, 10) if quick else (5, 10, 20, 40)).print()
+        run_channel_ablation(2000 if quick else 10_000).print()
+        run_scheduler_ablation(n_messages=20 if quick else 100).print()
+        run_compile_ablation((5, 20, 50) if quick else (5, 20, 50, 100, 200)).print()
+    if "wtcp" in targets:
+        from repro.bench.reporting import print_series
+        from repro.netsim.wtcp import run_wtcp
+
+        segments = 100 if quick else 300
+        rows = []
+        for loss in (0.0, 0.02, 0.05, 0.10, 0.20):
+            goodputs = {
+                scheme: run_wtcp(
+                    scheme, wireless_loss=loss, segments=segments, seed=7
+                ).goodput_bps / 1000
+                for scheme in ("plain", "snoop", "split")
+            }
+            rows.append((loss, goodputs["plain"], goodputs["snoop"], goodputs["split"]))
+        print_series(
+            "Motivation (§2.1): wireless TCP goodput vs loss (Kb/s)",
+            ["loss", "plain", "snoop", "split"],
+            rows,
+        )
+    if "adaptivity" in targets:
+        from repro.bench.adaptivity import run_adaptivity
+
+        run_adaptivity(n_messages=20 if quick else 50).print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,84 @@
+"""Figure 7-6 — reconfiguration overhead (section 7.4).
+
+The thesis's ``ReconfigExp`` reacts to LOW_BANDWIDTH by inserting a
+variable number of redirectors, timing ``Te - Ts`` around the handler.
+Paper shape: reconfiguration time grows roughly linearly with the number
+of inserted streamlets; <20 ms at 10 insertions, <100 ms at 100 (2004
+hardware).  We report both the wall time around ``on_event`` and the
+Equation 7-1 decomposition (suspend + channel ops + activate) that the
+runtime itself accounts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.apps import build_server
+from repro.bench.reporting import print_series
+from repro.runtime.stream import ReconfigTiming
+
+
+@dataclass
+class Fig76Result:
+    # (inserted count, wall seconds, eq 7-1 seconds, timing breakdown)
+    rows: list[tuple[int, float, float, ReconfigTiming]]
+
+    def print(self) -> None:
+        """Print the Figure 7-6 series with the Eq. 7-1 breakdown."""
+        print_series(
+            "Figure 7-6: reconfiguration overhead",
+            ["inserted", "wall (ms)", "eq7-1 (ms)", "suspend (ms)", "channel (ms)", "activate (ms)"],
+            [
+                (n, wall * 1e3, eq.total * 1e3, eq.suspend * 1e3,
+                 eq.channel_ops * 1e3, eq.activate * 1e3)
+                for n, wall, _total, eq in self.rows
+            ],
+        )
+
+
+def reconfig_exp_mcl(insert_count: int, *, stream_name: str = "reconfigExp") -> str:
+    """The ReconfigExp stream: LOW_BANDWIDTH inserts ``insert_count`` redirectors."""
+    if insert_count < 1:
+        raise ValueError(f"insert_count must be >= 1, got {insert_count}")
+    lines = [
+        f"main stream {stream_name}{{",
+        "  streamlet head, tail = new-streamlet (redirector);",
+        "  connect (head.po, tail.pi);",
+        "  when (LOW_BANDWIDTH){",
+        "    streamlet rr0 = new-streamlet (redirector);",
+        "    insert (head.po, tail.pi, rr0);",
+    ]
+    for index in range(1, insert_count):
+        lines.append(f"    streamlet rr{index} = new-streamlet (redirector);")
+        lines.append(f"    insert (head.po, rr{index - 1}.pi, rr{index});")
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_fig7_6(
+    insert_counts: tuple[int, ...] = (1, 5, 10, 20, 50, 100),
+    *,
+    repeats: int = 5,
+) -> Fig76Result:
+    """Time the ReconfigExp handler across insertion counts (best of ``repeats``)."""
+    rows: list[tuple[int, float, float, ReconfigTiming]] = []
+    for count in insert_counts:
+        wall_best = float("inf")
+        eq_best: ReconfigTiming | None = None
+        for _ in range(repeats):
+            server = build_server()
+            stream = server.deploy_script(reconfig_exp_mcl(count))
+            start = time.perf_counter()
+            server.events.raise_event("LOW_BANDWIDTH")
+            wall = time.perf_counter() - start
+            timing = stream.last_reconfig
+            assert timing is not None and timing.actions == 2 * count
+            if wall < wall_best:
+                wall_best = wall
+                eq_best = timing
+            stream.end()
+        assert eq_best is not None
+        rows.append((count, wall_best, eq_best.total, eq_best))
+    return Fig76Result(rows=rows)

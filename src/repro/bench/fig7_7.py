@@ -1,0 +1,139 @@
+"""Figure 7-7 — MobiGATE end-to-end performance (section 7.5).
+
+The web-acceleration application over the emulated wireless link, swept
+over the thesis's bandwidth grid {20, 50, 100, 200, 500, 750, 1000, 2000}
+Kb/s and transmission delays {~0, 50, 100} ms, against the direct-transfer
+baseline.  The Text Compressor is spliced in when the monitor sees the
+link below 100 Kb/s, exercising the reconfiguration machinery mid-run.
+
+Paper shape to reproduce:
+
+1. MobiGATE goodput ≥ direct transfer everywhere;
+2. the gap shrinks as bandwidth approaches 2 Mb/s (overhead ≈ saving);
+3. absolute goodput is poor for both at the lowest bandwidths, but
+4. below 100 Kb/s the compressor insertion lifts MobiGATE further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import WEB_ACCELERATION_MCL, build_server
+from repro.bench.reporting import print_series
+from repro.client.client import MobiGateClient
+from repro.netsim.emulator import DirectTransfer, EndToEndEmulator, TransferReport
+from repro.netsim.link import WirelessLink
+from repro.netsim.monitor import ContextMonitor
+from repro.util.clock import VirtualClock
+from repro.workloads.generators import WebWorkload
+
+#: the thesis's sweep, in bits/second
+BANDWIDTHS_BPS: tuple[float, ...] = tuple(
+    kbps * 1000.0 for kbps in (20, 50, 100, 200, 500, 750, 1000, 2000)
+)
+DELAYS_S: tuple[float, ...] = (0.001, 0.05, 0.1)
+COMPRESSOR_THRESHOLD_BPS = 100_000.0
+
+
+@dataclass
+class Fig77Cell:
+    bandwidth_bps: float
+    delay_s: float
+    mobigate: TransferReport
+    direct: TransferReport
+    compressor_inserted: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.direct.goodput_bps == 0:
+            return float("inf")
+        return self.mobigate.goodput_bps / self.direct.goodput_bps
+
+
+@dataclass
+class Fig77Result:
+    cells: list[Fig77Cell]
+
+    def print(self) -> None:
+        """Print the Figure 7-7 goodput table."""
+        print_series(
+            "Figure 7-7: end-to-end goodput, MobiGATE vs direct transfer",
+            ["bw (Kb/s)", "delay (ms)", "direct (Kb/s)", "MobiGATE (Kb/s)",
+             "speedup", "compressor"],
+            [
+                (
+                    cell.bandwidth_bps / 1000,
+                    cell.delay_s * 1000,
+                    cell.direct.goodput_bps / 1000,
+                    cell.mobigate.goodput_bps / 1000,
+                    cell.speedup,
+                    "yes" if cell.compressor_inserted else "no",
+                )
+                for cell in self.cells
+            ],
+        )
+
+    def at(self, bandwidth_bps: float, delay_s: float) -> Fig77Cell:
+        """The cell for (bandwidth, delay); KeyError if outside the sweep."""
+        for cell in self.cells:
+            if cell.bandwidth_bps == bandwidth_bps and cell.delay_s == delay_s:
+                return cell
+        raise KeyError((bandwidth_bps, delay_s))
+
+
+def run_cell(
+    bandwidth_bps: float,
+    delay_s: float,
+    *,
+    n_messages: int = 12,
+    seed: int = 7,
+    image_fraction: float = 0.4,
+) -> Fig77Cell:
+    """One grid point: MobiGATE run and direct-transfer run, same workload."""
+    clock = VirtualClock()
+    server = build_server(clock=clock)
+    stream = server.deploy_script(WEB_ACCELERATION_MCL)
+    link = WirelessLink(bandwidth_bps, propagation_delay=delay_s, clock=clock)
+    monitor = ContextMonitor(
+        link,
+        server.events,
+        low_threshold_bps=COMPRESSOR_THRESHOLD_BPS,
+        fire_initial=True,  # a run that *starts* slow adapts immediately
+    )
+    client = MobiGateClient()
+    emulator = EndToEndEmulator(stream, link, client, monitor=monitor)
+    workload = list(WebWorkload(seed=seed, image_fraction=image_fraction).messages(n_messages))
+    mobigate = emulator.run(workload)
+    compressor_inserted = bool(stream.node("tc").inputs)
+    stream.end()
+
+    direct_link = WirelessLink(
+        bandwidth_bps, propagation_delay=delay_s, clock=VirtualClock()
+    )
+    workload_again = list(
+        WebWorkload(seed=seed, image_fraction=image_fraction).messages(n_messages)
+    )
+    direct = DirectTransfer(direct_link).run(workload_again)
+    return Fig77Cell(
+        bandwidth_bps=bandwidth_bps,
+        delay_s=delay_s,
+        mobigate=mobigate,
+        direct=direct,
+        compressor_inserted=compressor_inserted,
+    )
+
+
+def run_fig7_7(
+    bandwidths_bps: tuple[float, ...] = BANDWIDTHS_BPS,
+    delays_s: tuple[float, ...] = DELAYS_S,
+    *,
+    n_messages: int = 12,
+    seed: int = 7,
+) -> Fig77Result:
+    """Sweep the bandwidth/delay grid; one MobiGATE + direct pair per cell."""
+    cells = [
+        run_cell(bandwidth, delay, n_messages=n_messages, seed=seed)
+        for delay in delays_s
+        for bandwidth in bandwidths_bps
+    ]
+    return Fig77Result(cells=cells)

@@ -1,0 +1,25 @@
+"""The MobiGATE client (section 3.4).
+
+The client has no channels and no coordination: "all the composition
+information is already recorded in the incoming message header."  The
+:class:`MessageDistributor` reads each message's peer stack (section 6.5)
+and runs the matching peer streamlets from the
+:class:`ClientStreamletPool` in reverse (LIFO) order, undoing the
+server-side transformations inside-out, then delivers to the application.
+
+The thin-client economics show in the code size: reverse transformations
+and a dictionary lookup, nothing else.
+"""
+
+from repro.client.peers import PeerStreamlet, PEER_FACTORIES
+from repro.client.client_pool import ClientStreamletPool
+from repro.client.distributor import MessageDistributor
+from repro.client.client import MobiGateClient
+
+__all__ = [
+    "PeerStreamlet",
+    "PEER_FACTORIES",
+    "ClientStreamletPool",
+    "MessageDistributor",
+    "MobiGateClient",
+]

@@ -1,0 +1,51 @@
+"""The MobiGATE client facade (Figure 3-3).
+
+Thin by design: a distributor over a peer pool, a delivered-message list,
+and counters.  ``receive`` is what the network emulator calls when a
+message finishes crossing the wireless link.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.client.client_pool import ClientStreamletPool
+from repro.client.distributor import MessageDistributor
+from repro.client.peers import PeerStreamlet
+from repro.mime.message import MimeMessage
+
+
+class MobiGateClient:
+    """The mobile-host side: receive, reverse-process, deliver."""
+
+    def __init__(
+        self,
+        *,
+        pool: ClientStreamletPool | None = None,
+        on_deliver: Callable[[MimeMessage], None] | None = None,
+    ):
+        self.pool = pool if pool is not None else ClientStreamletPool()
+        self.distributor = MessageDistributor(self.pool)
+        self._on_deliver = on_deliver
+        self.delivered: list[MimeMessage] = []
+        self.bytes_received = 0
+
+    def register_peer(self, peer_id: str, factory: Callable[[], PeerStreamlet]) -> None:
+        """Register/replace a peer streamlet factory on this client."""
+        self.pool.register(peer_id, factory)
+
+    def receive(self, message: MimeMessage) -> list[MimeMessage]:
+        """Process one message off the link; returns app-level messages."""
+        self.bytes_received += message.total_size()
+        results = self.distributor.distribute(message)
+        self.delivered.extend(results)
+        if self._on_deliver is not None:
+            for result in results:
+                self._on_deliver(result)
+        return results
+
+    def take_delivered(self) -> list[MimeMessage]:
+        """Drain and return everything delivered so far."""
+        out = self.delivered
+        self.delivered = []
+        return out

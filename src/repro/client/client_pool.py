@@ -1,0 +1,69 @@
+"""The Client Streamlet Pool (section 3.4.2).
+
+Maintains peer streamlet instances — "the system maintains peer
+streamlets, instead of original streamlets maintained at the server side"
+— creating them lazily from registered factories and destroying them on
+request.  One instance per peer id per client: peers may hold client-local
+state (the client cache, for one).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from repro.errors import PeerNotFoundError
+from repro.client.peers import PEER_FACTORIES, PeerStreamlet
+
+
+class ClientStreamletPool:
+    """Lazy per-peer-id instance pool."""
+
+    def __init__(
+        self,
+        factories: dict[str, Callable[[], PeerStreamlet]] | None = None,
+        *,
+        include_builtin: bool = True,
+    ):
+        self._factories: dict[str, Callable[[], PeerStreamlet]] = (
+            dict(PEER_FACTORIES) if include_builtin else {}
+        )
+        if factories:
+            self._factories.update(factories)
+        self._instances: dict[str, PeerStreamlet] = {}
+        self._lock = threading.Lock()
+
+    def register(self, peer_id: str, factory: Callable[[], PeerStreamlet]) -> None:
+        """Register/replace a factory (drops any live instance)."""
+        with self._lock:
+            self._factories[peer_id] = factory
+            self._instances.pop(peer_id, None)
+
+    def acquire(self, peer_id: str) -> PeerStreamlet:
+        """The (single) live instance for ``peer_id``, created on demand."""
+        with self._lock:
+            instance = self._instances.get(peer_id)
+            if instance is None:
+                factory = self._factories.get(peer_id)
+                if factory is None:
+                    raise PeerNotFoundError(
+                        f"no client streamlet registered for peer id {peer_id!r}"
+                    )
+                instance = factory()
+                self._instances[peer_id] = instance
+            return instance
+
+    def destroy(self, peer_id: str) -> bool:
+        """Drop the live instance (a fresh one is built on next acquire)."""
+        with self._lock:
+            return self._instances.pop(peer_id, None) is not None
+
+    def known_peers(self) -> frozenset[str]:
+        """Peer ids with registered factories."""
+        with self._lock:
+            return frozenset(self._factories)
+
+    def live_count(self) -> int:
+        """Peer instances currently constructed."""
+        with self._lock:
+            return len(self._instances)

@@ -1,0 +1,106 @@
+"""Client-side peer streamlets (section 6.5).
+
+"Given a streamlet that performs some processing on an outgoing message,
+its peer streamlet performs the reverse processing on incoming messages."
+A peer exposes one method, :meth:`PeerStreamlet.reverse`, which may return
+
+* ``[message]`` — transformed in place (the common case),
+* several messages — e.g. the unbundler splitting a power-saving burst,
+* a different single message.
+
+``PEER_FACTORIES`` maps the peer ids that server streamlets push onto the
+message header to constructors; the pool instantiates them lazily, one per
+client (peers may be stateful, like the client cache).
+"""
+
+from __future__ import annotations
+
+from repro.mime.message import MimeMessage
+from repro.streamlets.cache import PEER_CLIENT_CACHE, ClientCacheStore
+from repro.streamlets.compress import PEER_TEXT_DECOMPRESS, decompress_message
+from repro.streamlets.crypto import DEFAULT_KEY, PEER_DECRYPTOR, decrypt_message
+from repro.streamlets.power import PEER_UNBUNDLER, unbundle_message
+from repro.streamlets.xmlstream import PEER_XML_REASSEMBLE, XmlReassembly
+
+
+class PeerStreamlet:
+    """Base class: identity reverse processing."""
+
+    def __init__(self, peer_id: str):
+        self.peer_id = peer_id
+        self.processed = 0
+
+    def reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        """Reverse-process one message; may split, absorb, or transform it."""
+        self.processed += 1
+        return self._reverse(message)
+
+    def _reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        return [message]
+
+
+class TextDecompress(PeerStreamlet):
+    """Undo the Text Compressor's MGTC container."""
+    def __init__(self):
+        super().__init__(PEER_TEXT_DECOMPRESS)
+
+    def _reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        decompress_message(message)
+        return [message]
+
+
+class Decryptor(PeerStreamlet):
+    """Undo the encryptor's stream cipher (pops a stacked nonce)."""
+    def __init__(self, key: bytes = DEFAULT_KEY):
+        super().__init__(PEER_DECRYPTOR)
+        self._key = key
+
+    def _reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        decrypt_message(message, self._key)
+        return [message]
+
+
+class ClientCache(PeerStreamlet):
+    """Reconstitute cache-HIT notifications from the local store."""
+    def __init__(self):
+        super().__init__(PEER_CLIENT_CACHE)
+        self._store = ClientCacheStore()
+
+    def _reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        self._store.apply(message)
+        return [message]
+
+
+class Unbundler(PeerStreamlet):
+    """Split a power-saving burst back into individual messages."""
+    def __init__(self):
+        super().__init__(PEER_UNBUNDLER)
+
+    def _reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        return unbundle_message(message)
+
+
+class XmlReassembler(PeerStreamlet):
+    """Collects XML-stream fragments; emits the rebuilt document once whole."""
+
+    def __init__(self):
+        super().__init__(PEER_XML_REASSEMBLE)
+        self._reassembly = XmlReassembly()
+
+    def _reverse(self, message: MimeMessage) -> list[MimeMessage]:
+        rebuilt = self._reassembly.add(message)
+        return [rebuilt] if rebuilt is not None else []
+
+    @property
+    def pending_streams(self) -> int:
+        return self._reassembly.pending_streams
+
+
+#: peer id -> zero-argument constructor
+PEER_FACTORIES: dict[str, type[PeerStreamlet]] = {
+    PEER_TEXT_DECOMPRESS: TextDecompress,
+    PEER_DECRYPTOR: Decryptor,
+    PEER_CLIENT_CACHE: ClientCache,
+    PEER_UNBUNDLER: Unbundler,
+    PEER_XML_REASSEMBLE: XmlReassembler,
+}

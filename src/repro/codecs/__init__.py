@@ -1,0 +1,54 @@
+"""Codec substrates (built from scratch, see DESIGN.md section 6).
+
+The paper's streamlets rely on standard codecs (GIF/JPEG transcoding, text
+compression, encryption, PostScript) that it treats as black boxes.  We
+implement workalikes from first principles so every byte transformation in
+the pipeline is exercised by our own code:
+
+* :mod:`repro.codecs.rle` / :mod:`repro.codecs.huffman` /
+  :mod:`repro.codecs.lz77` — building blocks,
+* :mod:`repro.codecs.textcodec` — the Text Compressor's codec
+  (LZSS + canonical Huffman with a raw-fallback container),
+* :mod:`repro.codecs.cipher` — a keyed stream cipher (RC4-class) for the
+  encryption streamlets,
+* :mod:`repro.codecs.imagefmt` — synthetic "GIF-like" (palette) and
+  "JPEG-like" (block-DCT) raster formats plus downsampling/grayscale ops,
+* :mod:`repro.codecs.psdoc` — a PostScript-like structured document model
+  for the postscript-to-text streamlet.
+"""
+
+from repro.codecs.rle import rle_encode, rle_decode
+from repro.codecs.huffman import huffman_encode, huffman_decode
+from repro.codecs.lz77 import lzss_compress, lzss_decompress
+from repro.codecs.textcodec import TextCodec
+from repro.codecs.cipher import StreamCipher
+from repro.codecs.imagefmt import (
+    ImageRaster,
+    encode_gif,
+    decode_gif,
+    encode_jpeg,
+    decode_jpeg,
+    downsample,
+    quantize_grays,
+)
+from repro.codecs.psdoc import PsDocument, PsOp
+
+__all__ = [
+    "rle_encode",
+    "rle_decode",
+    "huffman_encode",
+    "huffman_decode",
+    "lzss_compress",
+    "lzss_decompress",
+    "TextCodec",
+    "StreamCipher",
+    "ImageRaster",
+    "encode_gif",
+    "decode_gif",
+    "encode_jpeg",
+    "decode_jpeg",
+    "downsample",
+    "quantize_grays",
+    "PsDocument",
+    "PsOp",
+]

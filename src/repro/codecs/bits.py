@@ -1,0 +1,94 @@
+"""Bit-level I/O used by the Huffman and LZSS coders.
+
+Writers accumulate into a ``bytearray`` (amortised O(1) appends); readers
+index into the source ``bytes`` without copying, per the HPC guidance to
+avoid needless buffer copies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    __slots__ = ("_out", "_acc", "_nbits")
+
+    def __init__(self):
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit."""
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._out.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant first."""
+        if width < 0 or (width and value >> width):
+            raise CodecError(f"value {value} does not fit in {width} bits")
+        acc, nbits = self._acc, self._nbits
+        acc = (acc << width) | value
+        nbits += width
+        out = self._out
+        while nbits >= 8:
+            nbits -= 8
+            out.append((acc >> nbits) & 0xFF)
+        self._acc = acc & ((1 << nbits) - 1)
+        self._nbits = nbits
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final byte) and return the bitstream."""
+        if self._nbits:
+            return bytes(self._out) + bytes([(self._acc << (8 - self._nbits)) & 0xFF])
+        return bytes(self._out)
+
+    def bit_length(self) -> int:
+        """Bits written so far (before padding)."""
+        return len(self._out) * 8 + self._nbits
+
+
+class BitReader:
+    """MSB-first bit reader over a bytes-like object."""
+
+    __slots__ = ("_data", "_pos", "_limit")
+
+    def __init__(self, data: bytes, start_byte: int = 0):
+        self._data = data
+        self._pos = start_byte * 8
+        self._limit = len(data) * 8
+
+    def read_bit(self) -> int:
+        """The next bit; raises CodecError past the end."""
+        if self._pos >= self._limit:
+            raise CodecError("bitstream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """The next ``width`` bits as an integer, MSB first."""
+        if width < 0:
+            raise CodecError("negative width")
+        if self._pos + width > self._limit:
+            raise CodecError("bitstream exhausted")
+        value = 0
+        pos = self._pos
+        data = self._data
+        for _ in range(width):
+            byte = data[pos >> 3]
+            value = (value << 1) | ((byte >> (7 - (pos & 7))) & 1)
+            pos += 1
+        self._pos = pos
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._limit - self._pos

@@ -1,0 +1,63 @@
+"""A keyed stream cipher for the encryption streamlets.
+
+This is an RC4-class keystream generator (key-scheduled permutation +
+output feedback) implemented from scratch.  It exists to give the
+Encryptor/Decryptor streamlets a real, invertible byte transformation with
+measurable cost — **it is not intended to provide modern cryptographic
+security** and must not be used outside this simulation.
+
+Encryption XORs the keystream; decryption is the same operation, so peer
+streamlets share one primitive.  A ``nonce`` mixed into key scheduling
+keeps distinct messages from reusing a keystream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+
+class StreamCipher:
+    """XOR stream cipher with RC4-style key scheduling."""
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise CodecError("cipher key must be non-empty")
+        if len(key) > 256:
+            raise CodecError("cipher key longer than 256 bytes")
+        self._key = bytes(key)
+
+    def _schedule(self, nonce: bytes) -> np.ndarray:
+        material = self._key + nonce
+        state = np.arange(256, dtype=np.uint8)
+        j = 0
+        for i in range(256):
+            j = (j + int(state[i]) + material[i % len(material)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        return state
+
+    def _keystream(self, nonce: bytes, length: int) -> np.ndarray:
+        state = self._schedule(nonce)
+        out = np.empty(length, dtype=np.uint8)
+        i = j = 0
+        # drop the first 256 bytes (RC4-drop) to decorrelate from the key
+        for step in range(256 + length):
+            i = (i + 1) & 0xFF
+            j = (j + int(state[i])) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            if step >= 256:
+                out[step - 256] = state[(int(state[i]) + int(state[j])) & 0xFF]
+        return out
+
+    def encrypt(self, plaintext: bytes, nonce: bytes) -> bytes:
+        """XOR ``plaintext`` with the keystream derived from key+nonce."""
+        if not nonce:
+            raise CodecError("nonce must be non-empty")
+        data = np.frombuffer(plaintext, dtype=np.uint8)
+        stream = self._keystream(bytes(nonce), len(data))
+        return (data ^ stream).tobytes()
+
+    def decrypt(self, ciphertext: bytes, nonce: bytes) -> bytes:
+        """Inverse of :meth:`encrypt` (XOR is an involution)."""
+        return self.encrypt(ciphertext, nonce)

@@ -1,0 +1,263 @@
+"""Synthetic raster image formats and pixel operations.
+
+The thesis streamlets transcode GIF→JPEG, down-sample images, and map them
+to 16 grays.  Real codecs are unavailable offline, so we implement two
+formats with the *size characteristics* that matter to the experiments:
+
+* **GIF-like** (``MGIF``): lossless palette format — 3-3-2 bit RGB indices,
+  run-length coded.  Large for photographic content.
+* **JPEG-like** (``MJPG``): lossy transform format — 8×8 block DCT per RGB
+  channel, uniform quantisation controlled by ``quality``, zigzag ordering,
+  RLE + Huffman entropy coding.  Much smaller at moderate quality, which is
+  exactly the trade the Gif2Jpeg streamlet exploits.
+
+All pixel math is vectorised numpy (see the HPC guides): block DCTs are a
+pair of matrix multiplies over a ``(nblocks, 8, 8)`` view.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs.huffman import huffman_decode, huffman_encode
+from repro.codecs.rle import rle_decode, rle_encode
+from repro.errors import CodecError
+
+_GIF_MAGIC = b"MGIF"
+_JPG_MAGIC = b"MJPG"
+_BLOCK = 8
+
+
+class ImageRaster:
+    """An in-memory RGB image: ``(height, width, 3)`` uint8 pixels.
+
+    Implements the message :class:`~repro.mime.message.Payload` protocol so
+    decoded images can travel between streamlets without re-encoding.
+    """
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, pixels: np.ndarray):
+        arr = np.asarray(pixels)
+        if arr.ndim != 3 or arr.shape[2] != 3 or arr.dtype != np.uint8:
+            raise CodecError(
+                f"ImageRaster needs (H, W, 3) uint8 pixels, got {arr.shape} {arr.dtype}"
+            )
+        if arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise CodecError("image must be non-empty")
+        self.pixels = arr
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    def size_bytes(self) -> int:
+        """Raw pixel bytes (the Payload protocol)."""
+        return int(self.pixels.nbytes)
+
+    def clone(self) -> "ImageRaster":
+        """Deep copy (independent pixel buffer)."""
+        return ImageRaster(self.pixels.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ImageRaster):
+            return NotImplemented
+        return self.pixels.shape == other.pixels.shape and bool(
+            np.array_equal(self.pixels, other.pixels)
+        )
+
+    def __hash__(self) -> int:  # rasters are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ImageRaster({self.width}x{self.height})"
+
+    @classmethod
+    def synthetic(cls, width: int, height: int, seed: int = 0) -> "ImageRaster":
+        """A photo-like test image: smooth gradients plus soft blobs.
+
+        Smoothness matters — it makes the JPEG-like coder genuinely smaller
+        than the GIF-like one, as with real photographs.
+        """
+        rng = np.random.default_rng(seed)
+        y = np.linspace(0.0, 1.0, height)[:, None]
+        x = np.linspace(0.0, 1.0, width)[None, :]
+        channels = []
+        for c in range(3):
+            base = (
+                0.5
+                + 0.25 * np.sin(2 * np.pi * (x * rng.uniform(0.5, 2.0) + c / 3))
+                + 0.25 * np.cos(2 * np.pi * (y * rng.uniform(0.5, 2.0)))
+            )
+            for _ in range(3):
+                cx, cy = rng.uniform(0, 1, 2)
+                radius = rng.uniform(0.1, 0.4)
+                blob = np.exp(-(((x - cx) ** 2 + (y - cy) ** 2) / (radius**2)))
+                base = base + rng.uniform(-0.3, 0.3) * blob
+            channels.append(np.clip(base, 0.0, 1.0))
+        pixels = np.stack(channels, axis=-1) * 255
+        # photographic sensor noise: defeats palette run-length coding the
+        # way real photos do, while block-DCT coding still compresses
+        pixels = pixels + rng.normal(0.0, 5.0, pixels.shape)
+        return cls(np.clip(pixels, 0, 255).astype(np.uint8))
+
+
+# ---------------------------------------------------------------------------
+# GIF-like: 3-3-2 palette + RLE
+# ---------------------------------------------------------------------------
+
+
+def encode_gif(image: ImageRaster) -> bytes:
+    """Palette-quantise to 256 colours (3-3-2 RGB) and run-length code."""
+    px = image.pixels
+    indices = (px[:, :, 0] & 0xE0) | ((px[:, :, 1] & 0xE0) >> 3) | (px[:, :, 2] >> 6)
+    body = rle_encode(indices.astype(np.uint8).tobytes())
+    return _GIF_MAGIC + struct.pack("<HH", image.width, image.height) + body
+
+
+def decode_gif(data: bytes) -> ImageRaster:
+    """Inverse of :func:`encode_gif` (up to palette quantisation)."""
+    if len(data) < 8 or data[:4] != _GIF_MAGIC:
+        raise CodecError("not an MGIF image")
+    width, height = struct.unpack_from("<HH", data, 4)
+    raw = rle_decode(data[8:])
+    if len(raw) != width * height:
+        raise CodecError("MGIF pixel count mismatch")
+    indices = np.frombuffer(raw, dtype=np.uint8).reshape(height, width)
+    pixels = np.empty((height, width, 3), dtype=np.uint8)
+    # expand 3-3-2 indices back to channel midpoints
+    pixels[:, :, 0] = (indices & 0xE0) | 0x10
+    pixels[:, :, 1] = ((indices & 0x1C) << 3) | 0x10
+    pixels[:, :, 2] = ((indices & 0x03) << 6) | 0x20
+    return ImageRaster(pixels)
+
+
+# ---------------------------------------------------------------------------
+# JPEG-like: block DCT + quantisation + zigzag + RLE + Huffman
+# ---------------------------------------------------------------------------
+
+
+def _dct_matrix() -> np.ndarray:
+    """Orthonormal DCT-II basis for 8-point transforms."""
+    k = np.arange(_BLOCK)[:, None]
+    n = np.arange(_BLOCK)[None, :]
+    mat = np.cos(np.pi * (2 * n + 1) * k / (2 * _BLOCK)) * np.sqrt(2 / _BLOCK)
+    mat[0, :] = np.sqrt(1 / _BLOCK)
+    return mat
+
+
+_DCT = _dct_matrix()
+_ZIGZAG = np.array(
+    sorted(range(_BLOCK * _BLOCK), key=lambda i: (i // _BLOCK + i % _BLOCK, i // _BLOCK))
+)
+_UNZIGZAG = np.argsort(_ZIGZAG)
+
+# JPEG-style frequency weighting: high-frequency coefficients (late in
+# zigzag order) get coarser steps, so sensor noise quantises to zero while
+# the low-frequency structure survives
+_FREQ_WEIGHT = 1.0 + 0.6 * np.arange(_BLOCK * _BLOCK, dtype=np.float64)
+
+
+def _quant_step(quality: int) -> float:
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be in [1, 100], got {quality}")
+    return 1.0 + (100 - quality) * 0.5
+
+
+def _to_blocks(channel: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Pad to block multiples and reshape to (nblocks, 8, 8) float64."""
+    h, w = channel.shape
+    ph = (-h) % _BLOCK
+    pw = (-w) % _BLOCK
+    padded = np.pad(channel, ((0, ph), (0, pw)), mode="edge").astype(np.float64)
+    bh, bw = padded.shape[0] // _BLOCK, padded.shape[1] // _BLOCK
+    blocks = padded.reshape(bh, _BLOCK, bw, _BLOCK).transpose(0, 2, 1, 3)
+    return blocks.reshape(-1, _BLOCK, _BLOCK), bh, bw
+
+
+def _from_blocks(blocks: np.ndarray, bh: int, bw: int, h: int, w: int) -> np.ndarray:
+    grid = blocks.reshape(bh, bw, _BLOCK, _BLOCK).transpose(0, 2, 1, 3)
+    return grid.reshape(bh * _BLOCK, bw * _BLOCK)[:h, :w]
+
+
+def encode_jpeg(image: ImageRaster, quality: int = 75) -> bytes:
+    """Lossy transform coding of each RGB channel."""
+    step = _quant_step(quality)
+    header = struct.pack("<HHB", image.width, image.height, quality)
+    payload = bytearray()
+    for c in range(3):
+        blocks, _bh, _bw = _to_blocks(image.pixels[:, :, c])
+        coeffs = _DCT @ (blocks - 128.0) @ _DCT.T
+        zig = coeffs.reshape(-1, _BLOCK * _BLOCK)[:, _ZIGZAG]
+        quantised = np.round(zig / (step * _FREQ_WEIGHT)).astype(np.int16)
+        packed = huffman_encode(rle_encode(quantised.astype("<i2").tobytes()))
+        payload += struct.pack("<I", len(packed)) + packed
+    return _JPG_MAGIC + header + bytes(payload)
+
+
+def decode_jpeg(data: bytes) -> ImageRaster:
+    """Inverse of :func:`encode_jpeg` (up to quantisation loss)."""
+    if len(data) < 9 or data[:4] != _JPG_MAGIC:
+        raise CodecError("not an MJPG image")
+    width, height, quality = struct.unpack_from("<HHB", data, 4)
+    step = _quant_step(quality)
+    bh = (height + _BLOCK - 1) // _BLOCK
+    bw = (width + _BLOCK - 1) // _BLOCK
+    nblocks = bh * bw
+    pos = 9
+    channels = []
+    for _ in range(3):
+        if pos + 4 > len(data):
+            raise CodecError("truncated MJPG channel")
+        (clen,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        raw = rle_decode(huffman_decode(data[pos : pos + clen]))
+        pos += clen
+        zig = np.frombuffer(raw, dtype="<i2").reshape(nblocks, _BLOCK * _BLOCK)
+        dequantised = zig.astype(np.float64) * (step * _FREQ_WEIGHT)
+        blocks = dequantised[:, _UNZIGZAG].reshape(nblocks, _BLOCK, _BLOCK)
+        blocks = _DCT.T @ blocks @ _DCT + 128.0
+        channel = _from_blocks(blocks, bh, bw, height, width)
+        channels.append(np.clip(np.round(channel), 0, 255).astype(np.uint8))
+    return ImageRaster(np.stack(channels, axis=-1))
+
+
+# ---------------------------------------------------------------------------
+# Pixel operations used by distillation streamlets
+# ---------------------------------------------------------------------------
+
+
+def downsample(image: ImageRaster, factor: int) -> ImageRaster:
+    """Average-pool by ``factor`` in both dimensions (lossy distillation)."""
+    if factor < 1:
+        raise CodecError(f"downsample factor must be >= 1, got {factor}")
+    if factor == 1:
+        return image.clone()
+    px = image.pixels
+    h = (px.shape[0] // factor) * factor
+    w = (px.shape[1] // factor) * factor
+    if h == 0 or w == 0:
+        raise CodecError(f"image {px.shape[:2]} too small for factor {factor}")
+    pooled = (
+        px[:h, :w]
+        .reshape(h // factor, factor, w // factor, factor, 3)
+        .mean(axis=(1, 3))
+    )
+    return ImageRaster(np.round(pooled).astype(np.uint8))
+
+
+def quantize_grays(image: ImageRaster, levels: int = 16) -> ImageRaster:
+    """Convert to grayscale quantised to ``levels`` shades (Map-to-16-grays)."""
+    if not 2 <= levels <= 256:
+        raise CodecError(f"levels must be in [2, 256], got {levels}")
+    px = image.pixels.astype(np.float64)
+    luma = 0.299 * px[:, :, 0] + 0.587 * px[:, :, 1] + 0.114 * px[:, :, 2]
+    bucket = np.minimum((luma / 256.0 * levels).astype(np.int64), levels - 1)
+    shade = np.round((bucket + 0.5) * 255.0 / levels).astype(np.uint8)
+    return ImageRaster(np.repeat(shade[:, :, None], 3, axis=2))

@@ -1,0 +1,102 @@
+"""LZSS (LZ77 with a literal/match flag) over a 32 KiB window.
+
+Token stream, bit-packed MSB-first:
+
+* flag ``0`` + 8 bits         — literal byte
+* flag ``1`` + 15 bits + 8 bits — match: distance-1 (1..32768), length-3
+  (3..258)
+
+A 4-byte little-endian original-length prefix terminates decoding exactly.
+Match search uses hash chains on 3-byte prefixes with a bounded chain walk
+(``max_chain``), trading a little ratio for linear-time behaviour on
+pathological inputs — the standard deflate-style compromise.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.codecs.bits import BitReader, BitWriter
+from repro.errors import CodecError
+
+WINDOW = 1 << 15          # 32 KiB
+MIN_MATCH = 3
+MAX_MATCH = MIN_MATCH + 255
+
+
+def _hash3(data: bytes, i: int) -> int:
+    return (data[i] << 16) | (data[i + 1] << 8) | data[i + 2]
+
+
+def lzss_compress(data: bytes, *, max_chain: int = 32) -> bytes:
+    """Compress ``data``; ``max_chain`` bounds match-search effort."""
+    n = len(data)
+    writer = BitWriter()
+    chains: dict[int, list[int]] = {}
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i + MIN_MATCH <= n:
+            key = _hash3(data, i)
+            candidates = chains.get(key)
+            if candidates:
+                window_start = i - WINDOW
+                tried = 0
+                # newest candidates first: nearer matches, shorter distances
+                for j in reversed(candidates):
+                    if j < window_start:
+                        break
+                    tried += 1
+                    if tried > max_chain:
+                        break
+                    length = 0
+                    max_here = min(MAX_MATCH, n - i)
+                    while length < max_here and data[j + length] == data[i + length]:
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = i - j
+                        if length >= MAX_MATCH:
+                            break
+            candidates = chains.setdefault(key, [])
+            candidates.append(i)
+            if len(candidates) > 4 * max_chain:
+                del candidates[: 2 * max_chain]
+        if best_len >= MIN_MATCH:
+            writer.write_bit(1)
+            writer.write_bits(best_dist - 1, 15)
+            writer.write_bits(best_len - MIN_MATCH, 8)
+            # index the skipped positions so later matches can reach them
+            end = min(i + best_len, n - MIN_MATCH + 1)
+            for k in range(i + 1, end):
+                chains.setdefault(_hash3(data, k), []).append(k)
+            i += best_len
+        else:
+            writer.write_bit(0)
+            writer.write_bits(data[i], 8)
+            i += 1
+    return struct.pack("<I", n) + writer.getvalue()
+
+
+def lzss_decompress(data: bytes) -> bytes:
+    """Inverse of :func:`lzss_compress`; raises CodecError on corruption."""
+    if len(data) < 4:
+        raise CodecError("truncated LZSS header")
+    (original_len,) = struct.unpack_from("<I", data, 0)
+    reader = BitReader(data, start_byte=4)
+    out = bytearray()
+    while len(out) < original_len:
+        if reader.read_bit():
+            dist = reader.read_bits(15) + 1
+            length = reader.read_bits(8) + MIN_MATCH
+            start = len(out) - dist
+            if start < 0:
+                raise CodecError("LZSS match reaches before stream start")
+            for k in range(length):  # may self-overlap, byte-at-a-time copy
+                out.append(out[start + k])
+        else:
+            out.append(reader.read_bits(8))
+    if len(out) != original_len:
+        raise CodecError("LZSS length mismatch")  # pragma: no cover
+    return bytes(out)

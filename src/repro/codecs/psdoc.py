@@ -1,0 +1,160 @@
+"""A PostScript-like structured document model.
+
+The PostScript-to-Text streamlet "discards some information on format and
+converts documents to rich-text".  We model a document as a sequence of
+operations — text runs plus formatting/graphics operators — with a textual
+wire form, so the streamlet's job (keep the text, drop the rest) is a real
+transformation with measurable size reduction.
+
+Wire form, one op per line::
+
+    font Helvetica 12
+    moveto 72 720
+    show Hello, world
+    line 10 10 200 10
+    page
+
+``show`` arguments are the raw text run (may contain spaces; newlines are
+escaped as ``\\n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+# operator -> number of numeric arguments (None = rest-of-line text)
+_OPERATORS: dict[str, int | None] = {
+    "font": None,       # name + size, kept as text args
+    "moveto": 2,
+    "lineto": 2,
+    "line": 4,
+    "rect": 4,
+    "setgray": 1,
+    "scale": 2,
+    "rotate": 1,
+    "show": None,
+    "page": 0,
+}
+
+_TEXT_OPS = frozenset({"show"})
+
+
+@dataclass(frozen=True)
+class PsOp:
+    """One document operation: operator name + argument string."""
+
+    name: str
+    args: str = ""
+
+    def __post_init__(self):
+        if self.name not in _OPERATORS:
+            raise CodecError(f"unknown PostScript-like operator {self.name!r}")
+        if "\n" in self.args or "\r" in self.args:
+            raise CodecError("op arguments may not contain raw newlines")
+        arity = _OPERATORS[self.name]
+        if arity == 0 and self.args:
+            raise CodecError(f"{self.name} takes no arguments")
+        if isinstance(arity, int) and arity > 0:
+            parts = self.args.split()
+            if len(parts) != arity:
+                raise CodecError(f"{self.name} needs {arity} numeric args, got {self.args!r}")
+            for part in parts:
+                try:
+                    float(part)
+                except ValueError:
+                    raise CodecError(f"{self.name} arg {part!r} is not numeric") from None
+
+    @property
+    def is_text(self) -> bool:
+        return self.name in _TEXT_OPS
+
+    def format(self) -> str:
+        """The operation's wire-form line."""
+        return f"{self.name} {self.args}".rstrip()
+
+
+class PsDocument:
+    """An ordered collection of :class:`PsOp`.
+
+    Implements the message ``Payload`` protocol (``size_bytes``/``clone``).
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: list[PsOp] | None = None):
+        self.ops: list[PsOp] = list(ops or [])
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, name: str, args: str = "") -> "PsDocument":
+        """Append an operation; returns self for chaining."""
+        self.ops.append(PsOp(name, args))
+        return self
+
+    def show(self, text: str) -> "PsDocument":
+        """Append a text run.
+
+        Newlines are escaped on the wire; leading/trailing whitespace of the
+        run is *not* preserved (the wire form is whitespace-delimited).
+        """
+        return self.add("show", text.replace("\n", "\\n").strip())
+
+    # -- wire form ---------------------------------------------------------------
+
+    def to_source(self) -> str:
+        """Render the document, one operation per line."""
+        return "\n".join(op.format() for op in self.ops)
+
+    @classmethod
+    def parse(cls, source: str) -> "PsDocument":
+        doc = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            name, _, args = line.partition(" ")
+            try:
+                doc.ops.append(PsOp(name, args.strip()))
+            except CodecError as exc:
+                raise CodecError(f"line {lineno}: {exc}") from exc
+        return doc
+
+    # -- the streamlet's transformation --------------------------------------------
+
+    def to_text(self) -> str:
+        """Extract the text runs, unescaping newlines; one run per line."""
+        runs = [op.args.replace("\\n", "\n") for op in self.ops if op.is_text]
+        return "\n".join(runs)
+
+    def text_fraction(self) -> float:
+        """Fraction of the source bytes that are text runs (size-reduction hint)."""
+        total = len(self.to_source().encode("utf-8"))
+        if total == 0:
+            return 0.0
+        text = len(self.to_text().encode("utf-8"))
+        return text / total
+
+    # -- Payload protocol -------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """UTF-8 size of the wire form (the Payload protocol)."""
+        return len(self.to_source().encode("utf-8"))
+
+    def clone(self) -> "PsDocument":
+        """Copy sharing the frozen ops (list is fresh)."""
+        return PsDocument(list(self.ops))  # ops are frozen dataclasses
+
+    # -- dunder --------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PsDocument):
+            return NotImplemented
+        return self.ops == other.ops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PsDocument({len(self.ops)} ops, {self.size_bytes()}B)"

@@ -1,0 +1,231 @@
+"""A small XML-like markup substrate (for the XML-streaming service).
+
+The thesis notes gateway-proxy experiments on "XML streaming" service
+entities (section 1.2.1).  Streaming a document element-by-element needs a
+parser that understands element boundaries, so this module implements a
+deliberately small, well-specified markup dialect from scratch:
+
+* elements: ``<name attr="value">children</name>`` and ``<name/>``;
+* text content between elements;
+* names: ``[A-Za-z_][A-Za-z0-9_.-]*``; attribute values are double-quoted
+  and may contain anything but ``"`` and ``<``;
+* the five XML character entities (``&amp; &lt; &gt; &quot; &apos;``) in
+  text and attribute values;
+* no processing instructions, comments, CDATA, or namespaces.
+
+``parse`` enforces well-formedness (matching tags, single root);
+``Element.serialize`` is its exact inverse for parsed input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import CodecError
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+_REVERSE_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape ``& < >`` for text content."""
+    return "".join(_REVERSE_TEXT.get(ch, ch) for ch in text)
+
+
+def escape_attr(value: str) -> str:
+    """Escape text for use inside a double-quoted attribute value."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _unescape(text: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end < 0:
+            raise CodecError(f"unterminated entity at offset {i}")
+        name = text[i + 1 : end]
+        if name not in _ENTITIES:
+            raise CodecError(f"unknown entity &{name};")
+        out.append(_ENTITIES[name])
+        i = end + 1
+    return "".join(out)
+
+
+@dataclass
+class Element:
+    """A markup element: name, attributes, ordered children (str | Element)."""
+
+    name: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["Element | str"] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not _NAME_RE.fullmatch(self.name):
+            raise CodecError(f"illegal element name {self.name!r}")
+        for attr in self.attrs:
+            if not _NAME_RE.fullmatch(attr):
+                raise CodecError(f"illegal attribute name {attr!r}")
+
+    # -- construction helpers ------------------------------------------------------
+
+    def add(self, child: "Element | str") -> "Element":
+        """Append a child (element or text); returns self for chaining."""
+        self.children.append(child)
+        return self
+
+    def elements(self) -> list["Element"]:
+        """The element (non-text) children, in order."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def text(self) -> str:
+        """Concatenated text content, depth first."""
+        parts: list[str] = []
+        for child in self.children:
+            parts.append(child if isinstance(child, str) else child.text())
+        return "".join(parts)
+
+    def find(self, name: str) -> "Element | None":
+        """The first direct child element named ``name``, or None."""
+        for child in self.elements():
+            if child.name == name:
+                return child
+        return None
+
+    # -- serialisation ----------------------------------------------------------------
+
+    def serialize(self) -> str:
+        """Render this subtree in the wire dialect."""
+        attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in self.attrs.items())
+        if not self.children:
+            return f"<{self.name}{attrs}/>"
+        inner = "".join(
+            escape_text(c) if isinstance(c, str) else c.serialize()
+            for c in self.children
+        )
+        return f"<{self.name}{attrs}>{inner}</{self.name}>"
+
+    def size_bytes(self) -> int:
+        """UTF-8 size of the serialised form (the Payload protocol)."""
+        return len(self.serialize().encode("utf-8"))
+
+    def clone(self) -> "Element":
+        """Deep copy via serialise/parse."""
+        return parse(self.serialize())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attrs == other.attrs
+            and self.children == other.children
+        )
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+
+    def parse_document(self) -> Element:
+        self._skip_whitespace()
+        root = self._parse_element()
+        self._skip_whitespace()
+        if self._pos != len(self._source):
+            raise CodecError(f"trailing content after the root element (offset {self._pos})")
+        return root
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < len(self._source) and self._source[self._pos].isspace():
+            self._pos += 1
+
+    def _fail(self, message: str) -> CodecError:
+        return CodecError(f"{message} (offset {self._pos})")
+
+    def _parse_element(self) -> Element:
+        source = self._source
+        if self._pos >= len(source) or source[self._pos] != "<":
+            raise self._fail("expected '<'")
+        self._pos += 1
+        match = _NAME_RE.match(source, self._pos)
+        if not match:
+            raise self._fail("expected an element name")
+        name = match.group()
+        self._pos = match.end()
+        attrs = self._parse_attrs()
+        if source.startswith("/>", self._pos):
+            self._pos += 2
+            return Element(name, attrs)
+        if self._pos >= len(source) or source[self._pos] != ">":
+            raise self._fail("expected '>' or '/>'")
+        self._pos += 1
+        element = Element(name, attrs)
+        while True:
+            if self._pos >= len(source):
+                raise self._fail(f"unclosed element <{name}>")
+            if source.startswith("</", self._pos):
+                self._pos += 2
+                match = _NAME_RE.match(source, self._pos)
+                if not match or match.group() != name:
+                    raise self._fail(f"mismatched closing tag for <{name}>")
+                self._pos = match.end()
+                if self._pos >= len(source) or source[self._pos] != ">":
+                    raise self._fail("expected '>' after closing tag name")
+                self._pos += 1
+                return element
+            if source[self._pos] == "<":
+                element.children.append(self._parse_element())
+                continue
+            end = source.find("<", self._pos)
+            if end < 0:
+                raise self._fail(f"unclosed element <{name}>")
+            text = _unescape(source[self._pos : end])
+            if text:
+                element.children.append(text)
+            self._pos = end
+
+    def _parse_attrs(self) -> dict[str, str]:
+        source = self._source
+        attrs: dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            if self._pos >= len(source):
+                raise self._fail("unexpected end of input inside a tag")
+            if source[self._pos] in "/>":
+                return attrs
+            match = _NAME_RE.match(source, self._pos)
+            if not match:
+                raise self._fail("expected an attribute name")
+            name = match.group()
+            self._pos = match.end()
+            if self._pos >= len(source) or source[self._pos] != "=":
+                raise self._fail(f"attribute {name!r} lacks '='")
+            self._pos += 1
+            if self._pos >= len(source) or source[self._pos] != '"':
+                raise self._fail(f"attribute {name!r} value must be double-quoted")
+            self._pos += 1
+            end = source.find('"', self._pos)
+            if end < 0:
+                raise self._fail(f"unterminated value for attribute {name!r}")
+            raw = source[self._pos : end]
+            if "<" in raw:
+                raise self._fail(f"'<' in attribute {name!r} value")
+            if name in attrs:
+                raise self._fail(f"duplicate attribute {name!r}")
+            attrs[name] = _unescape(raw)
+            self._pos = end + 1
+
+
+def parse(source: str) -> Element:
+    """Parse a document; raises :class:`CodecError` on malformed input."""
+    if not isinstance(source, str):
+        raise CodecError(f"parse expects str, got {type(source).__name__}")
+    return _Parser(source).parse_document()

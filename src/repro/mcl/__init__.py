@@ -1,0 +1,32 @@
+"""The MobiGATE Coordination Language (thesis chapter 4).
+
+MCL describes streamlet compositions: streamlet and channel *definitions*
+(ports typed with MIME media types, plus attributes), and *stream* scripts
+that instantiate them, wire connections, and declare event-driven
+reconfiguration (``when`` blocks).
+
+Pipeline::
+
+    source text --lex--> tokens --parse--> AST --compile--> ConfigurationTable
+
+The compiler performs the section 4.4.1 compatibility checks, expands
+recursive compositions (section 4.4.2), and emits one
+:class:`~repro.mcl.config.ConfigurationTable` per stream — the structure
+the Coordination Manager routes from at runtime.
+"""
+
+from repro.mcl.lexer import tokenize
+from repro.mcl.parser import parse_script
+from repro.mcl.compiler import MclCompiler, compile_script
+from repro.mcl.config import ConfigurationTable, CompiledScript
+from repro.mcl.pretty import format_script
+
+__all__ = [
+    "tokenize",
+    "parse_script",
+    "MclCompiler",
+    "compile_script",
+    "ConfigurationTable",
+    "CompiledScript",
+    "format_script",
+]

@@ -1,0 +1,162 @@
+"""The MCL tool: check, analyse, and format coordination scripts.
+
+The thesis's future-work list asks for "automated tools ... specific to
+the MCL language [that] can provide automated checking of the properties"
+(§8.2.2).  Usage::
+
+    python -m repro.mcl check  script.mcl   # compile + chapter-5 analyses
+    python -m repro.mcl format script.mcl   # canonical pretty-print
+    python -m repro.mcl graph  script.mcl   # dump the StreamGraph edges
+
+Options:
+
+    --no-builtins   do not preload the built-in streamlet directory
+    --strict        thesis-style closed analysis (exposed outputs are
+                    open circuits unless their definition is terminal)
+    --stream NAME   restrict to one stream
+
+Exit status: 0 = consistent, 1 = violations found, 2 = compile error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import MclError, MobiGateError
+from repro.mcl.compiler import MclCompiler
+from repro.mcl.parser import parse_script
+from repro.mcl.pretty import format_script
+from repro.semantics import analyze
+from repro.semantics.graph import StreamGraph
+
+
+def _build_compiler(use_builtins: bool) -> MclCompiler:
+    if not use_builtins:
+        return MclCompiler()
+    from repro.streamlets import builtin_definitions
+
+    return MclCompiler(extra_streamlets=builtin_definitions())
+
+
+def _terminals(use_builtins: bool) -> frozenset[str]:
+    if not use_builtins:
+        return frozenset()
+    from repro.streamlets import builtin_definitions
+
+    return frozenset(
+        name for name, d in builtin_definitions().items() if not d.outputs()
+    )
+
+
+def cmd_check(args: argparse.Namespace, source: str) -> int:
+    compiler = _build_compiler(not args.no_builtins)
+    try:
+        compiled = compiler.compile(source)
+    except MclError as exc:
+        if args.json:
+            print(json.dumps({"status": "compile-error", "error": str(exc)}))
+        else:
+            print(f"compile error: {exc}", file=sys.stderr)
+        return 2
+    names = [args.stream] if args.stream else list(compiled.tables)
+    status = 0
+    results = []
+    for name in names:
+        table = compiled.tables.get(name)
+        if table is None:
+            print(f"no stream named {name!r}", file=sys.stderr)
+            return 2
+        report = analyze(
+            table,
+            terminal_definitions=_terminals(not args.no_builtins),
+            exposed_ports_bound=not args.strict,
+        )
+        if args.json:
+            results.append({
+                "stream": name,
+                "consistent": report.consistent,
+                "violations": [
+                    {"kind": v.kind.value, "message": v.message}
+                    for v in report.violations
+                ],
+                "instances": sorted(table.instances),
+                "dormant": sorted(table.dormant_instances()),
+                "links": len(table.links),
+            })
+        else:
+            print(report.summary())
+        if not report.consistent:
+            status = 1
+    if args.json:
+        print(json.dumps({"status": "ok" if status == 0 else "violations",
+                          "streams": results}, indent=2))
+    return status
+
+
+def cmd_format(args: argparse.Namespace, source: str) -> int:
+    try:
+        script = parse_script(source)
+    except MclError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(format_script(script))
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace, source: str) -> int:
+    compiler = _build_compiler(not args.no_builtins)
+    try:
+        compiled = compiler.compile(source)
+    except MclError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 2
+    names = [args.stream] if args.stream else list(compiled.tables)
+    for name in names:
+        table = compiled.tables.get(name)
+        if table is None:
+            print(f"no stream named {name!r}", file=sys.stderr)
+            return 2
+        graph = StreamGraph.from_table(table)
+        print(f"stream {name}: {len(graph)} node(s)")
+        for src, dst in sorted(graph.edges()):
+            print(f"  {src} -> {dst}")
+        dormant = table.dormant_instances()
+        if dormant:
+            print(f"  dormant: {', '.join(sorted(dormant))}")
+    return 0
+
+
+_COMMANDS = {"check": cmd_check, "format": cmd_format, "graph": cmd_graph}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.mcl")
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument("script", help="path to an .mcl file, or - for stdin")
+    parser.add_argument("--no-builtins", action="store_true")
+    parser.add_argument("--strict", action="store_true")
+    parser.add_argument("--stream")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable check output")
+    args = parser.parse_args(argv)
+
+    if args.script == "-":
+        source = sys.stdin.read()
+    else:
+        path = Path(args.script)
+        if not path.exists():
+            print(f"no such file: {path}", file=sys.stderr)
+            return 2
+        source = path.read_text()
+    try:
+        return _COMMANDS[args.command](args, source)
+    except MobiGateError as exc:  # analysis errors surfaced as exit 1
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

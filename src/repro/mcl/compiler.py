@@ -1,0 +1,655 @@
+"""The MCL compiler (section 3.3.6).
+
+Turns a parsed :class:`~repro.mcl.astnodes.Script` into one
+:class:`~repro.mcl.config.ConfigurationTable` per stream:
+
+* resolves instance declarations against streamlet/channel definitions
+  (from the script itself plus any externally supplied directory),
+* simulates the initial statement sequence, validating connections — port
+  existence, direction, MIME compatibility (section 4.4.1) — and tracking
+  which ports/channels are bound,
+* expands **recursive compositions** (section 4.4.2): instantiating a
+  definition whose name matches a stream inlines that stream with
+  ``instance$inner`` name prefixing and binds the composite's declared
+  ports to the child's unbound inner ports,
+* validates ``when`` handlers (names, ports, types, event vocabulary) but
+  leaves their *state* effects to the runtime, since event order is
+  dynamic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import MclCompileError, MclNameError
+from repro.events import DEFAULT_CATALOG, EventCatalog
+from repro.mcl import astnodes as ast
+from repro.mcl.config import ChannelEntry, CompiledScript, ConfigurationTable, Link
+from repro.mcl.parser import parse_script
+from repro.mcl.typecheck import check_connection
+from repro.mime.mediatype import ANY
+from repro.mime.registry import TypeRegistry, default_registry
+
+#: "the system automatically creates a channel instance of an asynchronous
+#: BK type with 100 Kbytes of buffer" (section 4.2.3)
+DEFAULT_CHANNEL_DEF = ast.ChannelDef(
+    name="__default",
+    in_port=ast.PortDecl(ast.PortDirection.IN, "cin", ANY),
+    out_port=ast.PortDecl(ast.PortDirection.OUT, "cout", ANY),
+    sync=ast.ChannelSync.ASYNC,
+    category=ast.ChannelCategory.BK,
+    buffer_kb=100,
+    description="compiler-generated default channel",
+)
+
+
+class _StreamState:
+    """Mutable composition state while simulating a stream body."""
+
+    def __init__(self):
+        self.instances: dict[str, ast.StreamletDef] = {}
+        self.channels: dict[str, ChannelEntry] = {}
+        self.used_channels: set[str] = set()
+        self.links: list[Link] = []
+        self.bound_ports: set[tuple[str, str]] = set()
+        # composite instance -> declared port name -> (inner PortRef, decl)
+        self.composite_ports: dict[str, dict[str, tuple[ast.PortRef, ast.PortDecl]]] = {}
+        # event -> renamed actions hoisted from expanded child streams
+        self.hoisted_handlers: dict[str, tuple[ast.Statement, ...]] = {}
+        self.auto_counter = 0
+
+    def is_declared(self, name: str) -> bool:
+        return name in self.instances or name in self.channels or name in self.composite_ports
+
+
+class MclCompiler:
+    """Compile MCL scripts against a definition environment.
+
+    Parameters
+    ----------
+    registry:
+        MIME hierarchy used for compatibility checks (default: Figure 4-1).
+    catalog:
+        Event vocabulary for ``when`` clauses (default: Table 6-1).
+    extra_streamlets / extra_channels:
+        Definitions from the Streamlet Directory, available in addition to
+        the ones declared in the script.
+    """
+
+    def __init__(
+        self,
+        registry: TypeRegistry | None = None,
+        catalog: EventCatalog | None = None,
+        extra_streamlets: dict[str, ast.StreamletDef] | None = None,
+        extra_channels: dict[str, ast.ChannelDef] | None = None,
+    ):
+        self._registry = registry if registry is not None else default_registry()
+        self._catalog = catalog if catalog is not None else DEFAULT_CATALOG
+        self._extra_streamlets = dict(extra_streamlets or {})
+        self._extra_channels = dict(extra_channels or {})
+
+    # -- public API -----------------------------------------------------------------
+
+    def compile(self, source: ast.Script | str) -> CompiledScript:
+        """Compile a script (text or AST) into per-stream configuration tables."""
+        script = parse_script(source) if isinstance(source, str) else source
+        self._check_unique_definitions(script)
+        tables = {
+            stream.name: self._compile_stream(script, stream, expanding=frozenset())
+            for stream in script.streams
+        }
+        main = script.main_stream()
+        return CompiledScript(tables=tables, main=main.name if main else None)
+
+    # -- definition environment --------------------------------------------------------
+
+    def _check_unique_definitions(self, script: ast.Script) -> None:
+        seen: set[str] = set()
+        for d in script.streamlets:
+            if d.name in seen:
+                raise MclNameError(f"duplicate streamlet definition {d.name!r}")
+            seen.add(d.name)
+        seen.clear()
+        for d in script.channels:
+            if d.name in seen:
+                raise MclNameError(f"duplicate channel definition {d.name!r}")
+            seen.add(d.name)
+        seen.clear()
+        for d in script.streams:
+            if d.name in seen:
+                raise MclNameError(f"duplicate stream definition {d.name!r}")
+            seen.add(d.name)
+
+    def _lookup_streamlet(self, script: ast.Script, name: str) -> ast.StreamletDef | None:
+        return script.streamlet(name) or self._extra_streamlets.get(name)
+
+    def _lookup_channel(self, script: ast.Script, name: str) -> ast.ChannelDef | None:
+        return script.channel(name) or self._extra_channels.get(name)
+
+    # -- stream compilation -----------------------------------------------------------------
+
+    def _compile_stream(
+        self, script: ast.Script, stream: ast.StreamDef, *, expanding: frozenset[str]
+    ) -> ConfigurationTable:
+        if stream.name in expanding:
+            chain = " -> ".join([*expanding, stream.name])
+            raise MclCompileError(f"recursive composition cycle: {chain}")
+        state = _StreamState()
+        handlers: dict[str, tuple[ast.Statement, ...]] = {}
+        for stmt in stream.body:
+            if isinstance(stmt, ast.When):
+                event = self._canonical_event(stmt.event, stmt.line)
+                if event in handlers:
+                    raise MclCompileError(
+                        f"stream {stream.name}: duplicate handler for {event}", stmt.line
+                    )
+                handlers[event] = self._validate_handler(script, state, stmt)
+            else:
+                self._apply_statement(script, state, stmt, expanding=expanding | {stream.name})
+
+        # handlers hoisted from expanded composites run before the parent's
+        # own actions for the same event
+        for event, hoisted in state.hoisted_handlers.items():
+            handlers[event] = hoisted + handlers.get(event, ())
+
+        exposed_in, exposed_out = self._exposed_ports(state)
+        table = ConfigurationTable(
+            stream_name=stream.name,
+            instances=dict(state.instances),
+            channels=dict(state.channels),
+            links=list(state.links),
+            handlers=handlers,
+            exposed_in=exposed_in,
+            exposed_out=exposed_out,
+            streamlet_defs={d.name: d for d in script.streamlets} | self._extra_streamlets,
+            channel_defs={d.name: d for d in script.channels} | self._extra_channels,
+        )
+        return table
+
+    # -- statement simulation --------------------------------------------------------------------
+
+    def _apply_statement(
+        self,
+        script: ast.Script,
+        state: _StreamState,
+        stmt: ast.Statement,
+        *,
+        expanding: frozenset[str],
+    ) -> None:
+        if isinstance(stmt, ast.NewInstances):
+            self._apply_new(script, state, stmt, expanding=expanding)
+        elif isinstance(stmt, ast.Connect):
+            self._apply_connect(state, stmt)
+        elif isinstance(stmt, ast.Disconnect):
+            self._apply_disconnect(state, stmt)
+        elif isinstance(stmt, ast.DisconnectAll):
+            self._apply_disconnect_all(state, stmt)
+        elif isinstance(stmt, ast.RemoveInstance):
+            self._apply_remove(state, stmt)
+        elif isinstance(stmt, ast.Insert | ast.Replace):
+            raise MclCompileError(
+                f"{type(stmt).__name__.lower()} is a reconfiguration primitive; "
+                "it is only valid inside a when-block",
+                stmt.line,
+            )
+        else:  # pragma: no cover - parser produces no other kinds
+            raise MclCompileError(f"unsupported statement {stmt!r}")
+
+    def _apply_new(
+        self,
+        script: ast.Script,
+        state: _StreamState,
+        stmt: ast.NewInstances,
+        *,
+        expanding: frozenset[str],
+    ) -> None:
+        for name in stmt.names:
+            if state.is_declared(name):
+                raise MclNameError(f"instance name {name!r} already in use", stmt.line)
+            if stmt.kind == "channel":
+                definition = self._lookup_channel(script, stmt.definition)
+                if definition is None:
+                    raise MclNameError(
+                        f"unknown channel definition {stmt.definition!r}", stmt.line
+                    )
+                state.channels[name] = ChannelEntry(name=name, definition=definition)
+                continue
+            # streamlet: stream names take precedence -> recursive composition
+            child_stream = script.stream(stmt.definition)
+            if child_stream is not None:
+                self._expand_composite(script, state, name, child_stream, stmt, expanding)
+                continue
+            definition = self._lookup_streamlet(script, stmt.definition)
+            if definition is None:
+                raise MclNameError(
+                    f"unknown streamlet definition {stmt.definition!r}", stmt.line
+                )
+            state.instances[name] = definition
+
+    def _expand_composite(
+        self,
+        script: ast.Script,
+        state: _StreamState,
+        inst_name: str,
+        child_stream: ast.StreamDef,
+        stmt: ast.NewInstances,
+        expanding: frozenset[str],
+    ) -> None:
+        child = self._compile_stream(script, child_stream, expanding=expanding)
+        iface = self._lookup_streamlet(script, child_stream.name)
+        if iface is None:
+            iface = self._synthesize_interface(child)
+        declared_in = iface.inputs()
+        declared_out = iface.outputs()
+        if len(declared_in) != len(child.exposed_in) or len(declared_out) != len(child.exposed_out):
+            raise MclCompileError(
+                f"composite {child_stream.name}: interface declares "
+                f"{len(declared_in)} in / {len(declared_out)} out ports but the stream "
+                f"exposes {len(child.exposed_in)} in / {len(child.exposed_out)} out",
+                stmt.line,
+            )
+
+        prefix = f"{inst_name}$"
+        rename = lambda inner: prefix + inner  # noqa: E731
+
+        for inner_name, inner_def in child.instances.items():
+            state.instances[rename(inner_name)] = inner_def
+        for inner_name, entry in child.channels.items():
+            state.channels[rename(inner_name)] = ChannelEntry(
+                name=rename(inner_name), definition=entry.definition, auto=entry.auto
+            )
+            state.used_channels.add(rename(inner_name))
+        for link in child.links:
+            renamed = Link(
+                source=ast.PortRef(rename(link.source.instance), link.source.port),
+                sink=ast.PortRef(rename(link.sink.instance), link.sink.port),
+                channel=rename(link.channel),
+                mediatype=link.mediatype,
+            )
+            state.links.append(renamed)
+            state.bound_ports.add((renamed.source.instance, renamed.source.port))
+            state.bound_ports.add((renamed.sink.instance, renamed.sink.port))
+
+        # bind declared composite ports to the child's exposed inner ports,
+        # checking type compatibility in the message-flow direction
+        bindings: dict[str, tuple[ast.PortRef, ast.PortDecl]] = {}
+        for decl, inner in zip(declared_in, child.exposed_in):
+            inner_decl = child.instances[inner.instance].port(inner.port)
+            assert inner_decl is not None
+            if not self._registry.compatible(decl.mediatype, inner_decl.mediatype):
+                raise MclCompileError(
+                    f"composite {child_stream.name}: declared in port {decl.name} "
+                    f"({decl.mediatype}) is not accepted by inner port {inner} "
+                    f"({inner_decl.mediatype})",
+                    stmt.line,
+                )
+            bindings[decl.name] = (ast.PortRef(rename(inner.instance), inner.port), decl)
+        for decl, inner in zip(declared_out, child.exposed_out):
+            inner_decl = child.instances[inner.instance].port(inner.port)
+            assert inner_decl is not None
+            if not self._registry.compatible(inner_decl.mediatype, decl.mediatype):
+                raise MclCompileError(
+                    f"composite {child_stream.name}: inner port {inner} "
+                    f"({inner_decl.mediatype}) does not satisfy declared out port "
+                    f"{decl.name} ({decl.mediatype})",
+                    stmt.line,
+                )
+            bindings[decl.name] = (ast.PortRef(rename(inner.instance), inner.port), decl)
+        state.composite_ports[inst_name] = bindings
+
+        # child event handlers are hoisted with renamed references so the
+        # composite keeps adapting inside its parent
+        # (merged under the same events; parent handlers validated separately)
+        self._hoist_child_handlers(state, child, rename)
+
+    def _hoist_child_handlers(self, state: _StreamState, child, rename) -> None:
+        for event, actions in child.handlers.items():
+            renamed_actions = tuple(self._rename_statement(a, rename) for a in actions)
+            state.hoisted_handlers[event] = (
+                state.hoisted_handlers.get(event, ()) + renamed_actions
+            )
+
+    @staticmethod
+    def _rename_statement(stmt: ast.Statement, rename) -> ast.Statement:
+        def rp(ref: ast.PortRef) -> ast.PortRef:
+            return ast.PortRef(rename(ref.instance), ref.port)
+
+        if isinstance(stmt, ast.Connect):
+            return replace(
+                stmt,
+                source=rp(stmt.source),
+                sink=rp(stmt.sink),
+                channel=rename(stmt.channel) if stmt.channel else None,
+            )
+        if isinstance(stmt, ast.Disconnect):
+            return replace(stmt, source=rp(stmt.source), sink=rp(stmt.sink))
+        if isinstance(stmt, ast.DisconnectAll):
+            return replace(stmt, instance=rename(stmt.instance))
+        if isinstance(stmt, ast.Insert):
+            return replace(
+                stmt, source=rp(stmt.source), sink=rp(stmt.sink), instance=rename(stmt.instance)
+            )
+        if isinstance(stmt, ast.Replace):
+            return replace(stmt, old=rename(stmt.old), new=rename(stmt.new))
+        if isinstance(stmt, ast.RemoveInstance):
+            return replace(stmt, name=rename(stmt.name))
+        if isinstance(stmt, ast.NewInstances):
+            return replace(stmt, names=tuple(rename(n) for n in stmt.names))
+        raise MclCompileError(f"cannot rename statement {stmt!r}")  # pragma: no cover
+
+    def _synthesize_interface(self, child: ConfigurationTable) -> ast.StreamletDef:
+        """Derive a composite interface when none is declared (section 5.1.4)."""
+        ports: list[ast.PortDecl] = []
+        for index, ref in enumerate(child.exposed_in):
+            decl = child.instances[ref.instance].port(ref.port)
+            assert decl is not None
+            ports.append(ast.PortDecl(ast.PortDirection.IN, f"pi{index}", decl.mediatype))
+        for index, ref in enumerate(child.exposed_out):
+            decl = child.instances[ref.instance].port(ref.port)
+            assert decl is not None
+            ports.append(ast.PortDecl(ast.PortDirection.OUT, f"po{index}", decl.mediatype))
+        return ast.StreamletDef(
+            name=child.stream_name,
+            ports=tuple(ports),
+            kind=ast.StreamletKind.STATEFUL,
+            library=f"mcl/{child.stream_name}",
+            description="synthesised composite interface",
+        )
+
+    # -- connect / disconnect -------------------------------------------------------------------------
+
+    def _resolve_endpoint(
+        self, state: _StreamState, ref: ast.PortRef, line: int
+    ) -> tuple[ast.PortRef, ast.StreamletDef]:
+        """Map a (possibly composite) port reference to a concrete one."""
+        if ref.instance in state.composite_ports:
+            bindings = state.composite_ports[ref.instance]
+            if ref.port not in bindings:
+                raise MclNameError(
+                    f"composite {ref.instance} has no port {ref.port!r}", line
+                )
+            inner_ref, _decl = bindings[ref.port]
+            return inner_ref, state.instances[inner_ref.instance]
+        if ref.instance in state.channels:
+            raise MclCompileError(
+                f"{ref.instance} is a channel; connect() endpoints must be streamlets "
+                "(the channel goes in the third argument)",
+                line,
+            )
+        definition = state.instances.get(ref.instance)
+        if definition is None:
+            raise MclNameError(f"unknown instance {ref.instance!r}", line)
+        return ref, definition
+
+    def _apply_connect(self, state: _StreamState, stmt: ast.Connect) -> None:
+        source, source_def = self._resolve_endpoint(state, stmt.source, stmt.line)
+        sink, sink_def = self._resolve_endpoint(state, stmt.sink, stmt.line)
+        if stmt.channel is not None:
+            entry = state.channels.get(stmt.channel)
+            if entry is None:
+                raise MclNameError(f"unknown channel instance {stmt.channel!r}", stmt.line)
+            if stmt.channel in state.used_channels:
+                raise MclCompileError(
+                    f"channel {stmt.channel!r} already carries a connection", stmt.line
+                )
+            channel_name = stmt.channel
+            channel_def = entry.definition
+        else:
+            channel_name = f"__auto{state.auto_counter}"
+            state.auto_counter += 1
+            state.channels[channel_name] = ChannelEntry(
+                name=channel_name, definition=DEFAULT_CHANNEL_DEF, auto=True
+            )
+            channel_def = DEFAULT_CHANNEL_DEF
+        src_port = check_connection(
+            self._registry, source_def, source, sink_def, sink, channel_def, line=stmt.line
+        )
+        for endpoint in (source, sink):
+            if (endpoint.instance, endpoint.port) in state.bound_ports:
+                raise MclCompileError(f"port {endpoint} is already connected", stmt.line)
+        state.links.append(
+            Link(source=source, sink=sink, channel=channel_name, mediatype=src_port.mediatype)
+        )
+        state.bound_ports.add((source.instance, source.port))
+        state.bound_ports.add((sink.instance, sink.port))
+        state.used_channels.add(channel_name)
+
+    def _apply_disconnect(self, state: _StreamState, stmt: ast.Disconnect) -> None:
+        source, _ = self._resolve_endpoint(state, stmt.source, stmt.line)
+        sink, _ = self._resolve_endpoint(state, stmt.sink, stmt.line)
+        for index, link in enumerate(state.links):
+            if link.source == source and link.sink == sink:
+                self._drop_link(state, index)
+                return
+        raise MclCompileError(f"no connection between {source} and {sink}", stmt.line)
+
+    def _apply_disconnect_all(self, state: _StreamState, stmt: ast.DisconnectAll) -> None:
+        if not state.is_declared(stmt.instance):
+            raise MclNameError(f"unknown instance {stmt.instance!r}", stmt.line)
+        indices = [
+            i
+            for i, link in enumerate(state.links)
+            if stmt.instance in (link.source.instance, link.sink.instance)
+        ]
+        for index in reversed(indices):
+            self._drop_link(state, index)
+
+    def _drop_link(self, state: _StreamState, index: int) -> None:
+        link = state.links.pop(index)
+        state.bound_ports.discard((link.source.instance, link.source.port))
+        state.bound_ports.discard((link.sink.instance, link.sink.port))
+        state.used_channels.discard(link.channel)
+        entry = state.channels.get(link.channel)
+        if entry is not None and entry.auto:
+            del state.channels[link.channel]
+
+    def _apply_remove(self, state: _StreamState, stmt: ast.RemoveInstance) -> None:
+        if stmt.kind == "extract":
+            # detach from the topology; the instance stays declared (dormant)
+            if stmt.name not in state.instances:
+                raise MclNameError(f"unknown streamlet instance {stmt.name!r}", stmt.line)
+            self._apply_disconnect_all(state, ast.DisconnectAll(stmt.name, line=stmt.line))
+            return
+        if stmt.kind == "channel":
+            entry = state.channels.get(stmt.name)
+            if entry is None:
+                raise MclNameError(f"unknown channel instance {stmt.name!r}", stmt.line)
+            if stmt.name in state.used_channels:
+                raise MclCompileError(
+                    f"channel {stmt.name!r} still carries a connection", stmt.line
+                )
+            del state.channels[stmt.name]
+            return
+        if stmt.name in state.composite_ports:
+            raise MclCompileError(
+                f"composite instance {stmt.name!r} cannot be removed statically", stmt.line
+            )
+        if stmt.name not in state.instances:
+            raise MclNameError(f"unknown streamlet instance {stmt.name!r}", stmt.line)
+        attached = [
+            link
+            for link in state.links
+            if stmt.name in (link.source.instance, link.sink.instance)
+        ]
+        if attached:
+            raise MclCompileError(
+                f"streamlet {stmt.name!r} is still connected; disconnect first", stmt.line
+            )
+        del state.instances[stmt.name]
+
+    # -- when-handler validation ------------------------------------------------------------------------
+
+    def _canonical_event(self, name: str, line: int) -> str:
+        canonical = self._catalog.canonical(name)
+        if canonical not in self._catalog:
+            raise MclCompileError(
+                f"unknown event {name!r}; register it in the EventCatalog first", line
+            )
+        return canonical
+
+    def _validate_handler(
+        self, script: ast.Script, state: _StreamState, when: ast.When
+    ) -> tuple[ast.Statement, ...]:
+        """Name/port/type validation of handler actions.
+
+        Connectivity effects are not simulated — event firing order is a
+        runtime matter — but every referenced definition, instance, port,
+        and type relation must already make sense.  Returns the actions
+        with composite port references rewritten to their concrete inner
+        ports, ready for runtime replay.
+        """
+        local_instances: dict[str, ast.StreamletDef] = {}
+        local_channels: set[str] = set()
+        resolved_actions: list[ast.Statement] = []
+
+        def find_def(ref: ast.PortRef, line: int) -> ast.StreamletDef:
+            if ref.instance in local_instances:
+                return local_instances[ref.instance]
+            resolved, definition = self._resolve_endpoint(state, ref, line)
+            del resolved
+            return definition
+
+        def resolve_ref(ref: ast.PortRef, line: int) -> ast.PortRef:
+            if ref.instance in local_instances:
+                return ref
+            resolved, _definition = self._resolve_endpoint(state, ref, line)
+            return resolved
+
+        for action in when.actions:
+            if isinstance(action, ast.NewInstances):
+                for name in action.names:
+                    if state.is_declared(name) or name in local_instances or name in local_channels:
+                        raise MclNameError(f"instance name {name!r} already in use", action.line)
+                    if action.kind == "channel":
+                        if self._lookup_channel(script, action.definition) is None:
+                            raise MclNameError(
+                                f"unknown channel definition {action.definition!r}", action.line
+                            )
+                        local_channels.add(name)
+                    else:
+                        if script.stream(action.definition) is not None:
+                            raise MclCompileError(
+                                "composite streamlets cannot be instantiated inside "
+                                "a when-block",
+                                action.line,
+                            )
+                        definition = self._lookup_streamlet(script, action.definition)
+                        if definition is None:
+                            raise MclNameError(
+                                f"unknown streamlet definition {action.definition!r}",
+                                action.line,
+                            )
+                        local_instances[name] = definition
+            elif isinstance(action, ast.Connect):
+                source_def = find_def(action.source, action.line)
+                sink_def = find_def(action.sink, action.line)
+                if action.channel is not None:
+                    if (
+                        action.channel not in state.channels
+                        and action.channel not in local_channels
+                    ):
+                        raise MclNameError(
+                            f"unknown channel instance {action.channel!r}", action.line
+                        )
+                    entry = state.channels.get(action.channel)
+                    channel_def = entry.definition if entry else DEFAULT_CHANNEL_DEF
+                else:
+                    channel_def = DEFAULT_CHANNEL_DEF
+                src = resolve_ref(action.source, action.line)
+                dst = resolve_ref(action.sink, action.line)
+                check_connection(
+                    self._registry, source_def, src, sink_def, dst, channel_def,
+                    line=action.line,
+                )
+                action = replace(action, source=src, sink=dst)
+            elif isinstance(action, ast.Disconnect):
+                find_def(action.source, action.line)
+                find_def(action.sink, action.line)
+                action = replace(
+                    action,
+                    source=resolve_ref(action.source, action.line),
+                    sink=resolve_ref(action.sink, action.line),
+                )
+            elif isinstance(action, ast.DisconnectAll):
+                if not state.is_declared(action.instance) and action.instance not in local_instances:
+                    raise MclNameError(f"unknown instance {action.instance!r}", action.line)
+            elif isinstance(action, ast.RemoveInstance):
+                known = (
+                    state.is_declared(action.name)
+                    or action.name in local_instances
+                    or action.name in local_channels
+                )
+                if not known:
+                    raise MclNameError(f"unknown instance {action.name!r}", action.line)
+            elif isinstance(action, ast.Insert):
+                find_def(action.source, action.line)
+                find_def(action.sink, action.line)
+                if action.instance not in local_instances and action.instance not in state.instances:
+                    raise MclNameError(f"unknown instance {action.instance!r}", action.line)
+                action = replace(
+                    action,
+                    source=resolve_ref(action.source, action.line),
+                    sink=resolve_ref(action.sink, action.line),
+                )
+            elif isinstance(action, ast.Replace):
+                for name in (action.old, action.new):
+                    if name not in local_instances and name not in state.instances:
+                        raise MclNameError(f"unknown instance {name!r}", action.line)
+            else:  # pragma: no cover
+                raise MclCompileError(f"illegal action in when-block: {action!r}", when.line)
+            resolved_actions.append(action)
+        return tuple(resolved_actions)
+
+    # -- exposed ports ------------------------------------------------------------------------------------
+
+    @staticmethod
+    def _exposed_ports(
+        state: _StreamState,
+    ) -> tuple[tuple[ast.PortRef, ...], tuple[ast.PortRef, ...]]:
+        """Unbound ports of *connected* instances, in declaration order.
+
+        Fully unconnected instances are dormant (reserved for event-time
+        insertion, like the dashed entities of Figure 4-6) and contribute
+        no composite ports.
+        """
+        if state.links:
+            connected: set[str] = set()
+            for link in state.links:
+                connected.add(link.source.instance)
+                connected.add(link.sink.instance)
+        else:
+            # a composition with no internal connections *is* its
+            # streamlets: expose everything (e.g. a single-streamlet stream)
+            connected = set(state.instances)
+        exposed_in: list[ast.PortRef] = []
+        exposed_out: list[ast.PortRef] = []
+        for name, definition in state.instances.items():
+            if name not in connected:
+                continue
+            for port in definition.ports:
+                if (name, port.name) in state.bound_ports:
+                    continue
+                ref = ast.PortRef(name, port.name)
+                if port.direction is ast.PortDirection.IN:
+                    exposed_in.append(ref)
+                else:
+                    exposed_out.append(ref)
+        return tuple(exposed_in), tuple(exposed_out)
+
+
+def compile_script(
+    source: ast.Script | str,
+    *,
+    registry: TypeRegistry | None = None,
+    catalog: EventCatalog | None = None,
+    extra_streamlets: dict[str, ast.StreamletDef] | None = None,
+    extra_channels: dict[str, ast.ChannelDef] | None = None,
+) -> CompiledScript:
+    """One-shot convenience wrapper around :class:`MclCompiler`."""
+    compiler = MclCompiler(
+        registry=registry,
+        catalog=catalog,
+        extra_streamlets=extra_streamlets,
+        extra_channels=extra_channels,
+    )
+    return compiler.compile(source)

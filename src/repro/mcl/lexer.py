@@ -1,0 +1,112 @@
+"""MCL lexer.
+
+Comments are ``//`` to end of line.  Block comments are deliberately not
+supported: ``/*`` is indistinguishable from the wildcard media types
+(``text/*``) that port declarations use constantly.  Identifiers may
+contain hyphens (``new-streamlet``, ``octet-stream``) and underscores.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MclLexError
+from repro.mcl.tokens import Token, TokenKind
+
+_SINGLE = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "*": TokenKind.STAR,
+    "=": TokenKind.EQUALS,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/":
+            tokens.append(Token(TokenKind.SLASH, "/", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise MclLexError("unterminated string literal", start_line, start_col)
+                if source[i] == "\\" and i + 1 < n:
+                    esc = source[i + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    i += 2
+                    col += 2
+                    continue
+                chars.append(source[i])
+                i += 1
+                col += 1
+            if i >= n:
+                raise MclLexError("unterminated string literal", start_line, start_col)
+            i += 1
+            col += 1
+            tokens.append(Token(TokenKind.STRING, "".join(chars), start_line, start_col))
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = col
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+                col += 1
+            text = source[start:i]
+            if text.count(".") > 1:
+                raise MclLexError(f"malformed number {text!r}", line, start_col)
+            tokens.append(Token(TokenKind.NUMBER, text, line, start_col))
+            continue
+        if _is_ident_start(ch):
+            start = i
+            start_col = col
+            while i < n and _is_ident_char(source[i]):
+                i += 1
+                col += 1
+            tokens.append(Token(TokenKind.IDENT, source[start:i], line, start_col))
+            continue
+        raise MclLexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,399 @@
+"""Recursive-descent parser for MCL.
+
+Grammar (derived from Figures 4-3..4-5 and the section 4.3 examples)::
+
+    script        := (streamlet_def | channel_def | stream_def)* EOF
+    streamlet_def := "streamlet" IDENT "{" port_block [attribute_block] "}"
+    channel_def   := "channel" IDENT "{" port_block [attribute_block] "}"
+    stream_def    := ["main"] "stream" IDENT "{" statement* "}"
+    port_block    := "port" "{" port_decl* "}"
+    port_decl     := ("in"|"out") IDENT ":" media_type ";"
+    media_type    := (IDENT|"*") ["/" (IDENT|"*")]
+    attribute_block := "attribute" "{" (IDENT "=" value ";")* "}"
+    statement     := decl | action ";" | when
+    decl          := ("streamlet"|"channel") IDENT ("," IDENT)*
+                     "=" ("new-streamlet"|"new-channel"|"new" "channel")
+                     "(" IDENT ")" ";"
+    action        := connect | disconnect | disconnectall | insert
+                   | remove | replace | remove-streamlet | remove-channel
+    when          := "when" "(" IDENT ")" "{" statement* "}"
+
+``new channel`` (with a space) appears in Figure 4-8 alongside
+``new-streamlet``; both spellings are accepted.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MclParseError
+from repro.mcl import astnodes as ast
+from repro.mcl.lexer import tokenize
+from repro.mcl.tokens import Token, TokenKind
+from repro.mime.mediatype import MediaType
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self._cur
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        tok = self._cur
+        if not self._check(kind, text):
+            want = text or kind.name
+            raise MclParseError(
+                f"expected {want!r}, found {tok.text or tok.kind.name!r}",
+                tok.line,
+                tok.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self, *, what: str) -> Token:
+        tok = self._cur
+        if tok.kind is not TokenKind.IDENT:
+            raise MclParseError(f"expected {what}, found {tok.text or 'EOF'!r}", tok.line, tok.column)
+        return self._advance()
+
+    # -- entry -------------------------------------------------------------------
+
+    def parse_script(self) -> ast.Script:
+        streamlets: list[ast.StreamletDef] = []
+        channels: list[ast.ChannelDef] = []
+        streams: list[ast.StreamDef] = []
+        while not self._check(TokenKind.EOF):
+            tok = self._cur
+            if self._check(TokenKind.IDENT, "streamlet"):
+                streamlets.append(self._parse_streamlet_def())
+            elif self._check(TokenKind.IDENT, "channel"):
+                channels.append(self._parse_channel_def())
+            elif self._check(TokenKind.IDENT, "stream") or self._check(TokenKind.IDENT, "main"):
+                streams.append(self._parse_stream_def())
+            else:
+                raise MclParseError(
+                    f"expected a definition, found {tok.text!r}", tok.line, tok.column
+                )
+        mains = [s for s in streams if s.is_main]
+        if len(mains) > 1:
+            raise MclParseError(f"multiple main streams: {', '.join(s.name for s in mains)}")
+        return ast.Script(tuple(streamlets), tuple(channels), tuple(streams))
+
+    # -- definitions ----------------------------------------------------------------
+
+    def _parse_streamlet_def(self) -> ast.StreamletDef:
+        self._expect(TokenKind.IDENT, "streamlet")
+        name = self._expect_ident(what="streamlet name")
+        self._expect(TokenKind.LBRACE)
+        ports = self._parse_port_block()
+        attrs = self._parse_attribute_block() if self._check(TokenKind.IDENT, "attribute") else {}
+        self._expect(TokenKind.RBRACE)
+        kind_text = str(attrs.pop("type", "STATELESS")).upper()
+        try:
+            kind = ast.StreamletKind(kind_text)
+        except ValueError:
+            raise MclParseError(
+                f"streamlet {name}: type must be STATELESS or STATEFUL, got {kind_text!r}",
+                name.line,
+            ) from None
+        def names_list(key: str) -> tuple[str, ...]:
+            raw = str(attrs.pop(key, "")).strip()
+            return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+        definition = ast.StreamletDef(
+            name=name.text,
+            ports=tuple(ports),
+            kind=kind,
+            library=str(attrs.pop("library", "")),
+            description=str(attrs.pop("description", "")),
+            excludes=names_list("excludes"),
+            requires=names_list("requires"),
+            after=names_list("after"),
+        )
+        if attrs:
+            raise MclParseError(
+                f"streamlet {name.text}: unknown attribute(s) {sorted(attrs)}", name.line
+            )
+        return definition
+
+    def _parse_channel_def(self) -> ast.ChannelDef:
+        self._expect(TokenKind.IDENT, "channel")
+        name = self._expect_ident(what="channel name")
+        self._expect(TokenKind.LBRACE)
+        ports = self._parse_port_block()
+        attrs = self._parse_attribute_block() if self._check(TokenKind.IDENT, "attribute") else {}
+        self._expect(TokenKind.RBRACE)
+        ins = [p for p in ports if p.direction is ast.PortDirection.IN]
+        outs = [p for p in ports if p.direction is ast.PortDirection.OUT]
+        if len(ins) != 1 or len(outs) != 1:
+            raise MclParseError(
+                f"channel {name.text} must have exactly one in and one out port",
+                name.line,
+            )
+        sync_text = str(attrs.pop("type", "ASYNC")).upper()
+        try:
+            sync = ast.ChannelSync(sync_text)
+        except ValueError:
+            raise MclParseError(
+                f"channel {name.text}: type must be SYNC or ASYNC, got {sync_text!r}", name.line
+            ) from None
+        cat_text = str(attrs.pop("category", "BK")).upper()
+        try:
+            category = ast.ChannelCategory(cat_text)
+        except ValueError:
+            raise MclParseError(
+                f"channel {name.text}: unknown category {cat_text!r}", name.line
+            ) from None
+        buffer_raw = attrs.pop("buffer", 100)
+        try:
+            buffer_kb = int(buffer_raw)
+        except (TypeError, ValueError):
+            raise MclParseError(
+                f"channel {name.text}: buffer must be an integer (KB), got {buffer_raw!r}",
+                name.line,
+            ) from None
+        if buffer_kb < 0:
+            raise MclParseError(f"channel {name.text}: negative buffer", name.line)
+        if sync is ast.ChannelSync.SYNC and buffer_kb != 0:
+            # synchronous channels are zero-length buffers (section 4.2.2)
+            raise MclParseError(
+                f"channel {name.text}: SYNC channels must have buffer = 0", name.line
+            )
+        definition = ast.ChannelDef(
+            name=name.text,
+            in_port=ins[0],
+            out_port=outs[0],
+            sync=sync,
+            category=category,
+            buffer_kb=buffer_kb,
+            description=str(attrs.pop("description", "")),
+        )
+        if attrs:
+            raise MclParseError(
+                f"channel {name.text}: unknown attribute(s) {sorted(attrs)}", name.line
+            )
+        return definition
+
+    def _parse_port_block(self) -> list[ast.PortDecl]:
+        self._expect(TokenKind.IDENT, "port")
+        self._expect(TokenKind.LBRACE)
+        ports: list[ast.PortDecl] = []
+        while not self._check(TokenKind.RBRACE):
+            direction_tok = self._expect_ident(what="'in' or 'out'")
+            if direction_tok.text not in ("in", "out"):
+                raise MclParseError(
+                    f"expected 'in' or 'out', found {direction_tok.text!r}",
+                    direction_tok.line,
+                    direction_tok.column,
+                )
+            name = self._expect_ident(what="port name")
+            self._expect(TokenKind.COLON)
+            mediatype = self._parse_media_type()
+            self._expect(TokenKind.SEMI)
+            if any(p.name == name.text for p in ports):
+                raise MclParseError(f"duplicate port {name.text!r}", name.line, name.column)
+            ports.append(
+                ast.PortDecl(ast.PortDirection(direction_tok.text), name.text, mediatype)
+            )
+        closing = self._expect(TokenKind.RBRACE)
+        if not ports:
+            raise MclParseError("port block may not be empty", closing.line)
+        return ports
+
+    def _parse_media_type(self) -> MediaType:
+        tok = self._cur
+        if self._accept(TokenKind.STAR):
+            main = "*"
+        else:
+            main = self._expect_ident(what="media type").text
+        sub = None
+        if self._accept(TokenKind.SLASH):
+            if self._accept(TokenKind.STAR):
+                sub = "*"
+            else:
+                sub = self._expect_ident(what="media subtype").text
+        try:
+            return MediaType(main, sub if sub is not None else "*")
+        except Exception as exc:
+            raise MclParseError(f"bad media type: {exc}", tok.line, tok.column) from exc
+
+    def _parse_attribute_block(self) -> dict[str, object]:
+        self._expect(TokenKind.IDENT, "attribute")
+        self._expect(TokenKind.LBRACE)
+        attrs: dict[str, object] = {}
+        while not self._check(TokenKind.RBRACE):
+            key = self._expect_ident(what="attribute name")
+            self._expect(TokenKind.EQUALS)
+            tok = self._cur
+            if tok.kind is TokenKind.STRING:
+                value: object = self._advance().text
+            elif tok.kind is TokenKind.NUMBER:
+                value = self._advance().text
+            elif tok.kind is TokenKind.IDENT:
+                value = self._advance().text
+            else:
+                raise MclParseError(
+                    f"bad attribute value {tok.text!r}", tok.line, tok.column
+                )
+            self._expect(TokenKind.SEMI)
+            if key.text in attrs:
+                raise MclParseError(f"duplicate attribute {key.text!r}", key.line, key.column)
+            attrs[key.text] = value
+        self._expect(TokenKind.RBRACE)
+        return attrs
+
+    # -- streams -----------------------------------------------------------------------
+
+    def _parse_stream_def(self) -> ast.StreamDef:
+        is_main = bool(self._accept(TokenKind.IDENT, "main"))
+        self._expect(TokenKind.IDENT, "stream")
+        name = self._expect_ident(what="stream name")
+        self._expect(TokenKind.LBRACE)
+        body = self._parse_statements_until_rbrace(allow_when=True)
+        self._expect(TokenKind.RBRACE)
+        return ast.StreamDef(name.text, tuple(body), is_main=is_main)
+
+    def _parse_statements_until_rbrace(self, *, allow_when: bool) -> list[ast.Statement]:
+        body: list[ast.Statement] = []
+        while not self._check(TokenKind.RBRACE) and not self._check(TokenKind.EOF):
+            body.append(self._parse_statement(allow_when=allow_when))
+        return body
+
+    def _parse_statement(self, *, allow_when: bool) -> ast.Statement:
+        tok = self._cur
+        if tok.kind is not TokenKind.IDENT:
+            raise MclParseError(f"expected statement, found {tok.text!r}", tok.line, tok.column)
+        word = tok.text
+        if word in ("streamlet", "channel"):
+            return self._parse_decl()
+        if word == "when":
+            if not allow_when:
+                raise MclParseError("nested 'when' blocks are not allowed", tok.line, tok.column)
+            return self._parse_when()
+        if word == "connect":
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            source = self._parse_port_ref()
+            self._expect(TokenKind.COMMA)
+            sink = self._parse_port_ref()
+            channel = None
+            if self._accept(TokenKind.COMMA):
+                channel = self._expect_ident(what="channel instance").text
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            return ast.Connect(source, sink, channel, line=tok.line)
+        if word == "disconnect":
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            source = self._parse_port_ref()
+            self._expect(TokenKind.COMMA)
+            sink = self._parse_port_ref()
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            return ast.Disconnect(source, sink, line=tok.line)
+        if word == "disconnectall":
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            inst = self._expect_ident(what="instance name").text
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            return ast.DisconnectAll(inst, line=tok.line)
+        if word == "insert":
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            source = self._parse_port_ref()
+            self._expect(TokenKind.COMMA)
+            sink = self._parse_port_ref()
+            self._expect(TokenKind.COMMA)
+            inst = self._expect_ident(what="instance name").text
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            return ast.Insert(source, sink, inst, line=tok.line)
+        if word == "replace":
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            old = self._expect_ident(what="instance name").text
+            self._expect(TokenKind.COMMA)
+            new = self._expect_ident(what="instance name").text
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            return ast.Replace(old, new, line=tok.line)
+        if word in ("remove-streamlet", "remove-channel", "remove"):
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            inst = self._expect_ident(what="instance name").text
+            self._expect(TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI)
+            # bare `remove` is the Figure 6-4 composition primitive: detach
+            # the streamlet from the topology but keep the instance dormant
+            # so a later handler can re-insert it
+            kind = {"remove-channel": "channel", "remove-streamlet": "streamlet"}.get(
+                word, "extract"
+            )
+            return ast.RemoveInstance(kind, inst, line=tok.line)
+        raise MclParseError(f"unknown statement {word!r}", tok.line, tok.column)
+
+    def _parse_decl(self) -> ast.NewInstances:
+        kind_tok = self._advance()  # 'streamlet' | 'channel'
+        names = [self._expect_ident(what=f"{kind_tok.text} instance name").text]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect_ident(what="instance name").text)
+        self._expect(TokenKind.EQUALS)
+        ctor = self._expect_ident(what="new-streamlet or new-channel")
+        ctor_text = ctor.text
+        if ctor_text == "new":  # 'new channel (...)' spelling from Figure 4-8
+            follower = self._expect_ident(what="'streamlet' or 'channel'")
+            ctor_text = f"new-{follower.text}"
+        expected = f"new-{kind_tok.text}"
+        if ctor_text != expected:
+            raise MclParseError(
+                f"{kind_tok.text} declaration must use {expected!r}, found {ctor_text!r}",
+                ctor.line,
+                ctor.column,
+            )
+        self._expect(TokenKind.LPAREN)
+        definition = self._expect_ident(what="definition name").text
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        if len(set(names)) != len(names):
+            raise MclParseError("duplicate instance names in declaration", kind_tok.line)
+        return ast.NewInstances(kind_tok.text, tuple(names), definition, line=kind_tok.line)
+
+    def _parse_when(self) -> ast.When:
+        when_tok = self._expect(TokenKind.IDENT, "when")
+        self._expect(TokenKind.LPAREN)
+        event = self._expect_ident(what="event name").text
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.LBRACE)
+        actions = self._parse_statements_until_rbrace(allow_when=False)
+        self._expect(TokenKind.RBRACE)
+        return ast.When(event, tuple(actions), line=when_tok.line)
+
+    def _parse_port_ref(self) -> ast.PortRef:
+        inst = self._expect_ident(what="instance name")
+        self._expect(TokenKind.DOT)
+        port = self._expect_ident(what="port name")
+        return ast.PortRef(inst.text, port.text)
+
+
+def parse_script(source: str) -> ast.Script:
+    """Parse MCL source text into a :class:`~repro.mcl.astnodes.Script`."""
+    return _Parser(tokenize(source)).parse_script()

@@ -1,0 +1,102 @@
+"""Pretty-printer: AST → canonical MCL source.
+
+``parse_script(format_script(script)) == script`` — the round-trip property
+is tested with hypothesis.  Output is canonical (stable ordering of the
+blocks each node owns, two-space indent), so formatted scripts diff
+cleanly.
+"""
+
+from __future__ import annotations
+
+from repro.mcl import astnodes as ast
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def _format_port(port: ast.PortDecl, indent: str) -> str:
+    return f"{indent}{port.direction.value} {port.name} : {port.mediatype.essence};"
+
+
+def _format_streamlet(d: ast.StreamletDef) -> str:
+    lines = [f"streamlet {d.name} {{", "  port {"]
+    lines.extend(_format_port(p, "    ") for p in d.ports)
+    lines.append("  }")
+    lines.append("  attribute {")
+    lines.append(f"    type = {d.kind.value};")
+    if d.library:
+        lines.append(f"    library = {_quote(d.library)};")
+    if d.description:
+        lines.append(f"    description = {_quote(d.description)};")
+    if d.excludes:
+        lines.append(f"    excludes = {_quote(', '.join(d.excludes))};")
+    if d.requires:
+        lines.append(f"    requires = {_quote(', '.join(d.requires))};")
+    if d.after:
+        lines.append(f"    after = {_quote(', '.join(d.after))};")
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_channel(d: ast.ChannelDef) -> str:
+    lines = [f"channel {d.name} {{", "  port {"]
+    lines.append(_format_port(d.in_port, "    "))
+    lines.append(_format_port(d.out_port, "    "))
+    lines.append("  }")
+    lines.append("  attribute {")
+    lines.append(f"    type = {d.sync.value};")
+    lines.append(f"    category = {d.category.value};")
+    lines.append(f"    buffer = {d.buffer_kb};")
+    if d.description:
+        lines.append(f"    description = {_quote(d.description)};")
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_statement(stmt: ast.Statement, indent: str) -> list[str]:
+    if isinstance(stmt, ast.NewInstances):
+        names = ", ".join(stmt.names)
+        return [f"{indent}{stmt.kind} {names} = new-{stmt.kind} ({stmt.definition});"]
+    if isinstance(stmt, ast.Connect):
+        channel = f", {stmt.channel}" if stmt.channel else ""
+        return [f"{indent}connect ({stmt.source}, {stmt.sink}{channel});"]
+    if isinstance(stmt, ast.Disconnect):
+        return [f"{indent}disconnect ({stmt.source}, {stmt.sink});"]
+    if isinstance(stmt, ast.DisconnectAll):
+        return [f"{indent}disconnectall ({stmt.instance});"]
+    if isinstance(stmt, ast.Insert):
+        return [f"{indent}insert ({stmt.source}, {stmt.sink}, {stmt.instance});"]
+    if isinstance(stmt, ast.Replace):
+        return [f"{indent}replace ({stmt.old}, {stmt.new});"]
+    if isinstance(stmt, ast.RemoveInstance):
+        if stmt.kind == "extract":
+            return [f"{indent}remove ({stmt.name});"]
+        return [f"{indent}remove-{stmt.kind} ({stmt.name});"]
+    if isinstance(stmt, ast.When):
+        lines = [f"{indent}when ({stmt.event}) {{"]
+        for action in stmt.actions:
+            lines.extend(_format_statement(action, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    raise TypeError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def _format_stream(d: ast.StreamDef) -> str:
+    head = "main stream" if d.is_main else "stream"
+    lines = [f"{head} {d.name} {{"]
+    for stmt in d.body:
+        lines.extend(_format_statement(stmt, "  "))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_script(script: ast.Script) -> str:
+    """Render a whole script; definitions first, then streams."""
+    chunks = [_format_streamlet(d) for d in script.streamlets]
+    chunks.extend(_format_channel(d) for d in script.channels)
+    chunks.extend(_format_stream(d) for d in script.streams)
+    return "\n\n".join(chunks) + ("\n" if chunks else "")

@@ -1,0 +1,63 @@
+"""Token kinds for the MCL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Terminal symbols of the MCL grammar."""
+    IDENT = auto()      # identifiers and word-keywords (incl. new-streamlet)
+    NUMBER = auto()     # integer or decimal literal
+    STRING = auto()     # double-quoted
+    LBRACE = auto()     # {
+    RBRACE = auto()     # }
+    LPAREN = auto()     # (
+    RPAREN = auto()     # )
+    COLON = auto()      # :
+    SEMI = auto()       # ;
+    COMMA = auto()      # ,
+    DOT = auto()        # .
+    SLASH = auto()      # /
+    STAR = auto()       # *
+    EQUALS = auto()     # =
+    EOF = auto()
+
+
+#: Word keywords.  They are lexed as IDENT and promoted by the parser, so
+#: e.g. a streamlet may not be named ``stream`` but ``switch`` stays legal.
+KEYWORDS = frozenset(
+    {
+        "streamlet",
+        "channel",
+        "stream",
+        "main",
+        "port",
+        "attribute",
+        "in",
+        "out",
+        "when",
+        "connect",
+        "disconnect",
+        "disconnectall",
+        "insert",
+        "remove",
+        "replace",
+        "new-streamlet",
+        "new-channel",
+        "remove-streamlet",
+        "remove-channel",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

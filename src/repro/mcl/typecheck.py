@@ -1,0 +1,64 @@
+"""Port-compatibility checking (section 4.4.1).
+
+Two restrictions are enforced when a connection is made:
+
+1. streamlet ports connect only to channel ports — structurally guaranteed
+   here because every ``connect`` interposes a channel, but the endpoints
+   themselves are validated to be streamlet instances and the third
+   argument to be a channel instance;
+2. the source port type must equal, or be a specialisation of, the sink
+   port type — resolved through the MIME registry
+   (:meth:`~repro.mime.registry.TypeRegistry.compatible`), and the channel
+   must be able to carry the source's type.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MclTypeError
+from repro.mcl import astnodes as ast
+from repro.mime.registry import TypeRegistry
+
+
+def check_connection(
+    registry: TypeRegistry,
+    source_def: ast.StreamletDef,
+    source: ast.PortRef,
+    sink_def: ast.StreamletDef,
+    sink: ast.PortRef,
+    channel_def: ast.ChannelDef,
+    *,
+    line: int = 0,
+) -> ast.PortDecl:
+    """Validate one connection; returns the source port declaration.
+
+    Raises :class:`MclTypeError` describing exactly which check failed —
+    "incompatible connections in the script are returned by the compiler
+    with a detailed error message" (section 3.3.6).
+    """
+    src_port = source_def.port(source.port)
+    if src_port is None:
+        raise MclTypeError(
+            f"{source.instance} ({source_def.name}) has no port {source.port!r}", line
+        )
+    if src_port.direction is not ast.PortDirection.OUT:
+        raise MclTypeError(f"{source} is an input port; sources must be outputs", line)
+    dst_port = sink_def.port(sink.port)
+    if dst_port is None:
+        raise MclTypeError(
+            f"{sink.instance} ({sink_def.name}) has no port {sink.port!r}", line
+        )
+    if dst_port.direction is not ast.PortDirection.IN:
+        raise MclTypeError(f"{sink} is an output port; sinks must be inputs", line)
+    if not registry.compatible(src_port.mediatype, dst_port.mediatype):
+        raise MclTypeError(
+            f"type mismatch on connect({source}, {sink}): source produces "
+            f"{src_port.mediatype} but sink accepts {dst_port.mediatype}",
+            line,
+        )
+    if not registry.compatible(src_port.mediatype, channel_def.in_port.mediatype):
+        raise MclTypeError(
+            f"channel {channel_def.name} carries {channel_def.in_port.mediatype}; "
+            f"cannot accept {src_port.mediatype} from {source}",
+            line,
+        )
+    return src_port

@@ -1,0 +1,40 @@
+"""MIME type system (thesis section 4.1).
+
+MobiGATE models every message and every streamlet port with a MIME media
+type.  This package provides:
+
+* :class:`~repro.mime.mediatype.MediaType` — parsed ``type/subtype`` values
+  with parameters and wildcard support,
+* :class:`~repro.mime.registry.TypeRegistry` — the subtype/supertype
+  hierarchy of Figure 4-1, used for port-compatibility checks,
+* :class:`~repro.mime.headers.HeaderMap` — case-insensitive header fields,
+  including MobiGATE's ``Content-Session`` and peer-streamlet extensions,
+* :class:`~repro.mime.message.MimeMessage` — the message unit exchanged
+  between streamlets.
+"""
+
+from repro.mime.mediatype import MediaType
+from repro.mime.registry import TypeRegistry, default_registry
+from repro.mime.headers import (
+    HeaderMap,
+    CONTENT_TYPE,
+    CONTENT_SESSION,
+    CONTENT_LENGTH,
+    PEER_STACK,
+)
+from repro.mime.message import MimeMessage
+from repro.mime.wire import serialize_message, parse_message
+
+__all__ = [
+    "serialize_message",
+    "parse_message",
+    "MediaType",
+    "TypeRegistry",
+    "default_registry",
+    "HeaderMap",
+    "MimeMessage",
+    "CONTENT_TYPE",
+    "CONTENT_SESSION",
+    "CONTENT_LENGTH",
+    "PEER_STACK",
+]

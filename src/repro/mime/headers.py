@@ -1,0 +1,166 @@
+"""MIME header fields, including MobiGATE's extension fields.
+
+The thesis uses two MIME-extension headers:
+
+* ``Content-Session`` (section 4.4.3) — identifies which stream instance a
+  message belongs to, enabling streamlet sharing across streams;
+* a peer-streamlet field (section 6.5) — each server-side streamlet that
+  needs reverse processing pushes its peer id; the client pops ids in LIFO
+  order so transformations are undone inside-out.  We name it
+  ``X-MobiGATE-Peers``.
+
+Header names are case-insensitive; insertion order is preserved so
+``format()`` round-trips.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import HeaderError
+from repro.mime.mediatype import MediaType
+
+CONTENT_TYPE = "Content-Type"
+CONTENT_SESSION = "Content-Session"
+CONTENT_LENGTH = "Content-Length"
+PEER_STACK = "X-MobiGATE-Peers"
+
+_PEER_SEPARATOR = ","
+
+
+class HeaderMap:
+    """An ordered, case-insensitive multimap restricted to single values.
+
+    MobiGATE messages never need repeated fields, so ``set`` replaces; this
+    keeps the routing code simple and the wire form unambiguous.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, initial: dict[str, str] | None = None):
+        # canonical-lower name -> (display name, value)
+        self._fields: dict[str, tuple[str, str]] = {}
+        if initial:
+            for name, value in initial.items():
+                self.set(name, value)
+
+    # -- core mapping ----------------------------------------------------------
+
+    def set(self, name: str, value: str) -> None:
+        """Set (replacing) a field; names/values are validated."""
+        name = name.strip()
+        if not name or any(c in name for c in ":\r\n"):
+            raise HeaderError(f"illegal header name {name!r}")
+        value = str(value).strip()
+        if "\n" in value or "\r" in value:
+            raise HeaderError(f"header value may not contain newlines: {value!r}")
+        self._fields[name.lower()] = (name, value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """The field value, or ``default`` when absent."""
+        entry = self._fields.get(name.lower())
+        return entry[1] if entry else default
+
+    def require(self, name: str) -> str:
+        """The field value; HeaderError when absent."""
+        value = self.get(name)
+        if value is None:
+            raise HeaderError(f"missing required header {name!r}")
+        return value
+
+    def remove(self, name: str) -> bool:
+        """Delete a field; returns False if it was absent."""
+        return self._fields.pop(name.lower(), None) is not None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._fields
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        for display, value in self._fields.values():
+            yield display, value
+
+    def copy(self) -> "HeaderMap":
+        """Independent copy of the header map."""
+        clone = HeaderMap()
+        clone._fields = dict(self._fields)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeaderMap):
+            return NotImplemented
+        mine = {k: v for k, (_, v) in self._fields.items()}
+        theirs = {k: v for k, (_, v) in other._fields.items()}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{n}={v!r}" for n, v in self)
+        return f"HeaderMap({inner})"
+
+    # -- typed accessors ---------------------------------------------------------
+
+    @property
+    def content_type(self) -> MediaType | None:
+        raw = self.get(CONTENT_TYPE)
+        return MediaType.parse(raw) if raw else None
+
+    @content_type.setter
+    def content_type(self, value: MediaType | str) -> None:
+        self.set(CONTENT_TYPE, str(value))
+
+    @property
+    def session(self) -> str | None:
+        return self.get(CONTENT_SESSION)
+
+    @session.setter
+    def session(self, value: str) -> None:
+        self.set(CONTENT_SESSION, value)
+
+    # -- peer streamlet stack (section 6.5) ---------------------------------------
+
+    def push_peer(self, peer_id: str) -> None:
+        """Record that ``peer_id`` must reverse-process this message."""
+        peer_id = peer_id.strip()
+        if not peer_id or _PEER_SEPARATOR in peer_id:
+            raise HeaderError(f"illegal peer id {peer_id!r}")
+        current = self.get(PEER_STACK)
+        self.set(PEER_STACK, f"{current}{_PEER_SEPARATOR}{peer_id}" if current else peer_id)
+
+    def pop_peer(self) -> str | None:
+        """Remove and return the most recently pushed peer id."""
+        current = self.get(PEER_STACK)
+        if not current:
+            return None
+        head, sep, last = current.rpartition(_PEER_SEPARATOR)
+        if sep:
+            self.set(PEER_STACK, head)
+        else:
+            self.remove(PEER_STACK)
+        return last
+
+    def peer_stack(self) -> list[str]:
+        """The full stack, bottom first (LIFO processing order = reversed)."""
+        current = self.get(PEER_STACK)
+        return current.split(_PEER_SEPARATOR) if current else []
+
+    # -- wire form ----------------------------------------------------------------
+
+    def format(self) -> str:
+        """Serialise as ``Name: value`` lines (no trailing blank line)."""
+        return "\n".join(f"{name}: {value}" for name, value in self)
+
+    @classmethod
+    def parse(cls, text: str) -> "HeaderMap":
+        headers = cls()
+        # lines are '\n'-separated by definition; str.splitlines would also
+        # split on Unicode breaks (NEL, LS, PS) that values may contain
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            if not line.strip():
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise HeaderError(f"header line {lineno} has no colon: {line!r}")
+            headers.set(name, value.strip())
+        return headers

@@ -1,0 +1,166 @@
+"""The media-type hierarchy (Figure 4-1) and port compatibility.
+
+Beyond the structural wildcard order (``text/richtext`` < ``text/*`` <
+``*/*``), the thesis allows *declared* subtype edges between concrete types
+("each given type has multiple associated direct subtypes or supertypes"),
+e.g. ``text/richtext`` may be declared a subtype of ``text/plain`` so a
+plain-text consumer accepts richtext.  :class:`TypeRegistry` stores those
+edges and answers the section 4.4.1 question: *may a source port of type S
+feed a sink port of type T?*  — yes iff ``S ≤ T`` in the combined order.
+
+The registry is deliberately small and immutable-ish: edges can be added
+but never removed, and cycle creation is rejected so ``≤`` stays a partial
+order.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeHierarchyError
+from repro.mime.mediatype import MediaType
+
+
+class TypeRegistry:
+    """Declared subtype relations over media-type essences.
+
+    Edges relate parameter-free essences (``text/richtext`` →
+    ``text/plain``).  Structural wildcard subsumption is always in force and
+    needs no registration.
+    """
+
+    def __init__(self):
+        # direct declared supertypes: essence -> set of essences
+        self._supertypes: dict[str, set[str]] = {}
+        self._known: set[str] = set()
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, mediatype: MediaType | str) -> MediaType:
+        """Make a type known to the registry (idempotent)."""
+        mt = self._coerce(mediatype).without_params()
+        self._known.add(mt.essence)
+        return mt
+
+    def register_subtype(self, subtype: MediaType | str, supertype: MediaType | str) -> None:
+        """Declare ``subtype ≤ supertype``.
+
+        Raises :class:`TypeHierarchyError` if the edge would create a cycle
+        (the subtype order must remain antisymmetric).
+        """
+        sub = self._coerce(subtype).without_params()
+        sup = self._coerce(supertype).without_params()
+        if sub == sup:
+            raise TypeHierarchyError(f"{sub} cannot be its own declared subtype")
+        if self._declared_le(sup.essence, sub.essence):
+            raise TypeHierarchyError(
+                f"declaring {sub} <= {sup} would create a cycle: {sup} <= {sub} already holds"
+            )
+        self._known.add(sub.essence)
+        self._known.add(sup.essence)
+        self._supertypes.setdefault(sub.essence, set()).add(sup.essence)
+
+    # -- queries ---------------------------------------------------------------
+
+    def known_types(self) -> frozenset[str]:
+        """Every registered essence."""
+        return frozenset(self._known)
+
+    def is_subtype(self, sub: MediaType | str, sup: MediaType | str) -> bool:
+        """``sub ≤ sup`` under structural wildcards plus declared edges.
+
+        The order is the reflexive-transitive closure of:
+
+        * ``t`` ≤ any wildcard pattern that :meth:`MediaType.matches`,
+        * every declared edge.
+        """
+        sub_t = self._coerce(sub)
+        sup_t = self._coerce(sup)
+        if sub_t.matches(sup_t):
+            return True
+        # Walk declared edges from sub, testing structural matching of each
+        # ancestor against sup (declared ancestors may themselves be
+        # wildcards or have wildcard supertypes).
+        seen: set[str] = set()
+        frontier = [sub_t.essence]
+        while frontier:
+            essence = frontier.pop()
+            if essence in seen:
+                continue
+            seen.add(essence)
+            if MediaType.parse(essence).matches(sup_t):
+                return True
+            frontier.extend(self._supertypes.get(essence, ()))
+        return False
+
+    def compatible(self, source: MediaType | str, sink: MediaType | str) -> bool:
+        """Section 4.4.1: a connection is legal iff ``source ≤ sink``."""
+        return self.is_subtype(source, sink)
+
+    def common_supertypes(self, a: MediaType | str, b: MediaType | str) -> set[str]:
+        """Essences that are supertypes (declared closure) of both a and b."""
+        return self._ancestors(self._coerce(a).essence) & self._ancestors(
+            self._coerce(b).essence
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value: MediaType | str) -> MediaType:
+        return value if isinstance(value, MediaType) else MediaType.parse(value)
+
+    def _declared_le(self, sub: str, sup: str) -> bool:
+        """Reachability over declared edges only."""
+        if sub == sup:
+            return True
+        seen: set[str] = set()
+        frontier = [sub]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node == sup:
+                return True
+            frontier.extend(self._supertypes.get(node, ()))
+        return sup in seen
+
+    def _ancestors(self, essence: str) -> set[str]:
+        out: set[str] = set()
+        frontier = [essence]
+        while frontier:
+            node = frontier.pop()
+            if node in out:
+                continue
+            out.add(node)
+            frontier.extend(self._supertypes.get(node, ()))
+        # structural wildcard ancestors
+        for node in list(out):
+            mt = MediaType.parse(node)
+            if mt.maintype != "*":
+                out.add(f"{mt.maintype}/*")
+        out.add("*/*")
+        return out
+
+
+def default_registry() -> TypeRegistry:
+    """The Figure 4-1 hierarchy used throughout the thesis examples."""
+    reg = TypeRegistry()
+    for essence in (
+        "text/plain",
+        "text/richtext",
+        "text/html",
+        "image/gif",
+        "image/jpeg",
+        "image/png",
+        "audio/basic",
+        "video/mpeg",
+        "application/postscript",
+        "application/octet-stream",
+        "multipart/mixed",
+    ):
+        reg.register(essence)
+    # The thesis treats richtext as a specialisation usable anywhere plain
+    # text is accepted (section 4.4.1 example uses text/richtext <= text/*,
+    # which is structural; this declared edge covers text/plain sinks too).
+    reg.register_subtype("text/richtext", "text/plain")
+    reg.register_subtype("text/html", "text/richtext")
+    return reg

@@ -1,0 +1,193 @@
+"""Wire form: serialise :class:`MimeMessage` to bytes and back.
+
+The MobiGATE client "parses the incoming MIME messages" (section 3.4.1),
+so messages need a concrete byte representation.  The format is
+MIME-shaped and binary-safe:
+
+* header block — ``Name: value`` lines, UTF-8, terminated by a blank line;
+* ``Content-Length`` is (re)stamped on serialisation and trusted on parse,
+  so bodies may contain anything, including CRLFs;
+* multipart bodies use a generated boundary recorded as a ``boundary``
+  parameter on the content type, each part serialised recursively;
+* structured payloads are encoded through a payload-codec registry keyed
+  by the ``X-MobiGATE-Payload`` header: ``raster`` (numpy image planes
+  with a shape prefix) and ``psdoc`` (the document's textual wire form).
+  Plain ``bytes``/``str`` payloads need no marker.
+
+``parse_message(serialize_message(m))`` reproduces the message up to
+payload identity (structured payloads compare equal, not identical).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs.imagefmt import ImageRaster
+from repro.codecs.psdoc import PsDocument
+from repro.errors import MimeError
+from repro.mime.headers import CONTENT_LENGTH, CONTENT_TYPE, HeaderMap
+from repro.mime.mediatype import MediaType
+from repro.mime.message import MimeMessage
+from repro.util.ids import IdGenerator
+
+PAYLOAD_KIND = "X-MobiGATE-Payload"
+_BOUNDARY_IDS = IdGenerator("mgbd")
+
+_HEADER_TERMINATOR = b"\n\n"
+
+
+# ---------------------------------------------------------------------------
+# structured payload codecs
+# ---------------------------------------------------------------------------
+
+
+def _encode_raster(raster: ImageRaster) -> bytes:
+    height, width, _ = raster.pixels.shape
+    return struct.pack("<HH", width, height) + raster.pixels.tobytes()
+
+
+def _decode_raster(data: bytes) -> ImageRaster:
+    if len(data) < 4:
+        raise MimeError("truncated raster payload")
+    width, height = struct.unpack_from("<HH", data, 0)
+    expected = width * height * 3
+    body = data[4:]
+    if len(body) != expected:
+        raise MimeError(
+            f"raster payload is {len(body)} bytes; {width}x{height} needs {expected}"
+        )
+    pixels = np.frombuffer(body, dtype=np.uint8).reshape(height, width, 3).copy()
+    return ImageRaster(pixels)
+
+
+def _encode_psdoc(document: PsDocument) -> bytes:
+    return document.to_source().encode("utf-8")
+
+
+def _decode_psdoc(data: bytes) -> PsDocument:
+    return PsDocument.parse(data.decode("utf-8"))
+
+
+_CODECS = {
+    "raster": (_encode_raster, _decode_raster),
+    "psdoc": (_encode_psdoc, _decode_psdoc),
+}
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+
+
+def serialize_message(message: MimeMessage) -> bytes:
+    """Render a message (and its parts, recursively) to wire bytes."""
+    headers = message.headers.copy()
+    body = message.body
+
+    if isinstance(body, list):  # multipart
+        boundary = _BOUNDARY_IDS.next()
+        content_type = message.content_type.with_params(boundary=boundary)
+        headers.content_type = content_type
+        delimiter = f"--{boundary}\n".encode()
+        closing = f"--{boundary}--".encode()
+        chunks: list[bytes] = []
+        for part in body:
+            encoded = serialize_message(part)
+            chunks.append(delimiter)
+            chunks.append(struct.pack("<I", len(encoded)))
+            chunks.append(encoded)
+        chunks.append(closing)
+        payload = b"".join(chunks)
+        headers.remove(PAYLOAD_KIND)
+    elif isinstance(body, ImageRaster):
+        payload = _encode_raster(body)
+        headers.set(PAYLOAD_KIND, "raster")
+    elif isinstance(body, PsDocument):
+        payload = _encode_psdoc(body)
+        headers.set(PAYLOAD_KIND, "psdoc")
+    elif isinstance(body, str):
+        payload = body.encode("utf-8")
+        headers.set(PAYLOAD_KIND, "text")
+    elif body is None:
+        payload = b""
+        headers.remove(PAYLOAD_KIND)
+    elif isinstance(body, bytes | bytearray | memoryview):
+        payload = bytes(body)
+        headers.remove(PAYLOAD_KIND)
+    else:
+        raise MimeError(f"cannot serialise payload of type {type(body).__name__}")
+
+    headers.set(CONTENT_LENGTH, str(len(payload)))
+    return headers.format().encode("utf-8") + _HEADER_TERMINATOR + payload
+
+
+def parse_message(data: bytes) -> MimeMessage:
+    """Inverse of :func:`serialize_message`."""
+    split_at = data.find(_HEADER_TERMINATOR)
+    if split_at < 0:
+        raise MimeError("wire message has no header terminator")
+    headers = HeaderMap.parse(data[:split_at].decode("utf-8"))
+    content_type = headers.content_type
+    if content_type is None:
+        raise MimeError("wire message lacks Content-Type")
+    length_raw = headers.get(CONTENT_LENGTH)
+    if length_raw is None:
+        raise MimeError("wire message lacks Content-Length")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise MimeError(f"bad Content-Length {length_raw!r}") from None
+    payload = data[split_at + len(_HEADER_TERMINATOR):]
+    if len(payload) != length:
+        raise MimeError(
+            f"Content-Length says {length} but payload is {len(payload)} bytes"
+        )
+
+    body: object
+    if content_type.maintype == "multipart" and content_type.param("boundary"):
+        body = _parse_multipart(payload, content_type.param("boundary"))
+        headers.content_type = content_type.without_params()
+    else:
+        kind = headers.get(PAYLOAD_KIND)
+        if kind is None:
+            body = payload
+        elif kind == "text":
+            body = payload.decode("utf-8")
+            headers.remove(PAYLOAD_KIND)
+        elif kind in _CODECS:
+            body = _CODECS[kind][1](payload)
+            headers.remove(PAYLOAD_KIND)
+        else:
+            raise MimeError(f"unknown payload kind {kind!r}")
+
+    message = MimeMessage.__new__(MimeMessage)
+    message.headers = headers
+    message.body = body
+    return message
+
+
+def _parse_multipart(payload: bytes, boundary: str) -> list[MimeMessage]:
+    delimiter = f"--{boundary}\n".encode()
+    closing = f"--{boundary}--".encode()
+    parts: list[MimeMessage] = []
+    pos = 0
+    while pos < len(payload):
+        if payload.startswith(closing, pos):
+            trailing = payload[pos + len(closing):]
+            if trailing:
+                raise MimeError("bytes after the closing multipart boundary")
+            return parts
+        if not payload.startswith(delimiter, pos):
+            raise MimeError("malformed multipart: expected a boundary delimiter")
+        pos += len(delimiter)
+        if pos + 4 > len(payload):
+            raise MimeError("truncated multipart part length")
+        (part_len,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        if pos + part_len > len(payload):
+            raise MimeError("truncated multipart part")
+        parts.append(parse_message(payload[pos : pos + part_len]))
+        pos += part_len
+    raise MimeError("multipart payload missing its closing boundary")

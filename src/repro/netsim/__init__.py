@@ -1,0 +1,35 @@
+"""Emulated wireless environment (replaces the Figure 7-1 testbed).
+
+The thesis ran on three PCs with a Linux router shaping an emulated
+wireless hop.  We substitute a virtual-time model with the same knobs the
+experiments sweep — bandwidth, propagation delay, loss — plus the context
+monitor that turns link conditions into MobiGATE events:
+
+* :class:`WirelessLink` — serialisation (size/bandwidth) + propagation
+  delay + Bernoulli loss over a :class:`~repro.util.clock.VirtualClock`;
+* :mod:`repro.netsim.traces` — bandwidth-over-time profiles;
+* :class:`ContextMonitor` — raises LOW_BANDWIDTH / HIGH_BANDWIDTH with
+  hysteresis, feeding the Event Manager;
+* :class:`EndToEndEmulator` — drives a server stream, the link, and a
+  MobiGATE client on one virtual timeline, charging *measured* CPU time
+  for streamlet processing; this is the Figure 7-7 harness.
+"""
+
+from repro.netsim.link import WirelessLink
+from repro.netsim.traces import BandwidthTrace
+from repro.netsim.monitor import ContextMonitor
+from repro.netsim.handoff import HandoffManager
+from repro.netsim.energy import RadioEnergyModel, EnergyReport
+from repro.netsim.emulator import EndToEndEmulator, DirectTransfer, TransferReport
+
+__all__ = [
+    "WirelessLink",
+    "BandwidthTrace",
+    "ContextMonitor",
+    "HandoffManager",
+    "RadioEnergyModel",
+    "EnergyReport",
+    "EndToEndEmulator",
+    "DirectTransfer",
+    "TransferReport",
+]

@@ -1,0 +1,96 @@
+"""Bandwidth-over-time profiles for dynamic-condition experiments.
+
+A trace is a piecewise-constant function ``t -> bandwidth_bps``.  Builders
+cover the scenarios the thesis motivates: a constant link, step changes
+(walking out of coverage), a fade-and-recover dip, and a seeded bounded
+random walk for "highly dynamic network conditions".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.errors import NetSimError
+
+
+class BandwidthTrace:
+    """Piecewise-constant bandwidth schedule."""
+
+    def __init__(self, steps: list[tuple[float, float]]):
+        """``steps`` = [(start_time, bandwidth_bps), ...]; first must be t=0."""
+        if not steps:
+            raise NetSimError("trace needs at least one step")
+        times = [t for t, _ in steps]
+        if times[0] != 0.0:
+            raise NetSimError("trace must start at t=0")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise NetSimError("trace times must be strictly increasing")
+        for _, bw in steps:
+            if bw <= 0:
+                raise NetSimError(f"bandwidth must be positive, got {bw}")
+        self._times = times
+        self._values = [bw for _, bw in steps]
+
+    def value_at(self, t: float) -> float:
+        """The bandwidth in force at time ``t``."""
+        if t < 0:
+            raise NetSimError(f"time must be >= 0, got {t}")
+        index = bisect_right(self._times, t) - 1
+        return self._values[index]
+
+    def steps(self) -> list[tuple[float, float]]:
+        """The (time, bandwidth) steps, in order."""
+        return list(zip(self._times, self._values))
+
+    def change_points(self) -> list[float]:
+        """The times (t > 0) at which the bandwidth steps."""
+        return list(self._times[1:])
+
+    # -- builders ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, bandwidth_bps: float) -> "BandwidthTrace":
+        return cls([(0.0, bandwidth_bps)])
+
+    @classmethod
+    def step(cls, before_bps: float, after_bps: float, at: float) -> "BandwidthTrace":
+        if at <= 0:
+            raise NetSimError("step time must be positive")
+        return cls([(0.0, before_bps), (at, after_bps)])
+
+    @classmethod
+    def fade(
+        cls, normal_bps: float, faded_bps: float, start: float, duration: float
+    ) -> "BandwidthTrace":
+        """Dip to ``faded_bps`` during [start, start+duration)."""
+        if start <= 0 or duration <= 0:
+            raise NetSimError("fade start and duration must be positive")
+        return cls([(0.0, normal_bps), (start, faded_bps), (start + duration, normal_bps)])
+
+    @classmethod
+    def random_walk(
+        cls,
+        *,
+        start_bps: float,
+        minimum_bps: float,
+        maximum_bps: float,
+        interval: float,
+        steps: int,
+        volatility: float = 0.25,
+        seed: int = 0,
+    ) -> "BandwidthTrace":
+        """Seeded multiplicative random walk, clamped to [min, max]."""
+        if not minimum_bps <= start_bps <= maximum_bps:
+            raise NetSimError("start bandwidth outside [minimum, maximum]")
+        if interval <= 0 or steps < 1:
+            raise NetSimError("interval must be positive and steps >= 1")
+        rng = np.random.default_rng(seed)
+        points = [(0.0, start_bps)]
+        current = start_bps
+        for index in range(1, steps):
+            factor = float(np.exp(rng.normal(0.0, volatility)))
+            current = min(maximum_bps, max(minimum_bps, current * factor))
+            points.append((index * interval, current))
+        return cls(points)

@@ -1,0 +1,344 @@
+"""Wireless TCP substrate: plain TCP vs Snoop vs Indirect TCP (§2.1).
+
+The thesis motivates proxy-based adaptation with the classic result that
+"TCP does not work well on many wireless links": random wireless loss is
+misread as congestion, collapsing the sender's window.  Two fixes it
+reviews — the **Snoop** agent (cache + local retransmission at the base
+station, §2.1.2) and **Indirect TCP** (split the connection at the base
+station, §2.1.3) — both place intelligence exactly where MobiGATE places
+its proxy.  This module reproduces that comparison on a small
+discrete-event model so the motivation is measurable, not cited.
+
+Model (documented simplifications):
+
+* fixed-size segments; a wired hop (reliable, fixed one-way delay) and a
+  wireless hop (fixed delay, Bernoulli data loss; ACKs are not lost);
+* the sender is a classic Reno-style loop: slow start, congestion
+  avoidance, triple-duplicate-ACK fast retransmit (window halving), and a
+  coarse retransmission timeout that resets to slow start;
+* the Snoop agent caches data segments at the base station, retransmits
+  locally on a duplicate ACK or a (short) local timeout, and suppresses
+  duplicate ACKs so the sender never sees the wireless loss;
+* Indirect TCP runs two independent senders: wired sender → base station
+  (lossless, so it just streams) and base station → mobile host (a Reno
+  loop over the lossy hop with its much shorter RTT).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NetSimError
+
+
+class EventSim:
+    """A tiny discrete-event loop."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, object]] = []
+        self._counter = 0
+
+    def at(self, time: float, fn) -> None:
+        """Schedule ``fn`` at absolute ``time`` (must not be in the past)."""
+        if time < self.now:
+            raise NetSimError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._counter, fn))
+        self._counter += 1
+
+    def after(self, delay: float, fn) -> None:
+        """Schedule ``fn`` ``delay`` seconds from now."""
+        self.at(self.now + delay, fn)
+
+    def run(self, *, until: float | None = None, max_events: int = 2_000_000) -> None:
+        """Drain events in time order, optionally stopping at ``until``."""
+        events = 0
+        while self._heap:
+            time, _, fn = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                return
+            self.now = time
+            fn()
+            events += 1
+            if events > max_events:
+                raise NetSimError("event budget exhausted; simulation diverged")
+
+
+@dataclass
+class WTcpConfig:
+    segments: int = 200               # segments to deliver
+    segment_bytes: int = 1000
+    wired_delay: float = 0.020        # one-way, seconds
+    wireless_delay: float = 0.010     # one-way, seconds
+    wireless_loss: float = 0.05       # data-direction Bernoulli loss
+    initial_ssthresh: int = 16
+    rto: float = 1.0                  # sender retransmission timeout
+    snoop_local_timeout: float = 0.06  # ~2x wireless RTT
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Range-check the configuration; raises NetSimError on bad values."""
+        if self.segments < 1:
+            raise NetSimError("need at least one segment")
+        if not 0.0 <= self.wireless_loss < 1.0:
+            raise NetSimError("loss must be in [0, 1)")
+        if min(self.wired_delay, self.wireless_delay) < 0:
+            raise NetSimError("delays must be >= 0")
+
+
+@dataclass
+class WTcpResult:
+    scheme: str
+    elapsed: float
+    delivered_segments: int
+    sender_retransmissions: int       # end-to-end retransmissions
+    local_retransmissions: int        # base-station retransmissions
+    timeouts: int
+
+    @property
+    def goodput_bps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.delivered_segments * 8000.0 / self.elapsed  # 1000-byte segs
+
+
+class _RenoSender:
+    """A minimal Reno loop over an abstract send(seq) primitive."""
+
+    def __init__(
+        self, sim: EventSim, total: int, config: WTcpConfig, send, on_done,
+        *, rto: float | None = None,
+    ):
+        self._sim = sim
+        self._total = total
+        self._config = config
+        self._rto = rto if rto is not None else config.rto
+        self._send = send
+        self._on_done = on_done
+        self.cwnd = 1.0
+        self.ssthresh = float(config.initial_ssthresh)
+        self.next_seq = 0          # next new segment to send
+        self.acked = 0             # cumulative: all < acked delivered
+        self.dup_acks = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.done = False
+        self._timer_id = 0
+
+    # -- transmission -------------------------------------------------------------
+
+    def start(self) -> None:
+        self._fill_window()
+        self._arm_timer()
+
+    def _fill_window(self) -> None:
+        while (
+            self.next_seq < self._total
+            and self.next_seq - self.acked < int(self.cwnd)
+        ):
+            self._send(self.next_seq)
+            self.next_seq += 1
+
+    def _arm_timer(self) -> None:
+        self._timer_id += 1
+        timer_id = self._timer_id
+
+        def fire():
+            if self.done or timer_id != self._timer_id:
+                return
+            self._on_timeout()
+
+        self._sim.after(self._rto, fire)
+
+    def _on_timeout(self) -> None:
+        # coarse RTO: back to slow start, resend the missing segment
+        self.timeouts += 1
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        if self.acked < self._total:
+            self._send(self.acked)
+            self.retransmissions += 1
+        self._arm_timer()
+
+    # -- ACK processing ----------------------------------------------------------------
+
+    def on_ack(self, cumulative: int) -> None:
+        if self.done:
+            return
+        if cumulative > self.acked:
+            self.acked = cumulative
+            self.dup_acks = 0
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0                     # slow start
+            else:
+                self.cwnd += 1.0 / max(1.0, self.cwnd)  # congestion avoidance
+            self._arm_timer()
+            if self.acked >= self._total:
+                self.done = True
+                self._on_done()
+                return
+            self._fill_window()
+        else:
+            self.dup_acks += 1
+            if self.dup_acks == 3:                   # fast retransmit
+                self.ssthresh = max(2.0, self.cwnd / 2)
+                self.cwnd = self.ssthresh
+                self._send(self.acked)
+                self.retransmissions += 1
+
+
+class _Receiver:
+    """Cumulative-ACK receiver with out-of-order buffering."""
+
+    def __init__(self):
+        self.expected = 0
+        self.buffered: set[int] = set()
+
+    def on_segment(self, seq: int) -> int:
+        """Returns the cumulative ACK to send."""
+        if seq == self.expected:
+            self.expected += 1
+            while self.expected in self.buffered:
+                self.buffered.discard(self.expected)
+                self.expected += 1
+        elif seq > self.expected:
+            self.buffered.add(seq)
+        return self.expected
+
+
+def _run(scheme: str, config: WTcpConfig) -> WTcpResult:
+    config.validate()
+    sim = EventSim()
+    rng = np.random.default_rng(config.seed)
+    receiver = _Receiver()
+    finished = {"at": None}
+    local_retx = {"count": 0}
+
+    def wireless_data_lost() -> bool:
+        return config.wireless_loss > 0 and rng.random() < config.wireless_loss
+
+    if scheme == "plain":
+        def send(seq: int) -> None:
+            def reach_base():
+                if wireless_data_lost():
+                    return
+                sim.after(config.wireless_delay, lambda: deliver(seq))
+
+            sim.after(config.wired_delay, reach_base)
+
+        def deliver(seq: int) -> None:
+            ack = receiver.on_segment(seq)
+            sim.after(
+                config.wireless_delay + config.wired_delay,
+                lambda: sender.on_ack(ack),
+            )
+
+        sender = _RenoSender(sim, config.segments, config, send, lambda: finished.update(at=sim.now))
+        sender.start()
+        sim.run()
+        return WTcpResult(
+            scheme=scheme,
+            elapsed=finished["at"] if finished["at"] is not None else sim.now,
+            delivered_segments=receiver.expected,
+            sender_retransmissions=sender.retransmissions,
+            local_retransmissions=0,
+            timeouts=sender.timeouts,
+        )
+
+    if scheme == "snoop":
+        cache: dict[int, bool] = {}           # seq -> still unacked
+        highest_acked = {"value": 0}
+
+        def send(seq: int) -> None:
+            sim.after(config.wired_delay, lambda: base_got_data(seq))
+
+        def base_got_data(seq: int, *, local: bool = False) -> None:
+            cache[seq] = True
+            if local:
+                local_retx["count"] += 1
+            if wireless_data_lost():
+                # local timeout guards against a lost retransmission too
+                sim.after(
+                    config.snoop_local_timeout,
+                    lambda: local_timeout(seq),
+                )
+                return
+            sim.after(config.wireless_delay, lambda: deliver(seq))
+
+        def local_timeout(seq: int) -> None:
+            if seq >= highest_acked["value"] and cache.get(seq):
+                base_got_data(seq, local=True)
+
+        def deliver(seq: int) -> None:
+            ack = receiver.on_segment(seq)
+            sim.after(config.wireless_delay, lambda: base_got_ack(ack))
+
+        def base_got_ack(ack: int) -> None:
+            if ack > highest_acked["value"]:
+                highest_acked["value"] = ack
+                for seq in [s for s in cache if s < ack]:
+                    del cache[seq]
+                sim.after(config.wired_delay, lambda: sender.on_ack(ack))
+            else:
+                # duplicate ACK: suppress it; retransmit locally if cached
+                if cache.get(ack):
+                    base_got_data(ack, local=True)
+
+        sender = _RenoSender(sim, config.segments, config, send, lambda: finished.update(at=sim.now))
+        sender.start()
+        sim.run()
+        return WTcpResult(
+            scheme=scheme,
+            elapsed=finished["at"] if finished["at"] is not None else sim.now,
+            delivered_segments=receiver.expected,
+            sender_retransmissions=sender.retransmissions,
+            local_retransmissions=local_retx["count"],
+            timeouts=sender.timeouts,
+        )
+
+    if scheme == "split":
+        # wired half: lossless, so the base station receives segment k at
+        # wired_delay + k * epsilon; the wireless half is its own Reno loop
+        def wireless_send(seq: int) -> None:
+            if wireless_data_lost():
+                return
+            sim.after(config.wireless_delay, lambda: deliver(seq))
+
+        def deliver(seq: int) -> None:
+            ack = receiver.on_segment(seq)
+            sim.after(config.wireless_delay, lambda: wireless_sender.on_ack(ack))
+
+        # the split loop adapts its timer to its own (short) wireless RTT —
+        # the mechanism behind Indirect TCP's fast loss recovery
+        wireless_rto = max(0.1, 8 * config.wireless_delay)
+        wireless_sender = _RenoSender(
+            sim, config.segments, config, wireless_send,
+            lambda: finished.update(at=sim.now),
+            rto=wireless_rto,
+        )
+        sim.after(config.wired_delay, wireless_sender.start)
+        sim.run()
+        return WTcpResult(
+            scheme=scheme,
+            elapsed=finished["at"] if finished["at"] is not None else sim.now,
+            delivered_segments=receiver.expected,
+            sender_retransmissions=0,
+            local_retransmissions=wireless_sender.retransmissions,
+            timeouts=wireless_sender.timeouts,
+        )
+
+    raise NetSimError(f"unknown scheme {scheme!r}; use plain, snoop, or split")
+
+
+def run_wtcp(scheme: str, config: WTcpConfig | None = None, **overrides) -> WTcpResult:
+    """Run one transfer under ``plain``, ``snoop``, or ``split``."""
+    cfg = config if config is not None else WTcpConfig()
+    for key, value in overrides.items():
+        if not hasattr(cfg, key):
+            raise NetSimError(f"unknown config field {key!r}")
+        setattr(cfg, key, value)
+    return _run(scheme, cfg)

@@ -1,0 +1,147 @@
+"""Runtime channels: a MessageQueue plus the section 4.2.2 semantics.
+
+A channel is a reliable, directed, optionally buffered carrier between one
+producer port and one consumer port.  Its *category* governs what happens
+when an end is detached while units are pending:
+
+=====  ==========================================================
+S      never holds pending units (detach requires an empty queue)
+BB     detaching either end breaks both; pending units are dropped
+BK     detaching the source keeps the sink side (pending drain);
+       detaching the sink breaks both and drops pending
+KB     mirror image of BK
+KK     cannot be detached at either end
+=====  ==========================================================
+
+Synchronous channels (``SYNC``) are zero-length buffers; in the inline
+scheduler they behave as a one-slot rendezvous (post must be consumed
+before the next post), which preserves the ordering guarantee without
+real blocking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChannelError
+from repro.mcl import astnodes as ast
+from repro.runtime.message_queue import MessageQueue
+
+
+class Channel:
+    """One producer-port → consumer-port carrier."""
+
+    def __init__(self, name: str, definition: ast.ChannelDef, *, drop_timeout: float = 0.0):
+        self.name = name
+        self.definition = definition
+        if definition.sync is ast.ChannelSync.SYNC or definition.category is ast.ChannelCategory.S:
+            # zero-length buffer, realised as a single rendezvous slot; the
+            # S category *guarantees* no pending units, so it gets the same
+            # treatment even when declared ASYNC
+            capacity = 0
+        else:
+            capacity = definition.buffer_kb * 1024
+        self.queue = MessageQueue(capacity, drop_timeout=drop_timeout)
+        self.source: ast.PortRef | None = None
+        self.sink: ast.PortRef | None = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    @property
+    def category(self) -> ast.ChannelCategory:
+        return self.definition.category
+
+    @property
+    def is_sync(self) -> bool:
+        return self.definition.sync is ast.ChannelSync.SYNC
+
+    def attach_source(self, ref: ast.PortRef) -> None:
+        """Bind the producer port (one per channel)."""
+        if self.source is not None:
+            raise ChannelError(f"channel {self.name} already has source {self.source}")
+        self.source = ref
+        self.queue.incr_producers()
+
+    def attach_sink(self, ref: ast.PortRef) -> None:
+        """Bind the consumer port (one per channel)."""
+        if self.sink is not None:
+            raise ChannelError(f"channel {self.name} already has sink {self.sink}")
+        self.sink = ref
+        self.queue.incr_consumers()
+
+    def detach_source(self) -> list[str]:
+        """Detach the producer end; returns ids dropped (category-dependent)."""
+        if self.source is None:
+            raise ChannelError(f"channel {self.name} has no source to detach")
+        self._check_detachable()
+        self.source = None
+        self.queue.decr_producers()
+        if self.category in (ast.ChannelCategory.BB, ast.ChannelCategory.KB):
+            # the other end breaks too; pending units are lost
+            dropped = self.queue.drain()
+            if self.sink is not None:
+                self.sink = None
+                self.queue.decr_consumers()
+            return dropped
+        # BK / S: sink keeps draining what is pending (S is empty anyway)
+        return []
+
+    def detach_sink(self) -> list[str]:
+        """Detach the consumer end; returns ids dropped (category-dependent)."""
+        if self.sink is None:
+            raise ChannelError(f"channel {self.name} has no sink to detach")
+        self._check_detachable()
+        self.sink = None
+        self.queue.decr_consumers()
+        if self.category in (ast.ChannelCategory.BB, ast.ChannelCategory.BK):
+            dropped = self.queue.drain()
+            if self.source is not None:
+                self.source = None
+                self.queue.decr_producers()
+            return dropped
+        # KB: source side stays attached (it will block/drop on a full queue)
+        return []
+
+    def reattach_source(self, ref: ast.PortRef) -> None:
+        """Atomically swap the producer end, keeping pending units.
+
+        Coordinator-internal: used by heal/replace rewiring where the
+        channel conceptually survives, so category semantics (which govern
+        user-visible disconnects) do not apply.
+        """
+        if self.source is None:
+            self.queue.incr_producers()
+        self.source = ref
+
+    def reattach_sink(self, ref: ast.PortRef) -> None:
+        """Atomically swap the consumer end, keeping pending units."""
+        if self.sink is None:
+            self.queue.incr_consumers()
+        self.sink = ref
+
+    def _check_detachable(self) -> None:
+        if self.category is ast.ChannelCategory.KK:
+            raise ChannelError(f"channel {self.name} is KK: ends cannot be detached")
+        if self.category is ast.ChannelCategory.S and not self.queue.is_empty():
+            raise ChannelError(
+                f"channel {self.name} is S-category but holds a pending unit"
+            )
+
+    # -- transfer ------------------------------------------------------------------
+
+    def post(self, msg_id: str, size: int, *, timeout: float | None = None) -> bool:
+        """Enqueue a message id; False if dropped (Figure 6-9 policy)."""
+        return self.queue.post_message(msg_id, size, timeout=timeout)
+
+    def fetch(self, timeout: float | None = 0.0) -> str | None:
+        """Dequeue the oldest message id, or None."""
+        return self.queue.fetch_message(timeout)
+
+    def pending(self) -> int:
+        """Messages currently queued."""
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Channel({self.name}, {self.definition.sync.value}/"
+            f"{self.category.value}, {self.source} -> {self.sink}, "
+            f"{self.pending()} pending)"
+        )

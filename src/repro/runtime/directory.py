@@ -1,0 +1,90 @@
+"""The Streamlet Directory (section 3.3.7).
+
+Providers advertise a service as *(MCL definition, factory)*: the
+definition gives the typed interface MCL compiles against; the factory
+builds executable :class:`~repro.runtime.streamlet.Streamlet` objects on
+demand.  The Streamlet Manager looks implementations up here at
+instantiation time.
+
+A definition whose implementation is another MCL stream never reaches the
+directory — the compiler has already flattened recursive compositions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import DirectoryError
+from repro.mcl import astnodes as ast
+from repro.runtime.streamlet import ForwardingStreamlet, Streamlet
+
+#: factory signature: (instance_id, definition) -> Streamlet
+StreamletFactory = Callable[[str, ast.StreamletDef], Streamlet]
+
+
+class StreamletDirectory:
+    """Name → (definition, factory) registry."""
+
+    def __init__(self):
+        self._entries: dict[str, tuple[ast.StreamletDef, StreamletFactory]] = {}
+
+    def advertise(
+        self,
+        definition: ast.StreamletDef,
+        factory: StreamletFactory | None = None,
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Register a service.  Default factory: a plain forwarder."""
+        if definition.name in self._entries and not replace:
+            raise DirectoryError(f"streamlet {definition.name!r} already advertised")
+        self._entries[definition.name] = (definition, factory or ForwardingStreamlet)
+
+    def withdraw(self, name: str) -> None:
+        """Remove an advertisement; DirectoryError if absent."""
+        if name not in self._entries:
+            raise DirectoryError(f"streamlet {name!r} is not advertised")
+        del self._entries[name]
+
+    def definition(self, name: str) -> ast.StreamletDef:
+        """The advertised definition for ``name``; DirectoryError if absent."""
+        try:
+            return self._entries[name][0]
+        except KeyError:
+            raise DirectoryError(f"no streamlet {name!r} in the directory") from None
+
+    def create(self, name: str, instance_id: str) -> Streamlet:
+        """Instantiate implementation code for a definition."""
+        try:
+            definition, factory = self._entries[name]
+        except KeyError:
+            raise DirectoryError(f"no streamlet {name!r} in the directory") from None
+        instance = factory(instance_id, definition)
+        if not isinstance(instance, Streamlet):
+            raise DirectoryError(
+                f"factory for {name!r} returned {type(instance).__name__}, not a Streamlet"
+            )
+        return instance
+
+    def factory_for(self, definition: ast.StreamletDef) -> StreamletFactory:
+        """The factory for a definition, falling back to a forwarder.
+
+        Used when a compiled table carries definitions (e.g. script-local
+        ones) that were never advertised: they still run, as forwarders.
+        """
+        entry = self._entries.get(definition.name)
+        return entry[1] if entry else ForwardingStreamlet
+
+    def names(self) -> frozenset[str]:
+        """Every advertised service name."""
+        return frozenset(self._entries)
+
+    def definitions(self) -> dict[str, ast.StreamletDef]:
+        """All advertised definitions — feed these to the MCL compiler."""
+        return {name: entry[0] for name, entry in self._entries.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,95 @@
+"""The Event Manager (section 6.4, Figures 6-6 and 6-7).
+
+Maintains one subscriber list per event category; streams subscribe to the
+categories they care about and ignore the rest — "individual stream
+applications may subscribe to events of interest ... while ignoring those
+events that they consider superfluous."
+
+``multicast_event`` walks the category's subscriber list and invokes each
+subscriber's ``on_event``.  Scoped events (``source`` set) reach only the
+named stream, mirroring the ``evtSource`` check of the thesis.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import EventError
+from repro.events import DEFAULT_CATALOG, ContextEvent, EventCatalog, EventCategory
+
+
+class EventSubscriber(Protocol):
+    """What the Event Manager needs from a stream application."""
+
+    @property
+    def name(self) -> str: ...
+
+    def on_event(self, event: ContextEvent) -> None:
+        """Deliver one context event to the subscriber."""
+        ...
+
+
+class EventManager:
+    """Category-indexed publish/subscribe for context events."""
+
+    def __init__(self, catalog: EventCatalog | None = None):
+        self._catalog = catalog if catalog is not None else DEFAULT_CATALOG
+        self._subscribers: dict[EventCategory, list[EventSubscriber]] = {
+            category: [] for category in EventCategory
+        }
+        self.delivered = 0
+        self.filtered = 0
+
+    @property
+    def catalog(self) -> EventCatalog:
+        return self._catalog
+
+    # -- subscription ------------------------------------------------------------
+
+    def subscribe(self, category: EventCategory, subscriber: EventSubscriber) -> None:
+        """Add a subscriber to one category (EventError on duplicates)."""
+        subscribers = self._subscribers[EventCategory(category)]
+        if subscriber in subscribers:
+            raise EventError(
+                f"{getattr(subscriber, 'name', subscriber)!r} already subscribed "
+                f"to {EventCategory(category).name}"
+            )
+        subscribers.append(subscriber)
+
+    def unsubscribe(self, category: EventCategory, subscriber: EventSubscriber) -> None:
+        """Remove a subscriber from one category (EventError if absent)."""
+        subscribers = self._subscribers[EventCategory(category)]
+        try:
+            subscribers.remove(subscriber)
+        except ValueError:
+            raise EventError(
+                f"{getattr(subscriber, 'name', subscriber)!r} is not subscribed "
+                f"to {EventCategory(category).name}"
+            ) from None
+
+    def subscriber_count(self, category: EventCategory) -> int:
+        """Subscribers currently registered for a category."""
+        return len(self._subscribers[EventCategory(category)])
+
+    # -- publication ----------------------------------------------------------------
+
+    def raise_event(self, name: str, source: str | None = None) -> int:
+        """Compose an event from the catalog and multicast it."""
+        return self.multicast_event(self._catalog.make(name, source))
+
+    def multicast_event(self, event: ContextEvent) -> int:
+        """Deliver to every subscriber of the event's category.
+
+        Returns the number of deliveries.  Scoped events (``source`` set)
+        are filtered to the stream with that name — the ``evtSource``
+        check of section 6.4.
+        """
+        count = 0
+        for subscriber in list(self._subscribers[event.category]):
+            if event.source is not None and subscriber.name != event.source:
+                self.filtered += 1
+                continue
+            subscriber.on_event(event)
+            count += 1
+        self.delivered += count
+        return count

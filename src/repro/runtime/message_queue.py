@@ -1,0 +1,164 @@
+"""The MessageQueue base class (section 6.2, Figures 6-3 and 6-9).
+
+A bounded FIFO of ``(message_id, size)`` entries guarded by a condition
+variable — the Python rendering of the Java ``synchronized`` +
+``wait``/``notifyAll`` design.  Capacity is accounted in **bytes** (the
+MCL ``buffer`` attribute is in KB); an empty queue always admits one
+message so a single oversized message cannot deadlock a stream.
+
+``post_message`` implements the Figure 6-9 policy exactly: when the queue
+is full, wait up to ``drop_timeout`` for space; if still full, *drop the
+message* — slow downstream streamlets must not stall the whole stream
+(section 6.7).  Drops are counted, and the caller learns of them from the
+``False`` return so the pool entry can be released.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import QueueClosedError
+
+
+class MessageQueue:
+    """Bounded producer/consumer queue of message ids."""
+
+    def __init__(self, capacity_bytes: int = 100 * 1024, *, drop_timeout: float = 0.0):
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        if drop_timeout < 0:
+            raise ValueError(f"drop_timeout must be >= 0, got {drop_timeout}")
+        self._capacity = capacity_bytes
+        self._drop_timeout = drop_timeout
+        self._entries: deque[tuple[str, int]] = deque()
+        self._bytes = 0
+        self._cond = threading.Condition()
+        self._closed = False
+        # attachment counters (pCount / cCount of Figure 6-3)
+        self.producer_count = 0
+        self.consumer_count = 0
+        # observability
+        self.posted = 0
+        self.fetched = 0
+        self.dropped = 0
+
+    # -- attachment (setIn / setOut of Figure 6-2) ---------------------------------
+
+    def incr_producers(self) -> None:
+        """Attach one producer (pCount of Figure 6-3)."""
+        with self._cond:
+            self.producer_count += 1
+
+    def decr_producers(self) -> None:
+        """Detach one producer (pCount of Figure 6-3)."""
+        with self._cond:
+            if self.producer_count <= 0:
+                raise ValueError("producer count underflow")
+            self.producer_count -= 1
+            self._cond.notify_all()
+
+    def incr_consumers(self) -> None:
+        """Attach one consumer (cCount of Figure 6-3)."""
+        with self._cond:
+            self.consumer_count += 1
+
+    def decr_consumers(self) -> None:
+        """Detach one consumer (cCount of Figure 6-3)."""
+        with self._cond:
+            if self.consumer_count <= 0:
+                raise ValueError("consumer count underflow")
+            self.consumer_count -= 1
+
+    # -- queue state -------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    @property
+    def pending_bytes(self) -> int:
+        with self._cond:
+            return self._bytes
+
+    def is_empty(self) -> bool:
+        """True when nothing is queued."""
+        with self._cond:
+            return not self._entries
+
+    def _has_room(self, size: int) -> bool:
+        return not self._entries or self._bytes + size <= self._capacity
+
+    # -- the paper's postMessage / fetchMessage ----------------------------------------------
+
+    def post_message(self, msg_id: str, size: int, *, timeout: float | None = None) -> bool:
+        """Enqueue; returns False if the message had to be dropped.
+
+        Implements Figure 6-9: wait up to ``timeout`` (default: the
+        queue's ``drop_timeout``) for room, then drop rather than block a
+        fast upstream streamlet forever.  Pass ``timeout=0`` for the
+        non-blocking form schedulers use while holding the topology lock.
+        """
+        wait_for = self._drop_timeout if timeout is None else timeout
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("post on closed queue")
+            if not self._has_room(size):
+                # single bounded wait, as in the thesis code
+                if wait_for > 0:
+                    self._cond.wait(wait_for)
+                if self._closed:
+                    raise QueueClosedError("queue closed while waiting to post")
+                if not self._has_room(size):
+                    self.dropped += 1
+                    return False
+            self._entries.append((msg_id, size))
+            self._bytes += size
+            self.posted += 1
+            self._cond.notify_all()
+            return True
+
+    def fetch_message(self, timeout: float | None = 0.0) -> str | None:
+        """Dequeue the oldest id; None on timeout/empty.
+
+        ``timeout=None`` blocks until a message arrives or the queue
+        closes; ``0.0`` polls.
+        """
+        with self._cond:
+            if timeout is None:
+                while not self._entries and not self._closed:
+                    self._cond.wait()
+            elif timeout > 0 and not self._entries and not self._closed:
+                self._cond.wait(timeout)
+            if not self._entries:
+                if self._closed:
+                    raise QueueClosedError("fetch on closed, drained queue")
+                return None
+            msg_id, size = self._entries.popleft()
+            self._bytes -= size
+            self.fetched += 1
+            self._cond.notify_all()
+            return msg_id
+
+    def drain(self) -> list[str]:
+        """Remove and return every queued id (used by BB/KB teardown)."""
+        with self._cond:
+            ids = [msg_id for msg_id, _ in self._entries]
+            self._entries.clear()
+            self._bytes = 0
+            self._cond.notify_all()
+            return ids
+
+    def close(self) -> None:
+        """No further posts; fetch drains what remains, then raises."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

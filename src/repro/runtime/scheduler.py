@@ -1,0 +1,251 @@
+"""Execution engines for the Streamlet Execution Plane (section 3.3.4).
+
+Two engines drive the same :class:`~repro.runtime.stream.RuntimeStream`:
+
+* :class:`InlineScheduler` — deterministic, single-threaded: repeatedly
+  walks the instances in (topological) processing order, moving one
+  message per input port per round.  Used by tests and by the virtual-time
+  experiments, where reproducibility matters more than parallelism.
+* :class:`ThreadedScheduler` — one worker thread per streamlet instance,
+  condition-variable queues, faithful to the Java design ("extensive use
+  of multi-threading", section 7.4).  Reconfiguration takes the stream's
+  topology lock, so wiring never changes under a worker's feet.
+
+Both engines implement the same message step: fetch an id, check the
+message out of the pool, call ``process``, push the peer id when the
+streamlet has one, and post the results — dropping (and counting) any
+emission aimed at an unconnected port, which is exactly the open-circuit
+hazard the chapter-5 analysis exists to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import QueueClosedError
+from repro.runtime.channel import Channel
+from repro.runtime.stream import RuntimeStream, _Node
+from repro.runtime.streamlet import StreamletState
+
+
+#: a post that found its queue full while the topology lock was held;
+#: retried outside the lock so consumers can drain in the meantime
+_Stalled = tuple["Channel", str, int]
+
+
+def _step_node(
+    stream: RuntimeStream, name: str, node: _Node,
+    stalled: list[_Stalled] | None = None,
+) -> int:
+    """Move at most one message through each of the node's input ports."""
+    if node.streamlet.state is not StreamletState.ACTIVE:
+        return 0
+    moved = 0
+    for port, channel in list(node.inputs.items()):
+        try:
+            msg_id = channel.fetch(0.0)
+        except QueueClosedError:
+            continue
+        if msg_id is None:
+            continue
+        moved += _process_message(stream, name, node, port, msg_id, stalled)
+    return moved
+
+
+def _process_message(
+    stream: RuntimeStream, name: str, node: _Node, port: str, msg_id: str,
+    stalled: list[_Stalled] | None = None,
+) -> int:
+    message = stream.pool.checkout(msg_id)
+    node.ctx.session = message.session
+    try:
+        emissions = node.streamlet.process(port, message, node.ctx)
+    except Exception as exc:  # fault containment: one bad message must not
+        stream.pool.release(msg_id)  # take the stream down (section 3.3.5)
+        stream.stats.processing_failures += 1
+        if stream.failure_hook is not None:
+            stream.failure_hook(name, exc)
+        return 1
+    node.streamlet.processed += 1
+    stream.stats.processed += 1
+    if not emissions:
+        stream.pool.release(msg_id)  # absorbed (cache hit, filter, ...)
+        return 1
+    peer = node.streamlet.peer_id
+    reused_id = False
+    for out_port, out_msg in emissions:
+        if peer is not None:
+            out_msg.headers.push_peer(peer)
+        if not reused_id:
+            out_id = msg_id
+            if out_msg is not message:
+                stream.pool.rebind(msg_id, out_msg)
+            reused_id = True
+        else:
+            out_id = stream.pool.admit(out_msg)
+        out_channel: Channel | None = node.outputs.get(out_port)
+        if out_channel is None:
+            # open circuit at runtime: the message has nowhere to go
+            stream.pool.release(out_id)
+            stream.stats.open_circuit_drops += 1
+            continue
+        # never block while (possibly) holding the topology lock: a waiting
+        # producer would starve the consumer that could free the space.
+        # Once a channel has a stalled message, later emissions to it queue
+        # behind (FIFO order must survive the retry path).
+        already_stalled = stalled is not None and any(
+            ch is out_channel for ch, _, _ in stalled
+        )
+        if already_stalled or not out_channel.post(
+            out_id, out_msg.total_size(), timeout=0
+        ):
+            if stalled is not None:
+                stalled.append((out_channel, out_id, out_msg.total_size()))
+            else:
+                stream.pool.release(out_id)
+                stream.stats.queue_drops += 1
+    return 1
+
+
+class InlineScheduler:
+    """Deterministic cooperative pump."""
+
+    def __init__(self, stream: RuntimeStream):
+        self._stream = stream
+
+    def pump(self, *, max_rounds: int | None = None) -> int:
+        """Process until quiescent (or ``max_rounds``); returns moves made."""
+        stream = self._stream
+        total = 0
+        rounds = 0
+        while True:
+            moved = 0
+            with stream.topology_lock:
+                for name in stream.processing_order():
+                    node = stream._nodes.get(name)
+                    if node is not None:
+                        moved += _step_node(stream, name, node)
+            total += moved
+            rounds += 1
+            if moved == 0:
+                return total
+            if max_rounds is not None and rounds >= max_rounds:
+                return total
+
+    def run_to_completion(self, messages, port=0) -> list:
+        """Post each message, pump, and return everything collected."""
+        out = []
+        for message in messages:
+            self._stream.post(message, port)
+            self.pump()
+            out.extend(self._stream.collect())
+        self.pump()
+        out.extend(self._stream.collect())
+        return out
+
+
+class ThreadedScheduler:
+    """One worker thread per streamlet instance (the Java model)."""
+
+    def __init__(self, stream: RuntimeStream, *, poll_interval: float = 0.001):
+        self._stream = stream
+        self._poll = poll_interval
+        self._threads: dict[str, threading.Thread] = {}
+        self._stop = threading.Event()
+        self._in_retry = 0                 # workers currently retrying a stall
+        self._retry_lock = threading.Lock()
+
+    def start(self) -> None:
+        """Spawn one worker thread per current instance."""
+        if self._threads:
+            raise RuntimeError("scheduler already started")
+        self._stop.clear()
+        with self._stream.topology_lock:
+            names = self._stream.instance_names()
+        for name in names:
+            self._spawn(name)
+
+    def _spawn(self, name: str) -> None:
+        thread = threading.Thread(
+            target=self._worker, args=(name,), name=f"streamlet-{name}", daemon=True
+        )
+        self._threads[name] = thread
+        thread.start()
+
+    def _worker(self, name: str) -> None:
+        stream = self._stream
+        while not self._stop.is_set():
+            stalled: list[_Stalled] = []
+            with stream.topology_lock:
+                node = stream._nodes.get(name)
+                if node is None:
+                    return  # instance was removed by a reconfiguration
+                moved = _step_node(stream, name, node, stalled)
+            # full-queue posts retry OUTSIDE the topology lock so the
+            # downstream consumer can drain; deadline = the Figure 6-9
+            # drop timeout, after which the message is dropped
+            if stalled:
+                with self._retry_lock:
+                    self._in_retry += 1
+            for channel, msg_id, size in stalled:
+                deadline = time.monotonic() + stream._drop_timeout
+                posted = False
+                while not self._stop.is_set():
+                    try:
+                        remaining = deadline - time.monotonic()
+                        if channel.post(msg_id, size, timeout=max(0.0, min(0.05, remaining))):
+                            posted = True
+                            break
+                    except QueueClosedError:
+                        break
+                    if time.monotonic() >= deadline:
+                        break
+                if not posted:
+                    if msg_id in stream.pool:
+                        stream.pool.release(msg_id)
+                    stream.stats.queue_drops += 1
+            if stalled:
+                with self._retry_lock:
+                    self._in_retry -= 1
+            if moved == 0:
+                time.sleep(self._poll)
+
+    def ensure_workers(self) -> None:
+        """Spawn threads for instances added by reconfiguration."""
+        with self._stream.topology_lock:
+            names = self._stream.instance_names()
+        for name in names:
+            existing = self._threads.get(name)
+            if existing is None or not existing.is_alive():
+                self._spawn(name)
+
+    def drain(self, *, timeout: float = 5.0, settle: float = 0.01) -> bool:
+        """Wait until every channel is empty for ``settle`` seconds straight."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._quiescent():
+                time.sleep(settle)
+                if self._quiescent():
+                    return True
+            time.sleep(self._poll)
+        return False
+
+    def _quiescent(self) -> bool:
+        with self._retry_lock:
+            if self._in_retry:
+                return False  # a worker still holds a stalled message
+        stream = self._stream
+        with stream.topology_lock:
+            for node in stream._nodes.values():
+                for channel in node.inputs.values():
+                    if not channel.queue.is_empty():
+                        return False
+        return True
+
+    def stop(self, *, timeout: float = 2.0) -> None:
+        """Signal workers to exit and join them."""
+        self._stop.set()
+        for thread in self._threads.values():
+            thread.join(timeout)
+        self._threads.clear()

@@ -1,0 +1,823 @@
+"""RuntimeStream — a deployed stream application (section 6.3).
+
+Built by the Coordination Manager from a compiled configuration table, a
+RuntimeStream owns:
+
+* one executable :class:`~repro.runtime.streamlet.Streamlet` per instance
+  (drawn from the Streamlet Manager, pooled when stateless),
+* one :class:`~repro.runtime.channel.Channel` per link, plus ingress/
+  egress channels on the exposed ports,
+* the **composition primitives** of Figure 6-4 — ``connect``,
+  ``disconnect``, ``insert``, ``remove``, ``replace`` — used both by the
+  initial deployment and by ``on_event`` reconfiguration handlers,
+* the Equation 7-1 reconfiguration timing:
+  ``T = Σ suspend + n·channel-ops + Σ activate``.
+
+Message loss avoidance (section 6.6): the Figure 6-8 prerequisites are
+checked before a streamlet is detached — it must be paused, its input
+channels drained, and no message mid-flight — unless the caller forces.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    CompositionError,
+    ReconfigurationError,
+)
+from repro.events import ContextEvent
+from repro.mcl import astnodes as ast
+from repro.mcl.compiler import DEFAULT_CHANNEL_DEF
+from repro.mcl.config import ConfigurationTable
+from repro.mcl.typecheck import check_connection
+from repro.mime.message import MimeMessage
+from repro.mime.registry import TypeRegistry, default_registry
+from repro.runtime.channel import Channel
+from repro.runtime.message_pool import MessagePool, PassMode
+from repro.runtime.streamlet import Streamlet, StreamletContext, StreamletState
+from repro.runtime.streamlet_manager import StreamletManager
+from repro.util.clock import Clock, WallClock
+
+_INGRESS = "__ingress__"
+_EGRESS = "__egress__"
+
+#: ingress/egress carriers: effectively unbounded so the harness never drops
+_EDGE_CHANNEL_DEF = ast.ChannelDef(
+    name="__edge",
+    in_port=ast.PortDecl(ast.PortDirection.IN, "cin", DEFAULT_CHANNEL_DEF.in_port.mediatype),
+    out_port=ast.PortDecl(ast.PortDirection.OUT, "cout", DEFAULT_CHANNEL_DEF.out_port.mediatype),
+    sync=ast.ChannelSync.ASYNC,
+    category=ast.ChannelCategory.BK,
+    buffer_kb=1 << 20,
+    description="runtime edge channel",
+)
+
+
+@dataclass
+class _Node:
+    """One deployed streamlet instance plus its port wiring."""
+
+    streamlet: Streamlet
+    definition: ast.StreamletDef
+    ctx: StreamletContext
+    inputs: dict[str, Channel] = field(default_factory=dict)
+    outputs: dict[str, Channel] = field(default_factory=dict)
+
+
+@dataclass
+class ReconfigTiming:
+    """The Equation 7-1 terms, in seconds."""
+
+    suspend: float = 0.0
+    channel_ops: float = 0.0
+    activate: float = 0.0
+    actions: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.suspend + self.channel_ops + self.activate
+
+    def merge(self, other: "ReconfigTiming") -> None:
+        """Accumulate another timing into this one."""
+        self.suspend += other.suspend
+        self.channel_ops += other.channel_ops
+        self.activate += other.activate
+        self.actions += other.actions
+
+
+@dataclass
+class StreamStats:
+    messages_in: int = 0
+    messages_out: int = 0
+    processed: int = 0
+    queue_drops: int = 0
+    open_circuit_drops: int = 0
+    processing_failures: int = 0
+    events_handled: int = 0
+
+
+class RuntimeStream:
+    """A live composition of streamlets connected by channels."""
+
+    def __init__(
+        self,
+        table: ConfigurationTable,
+        manager: StreamletManager,
+        *,
+        pool: MessagePool | None = None,
+        registry: TypeRegistry | None = None,
+        clock: Clock | None = None,
+        session: str | None = None,
+        drop_timeout: float = 0.0,
+    ):
+        self.table = table
+        self.name = table.stream_name
+        self._manager = manager
+        self.pool = pool if pool is not None else MessagePool(PassMode.REFERENCE)
+        self._registry = registry if registry is not None else default_registry()
+        self._clock = clock if clock is not None else WallClock()
+        self.session = session
+        self._drop_timeout = drop_timeout
+        self.stats = StreamStats()
+        self.topology_lock = threading.RLock()
+
+        self._nodes: dict[str, _Node] = {}
+        self._channels: dict[str, Channel] = {}
+        self._auto_counter = 0
+        self._started = False
+        self._ended = False
+        self._order_dirty = True
+        self._order: list[str] = []
+
+        self.ingress: dict[str, Channel] = {}   # "inst.port" -> channel
+        self.egress: list[tuple[ast.PortRef, Channel]] = []
+        self.last_reconfig: ReconfigTiming | None = None
+        #: called as (instance_id, exception) when a streamlet's process()
+        #: raises; the Coordination Manager wires this to the Event Manager
+        #: ("events may be caused ... by exceptions in streamlet executions")
+        self.failure_hook = None
+
+        self._deploy()
+
+    # -- deployment -------------------------------------------------------------------
+
+    def _deploy(self) -> None:
+        for name, definition in self.table.instances.items():
+            self._create_node(name, definition)
+        for name, entry in self.table.channels.items():
+            self._channels[name] = Channel(
+                name, entry.definition, drop_timeout=self._drop_timeout
+            )
+        for link in self.table.links:
+            self._wire(link.source, link.sink, self._channels[link.channel])
+        for index, ref in enumerate(self.table.exposed_in):
+            channel = Channel(
+                f"__in{index}", _EDGE_CHANNEL_DEF, drop_timeout=self._drop_timeout
+            )
+            channel.attach_source(ast.PortRef(_INGRESS, f"i{index}"))
+            channel.attach_sink(ref)
+            self._nodes[ref.instance].inputs[ref.port] = channel
+            self.ingress[str(ref)] = channel
+        for index, ref in enumerate(self.table.exposed_out):
+            channel = Channel(
+                f"__out{index}", _EDGE_CHANNEL_DEF, drop_timeout=self._drop_timeout
+            )
+            channel.attach_source(ref)
+            channel.attach_sink(ast.PortRef(_EGRESS, f"o{index}"))
+            self._nodes[ref.instance].outputs[ref.port] = channel
+            self.egress.append((ref, channel))
+
+    def _create_node(self, name: str, definition: ast.StreamletDef) -> _Node:
+        streamlet = self._manager.acquire(name, definition)
+        ctx = StreamletContext(instance_id=name, session=self.session)
+        node = _Node(streamlet=streamlet, definition=definition, ctx=ctx)
+        self._nodes[name] = node
+        self._order_dirty = True
+        return node
+
+    def _wire(self, source: ast.PortRef, sink: ast.PortRef, channel: Channel) -> None:
+        channel.attach_source(source)
+        channel.attach_sink(sink)
+        self._nodes[source.instance].outputs[source.port] = channel
+        self._nodes[sink.instance].inputs[sink.port] = channel
+        self._order_dirty = True
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Activate every streamlet and fire their on_start hooks."""
+        if self._started:
+            raise CompositionError(f"stream {self.name} already started")
+        for node in self._nodes.values():
+            node.streamlet.activate()
+            node.streamlet.on_start(node.ctx)
+        self._started = True
+
+    def end(self) -> None:
+        """End every streamlet, close channels, release instances (idempotent)."""
+        if self._ended:
+            return
+        for node in self._nodes.values():
+            if node.streamlet.state is not StreamletState.ENDED:
+                node.streamlet.end()
+                node.streamlet.on_end(node.ctx)
+            self._manager.release(node.streamlet)
+        for channel in self._channels.values():
+            channel.queue.close()
+        for channel in self.ingress.values():
+            channel.queue.close()
+        self._ended = True
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    # -- node/channel accessors --------------------------------------------------------------
+
+    def node(self, name: str) -> _Node:
+        """The live node for ``name``; CompositionError if absent."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise CompositionError(f"no streamlet instance {name!r} in {self.name}") from None
+
+    def channel(self, name: str) -> Channel:
+        """The channel instance named ``name``; CompositionError if absent."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise CompositionError(f"no channel instance {name!r} in {self.name}") from None
+
+    def instance_names(self) -> list[str]:
+        """Names of the live streamlet instances."""
+        return list(self._nodes)
+
+    def set_param(self, instance: str, key: str, value: object) -> None:
+        """Set a streamlet operation parameter (the §8.2.1 control interface).
+
+        "Each streamlet will have two methods to communicate with the
+        external world: data ports ... and control interfaces to receive
+        parameter setting information from the coordinator."  Parameters
+        land in the instance's :class:`StreamletContext` and take effect
+        on the next message.
+        """
+        self.node(instance).ctx.params[key] = value
+
+    def get_param(self, instance: str, key: str, default: object = None) -> object:
+        """Read a streamlet operation parameter (control interface)."""
+        return self.node(instance).ctx.params.get(key, default)
+
+    # -- runtime re-verification (chapter 5 "also during runtime") ---------------------
+
+    def snapshot_table(self) -> ConfigurationTable:
+        """A configuration table describing the *current* live wiring.
+
+        Reconfigurations mutate the topology away from the compiled table;
+        this snapshot lets the chapter-5 analyses re-run against reality.
+        """
+        from repro.mcl.config import ChannelEntry, Link
+
+        channels: dict[str, ChannelEntry] = {}
+        links: list[Link] = []
+        exposed_in: list[ast.PortRef] = []
+        exposed_out: list[ast.PortRef] = []
+        with self.topology_lock:
+            for name, node in self._nodes.items():
+                for port, channel in node.outputs.items():
+                    if channel.sink is None:
+                        continue
+                    if channel.sink.instance == _EGRESS:
+                        exposed_out.append(ast.PortRef(name, port))
+                        continue
+                    channels[channel.name] = ChannelEntry(
+                        name=channel.name, definition=channel.definition,
+                        auto=channel.name.startswith("__"),
+                    )
+                    decl = node.definition.port(port)
+                    links.append(Link(
+                        source=ast.PortRef(name, port),
+                        sink=channel.sink,
+                        channel=channel.name,
+                        mediatype=decl.mediatype if decl else None,  # type: ignore[arg-type]
+                    ))
+                for port, channel in node.inputs.items():
+                    if channel.source is not None and channel.source.instance == _INGRESS:
+                        exposed_in.append(ast.PortRef(name, port))
+            return ConfigurationTable(
+                stream_name=self.name,
+                instances={name: node.definition for name, node in self._nodes.items()},
+                channels=channels,
+                links=links,
+                handlers=dict(self.table.handlers),
+                exposed_in=tuple(exposed_in),
+                exposed_out=tuple(exposed_out),
+                streamlet_defs=dict(self.table.streamlet_defs),
+                channel_defs=dict(self.table.channel_defs),
+            )
+
+    def verify_topology(self, *, terminal_definitions=frozenset()) -> None:
+        """Re-run the chapter-5 analyses on the live topology.
+
+        Raises the matching :class:`~repro.errors.SemanticError` if a
+        reconfiguration has driven the stream into an inconsistent shape
+        (feedback loop, open circuit, relation violations).
+        """
+        from repro.semantics import verify as _verify
+
+        _verify(self.snapshot_table(), terminal_definitions=terminal_definitions)
+
+    def channel_names(self) -> list[str]:
+        """Names of the live channel instances."""
+        return list(self._channels)
+
+    def processing_order(self) -> list[str]:
+        """Topological-ish order for the inline scheduler (cached)."""
+        if not self._order_dirty:
+            return self._order
+        # Kahn over the current wiring; cycles fall back to insertion order
+        succ: dict[str, set[str]] = {name: set() for name in self._nodes}
+        indeg: dict[str, int] = dict.fromkeys(self._nodes, 0)
+        for name, node in self._nodes.items():
+            for channel in node.outputs.values():
+                if channel.sink is not None and channel.sink.instance in self._nodes:
+                    if channel.sink.instance not in succ[name]:
+                        succ[name].add(channel.sink.instance)
+                        indeg[channel.sink.instance] += 1
+        ready = [n for n in self._nodes if indeg[n] == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for nxt in succ[name]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._nodes):  # cyclic wiring: stable fallback
+            order = list(self._nodes)
+        self._order = order
+        self._order_dirty = False
+        return order
+
+    # -- ingress / egress ----------------------------------------------------------------------
+
+    def post(self, message: MimeMessage, port: ast.PortRef | str | int = 0) -> str:
+        """Admit a message and enqueue it on an exposed input port."""
+        if isinstance(port, int):
+            try:
+                ref = self.table.exposed_in[port]
+            except IndexError:
+                raise CompositionError(
+                    f"stream {self.name} has {len(self.table.exposed_in)} ingress "
+                    f"port(s); index {port} is out of range"
+                ) from None
+            key = str(ref)
+        elif isinstance(port, ast.PortRef):
+            key = str(port)
+        else:
+            key = port
+        try:
+            channel = self.ingress[key]
+        except KeyError:
+            raise CompositionError(f"no ingress port {key!r} on stream {self.name}") from None
+        if self.session is not None and message.session is None:
+            message.headers.session = self.session
+        msg_id = self.pool.admit(message)
+        if channel.post(msg_id, message.total_size()):
+            self.stats.messages_in += 1
+        else:
+            self.pool.release(msg_id)
+            self.stats.queue_drops += 1
+        return msg_id
+
+    def collect(self) -> list[MimeMessage]:
+        """Drain every egress channel; returns delivered messages in order."""
+        out: list[MimeMessage] = []
+        for _ref, channel in self.egress:
+            while True:
+                msg_id = channel.fetch(0.0)
+                if msg_id is None:
+                    break
+                out.append(self.pool.release(msg_id))
+                self.stats.messages_out += 1
+        return out
+
+    # -- composition primitives (Figure 6-4) ---------------------------------------------------------
+
+    def new_streamlet(self, name: str, definition_name: str) -> None:
+        """Instantiate a (dormant) streamlet from a known definition."""
+        if name in self._nodes or name in self._channels:
+            raise CompositionError(f"instance name {name!r} already in use")
+        definition = self.table.streamlet_defs.get(definition_name)
+        if definition is None:
+            raise CompositionError(f"unknown streamlet definition {definition_name!r}")
+        node = self._create_node(name, definition)
+        if self._started:
+            node.streamlet.activate()
+            node.streamlet.on_start(node.ctx)
+
+    def new_channel(self, name: str, definition_name: str) -> None:
+        """Instantiate a channel from a definition known to the table."""
+        if name in self._channels or name in self._nodes:
+            raise CompositionError(f"instance name {name!r} already in use")
+        definition = self.table.channel_defs.get(definition_name)
+        if definition is None:
+            raise CompositionError(f"unknown channel definition {definition_name!r}")
+        self._channels[name] = Channel(name, definition, drop_timeout=self._drop_timeout)
+
+    def _auto_channel(self) -> Channel:
+        name = f"__rt_auto{self._auto_counter}"
+        self._auto_counter += 1
+        channel = Channel(name, DEFAULT_CHANNEL_DEF, drop_timeout=self._drop_timeout)
+        self._channels[name] = channel
+        return channel
+
+    def connect(
+        self,
+        source: ast.PortRef | str,
+        sink: ast.PortRef | str,
+        channel_name: str | None = None,
+    ) -> None:
+        """Wire source → (channel) → sink, with 4.4.1 type checks."""
+        source = _as_ref(source)
+        sink = _as_ref(sink)
+        src_node = self.node(source.instance)
+        dst_node = self.node(sink.instance)
+        if channel_name is not None:
+            channel = self.channel(channel_name)
+            if channel.source is not None or channel.sink is not None:
+                raise CompositionError(
+                    f"channel {channel_name!r} already carries a connection"
+                )
+        else:
+            channel = self._auto_channel()
+        check_connection(
+            self._registry,
+            src_node.definition,
+            source,
+            dst_node.definition,
+            sink,
+            channel.definition,
+        )
+        if source.port in src_node.outputs:
+            raise CompositionError(f"port {source} is already connected")
+        if sink.port in dst_node.inputs:
+            raise CompositionError(f"port {sink} is already connected")
+        self._wire(source, sink, channel)
+
+    def disconnect(self, source: ast.PortRef | str, sink: ast.PortRef | str) -> None:
+        """Break one link; category semantics decide pending units' fate."""
+        source = _as_ref(source)
+        sink = _as_ref(sink)
+        src_node = self.node(source.instance)
+        dst_node = self.node(sink.instance)
+        channel = src_node.outputs.get(source.port)
+        if channel is None or channel.sink != sink:
+            raise CompositionError(f"no connection between {source} and {sink}")
+        dropped = channel.detach_source()
+        if channel.sink is not None:
+            dropped += channel.detach_sink()
+        self._release_dropped(dropped)
+        del src_node.outputs[source.port]
+        dst_node.inputs.pop(sink.port, None)
+        self._forget_channel(channel)
+        self._order_dirty = True
+
+    def disconnect_all(self, instance: str) -> None:
+        """Break every non-edge link of an instance."""
+        node = self.node(instance)
+        for port, channel in list(node.outputs.items()):
+            if channel.sink is not None and channel.sink.instance != _EGRESS:
+                self.disconnect(ast.PortRef(instance, port), channel.sink)
+        for port, channel in list(node.inputs.items()):
+            if channel.source is not None and channel.source.instance != _INGRESS:
+                self.disconnect(channel.source, ast.PortRef(instance, port))
+
+    def insert(
+        self,
+        source: ast.PortRef | str,
+        sink: ast.PortRef | str,
+        instance: str,
+    ) -> ReconfigTiming:
+        """Splice ``instance`` into the link source→sink (Figure 7-4).
+
+        The inserted streamlet must have exactly one input and one output
+        port.  The existing channel keeps feeding the sink (its pending
+        units survive, as BK semantics promise); a fresh channel joins the
+        source to the newcomer.
+        """
+        source = _as_ref(source)
+        sink = _as_ref(sink)
+        timing = ReconfigTiming(actions=1)
+        src_node = self.node(source.instance)
+        dst_node = self.node(sink.instance)
+        new_node = self.node(instance)
+        ins = new_node.definition.inputs()
+        outs = new_node.definition.outputs()
+        if len(ins) != 1 or len(outs) != 1:
+            raise ReconfigurationError(
+                f"insert target {instance} must have exactly one in and one out port"
+            )
+        channel = src_node.outputs.get(source.port)
+        if channel is None or channel.sink != sink:
+            raise ReconfigurationError(f"no connection between {source} and {sink}")
+
+        # 1-2) suspend the producer and detach it from channel m
+        t0 = self._clock.now()
+        was_active = src_node.streamlet.is_active
+        if was_active:
+            src_node.streamlet.pause()
+        timing.suspend += self._clock.now() - t0
+
+        t0 = self._clock.now()
+        dropped = channel.detach_source()
+        if channel.sink is None:  # BB/KB semantics broke the sink side too
+            channel.attach_sink(sink)
+        self._release_dropped(dropped)
+        del src_node.outputs[source.port]
+        # 3) attach the newcomer's output to channel m
+        new_out = ast.PortRef(instance, outs[0].name)
+        check_connection(
+            self._registry, new_node.definition, new_out,
+            dst_node.definition, sink, channel.definition,
+        )
+        channel.attach_source(new_out)
+        new_node.outputs[outs[0].name] = channel
+        # 4) create channel n between the producer and the newcomer
+        new_in = ast.PortRef(instance, ins[0].name)
+        fresh = self._auto_channel()
+        check_connection(
+            self._registry, src_node.definition, source,
+            new_node.definition, new_in, fresh.definition,
+        )
+        fresh.attach_source(source)
+        fresh.attach_sink(new_in)
+        src_node.outputs[source.port] = fresh
+        new_node.inputs[ins[0].name] = fresh
+        timing.channel_ops += self._clock.now() - t0
+
+        # 5) make sure the newcomer runs, 6) resume the producer
+        t0 = self._clock.now()
+        if self._started:
+            if new_node.streamlet.state is StreamletState.CREATED:
+                new_node.streamlet.activate()
+                new_node.streamlet.on_start(new_node.ctx)
+            elif new_node.streamlet.state is StreamletState.PAUSED:
+                new_node.streamlet.activate()  # re-inserted after an extract
+        if was_active:
+            src_node.streamlet.activate()
+        timing.activate += self._clock.now() - t0
+        self._order_dirty = True
+        return timing
+
+    def remove_streamlet(self, name: str, *, heal: bool = True, force: bool = False) -> None:
+        """Remove an instance, honouring the Figure 6-8 prerequisites.
+
+        With ``heal`` (default), a single-in/single-out streamlet's
+        neighbours are re-joined through the upstream channel so the flow
+        survives.  Without ``force``, pending input traffic aborts the
+        removal (message loss avoidance, section 6.6).
+        """
+        node = self.node(name)
+        if not force:
+            waiting = [
+                ch.name for ch in node.inputs.values() if not ch.queue.is_empty()
+            ]
+            if waiting:
+                raise ReconfigurationError(
+                    f"cannot remove {name}: input channel(s) {waiting} still hold "
+                    "messages (drain the stream first or pass force=True)"
+                )
+        if not (heal and self._heal_around(node)):
+            self.disconnect_all(name)
+        # drop edge (ingress/egress) attachments, releasing stuck messages
+        for channel in list(node.inputs.values()) + list(node.outputs.values()):
+            self._release_dropped(channel.queue.drain())
+            channel.queue.close()
+        if node.streamlet.state is not StreamletState.ENDED:
+            node.streamlet.end()
+            node.streamlet.on_end(node.ctx)
+        self._manager.release(node.streamlet)
+        del self._nodes[name]
+        self.ingress = {k: v for k, v in self.ingress.items() if not k.startswith(name + ".")}
+        self.egress = [(r, c) for r, c in self.egress if r.instance != name]
+        self._order_dirty = True
+
+    def extract_streamlet(self, name: str, *, force: bool = False) -> None:
+        """Detach an instance from the topology but keep it dormant.
+
+        The MCL ``remove`` primitive: the streamlet is paused and unwired
+        (healing single-in/single-out chains like :meth:`remove_streamlet`),
+        ready to be spliced back by a later ``insert``.
+        """
+        node = self.node(name)
+        if not force:
+            waiting = [ch.name for ch in node.inputs.values() if not ch.queue.is_empty()]
+            if waiting:
+                raise ReconfigurationError(
+                    f"cannot extract {name}: input channel(s) {waiting} still hold "
+                    "messages (drain the stream first or pass force=True)"
+                )
+        if not self._heal_around(node):
+            self.disconnect_all(name)
+        if node.streamlet.is_active:
+            node.streamlet.pause()
+        self._order_dirty = True
+
+    def _heal_around(self, node: _Node) -> bool:
+        """Join a single-in/single-out node's neighbours around it.
+
+        The predecessor inherits the *downstream* channel so messages the
+        node already emitted stay ahead of messages it never saw (message-
+        loss avoidance); the upstream channel's pending units are re-posted
+        behind them.  Returns False when the wiring shape does not allow a
+        heal (caller falls back to plain disconnection).
+        """
+        in_links = [
+            (port, ch) for port, ch in node.inputs.items()
+            if ch.source is not None and ch.source.instance != _INGRESS
+        ]
+        out_links = [
+            (port, ch) for port, ch in node.outputs.items()
+            if ch.sink is not None and ch.sink.instance != _EGRESS
+        ]
+        if len(in_links) != 1 or len(out_links) != 1:
+            return False
+        (_, upstream), (_, downstream) = in_links[0], out_links[0]
+        predecessor = upstream.source
+        pred_node = self.node(predecessor.instance)
+        pending = upstream.queue.drain()
+        upstream.queue.close()
+        self._forget_channel(upstream)
+        downstream.reattach_source(predecessor)
+        pred_node.outputs[predecessor.port] = downstream
+        for msg_id in pending:
+            if not downstream.post(msg_id, self.pool.size_of(msg_id)):
+                self._release_dropped([msg_id])
+        node.inputs.clear()
+        node.outputs.clear()
+        return True
+
+    def replace(self, old: str, new: str) -> None:
+        """Swap ``old`` for the dormant instance ``new``, keeping the wiring.
+
+        Port names must match; types are re-checked against each attached
+        channel's counterpart.
+        """
+        old_node = self.node(old)
+        new_node = self.node(new)
+        if new_node.inputs or new_node.outputs:
+            raise ReconfigurationError(f"replacement {new!r} is already wired")
+        for port, channel in old_node.inputs.items():
+            decl = new_node.definition.port(port)
+            if decl is None or decl.direction is not ast.PortDirection.IN:
+                raise ReconfigurationError(
+                    f"replacement {new!r} lacks input port {port!r} of {old!r}"
+                )
+        for port, channel in old_node.outputs.items():
+            decl = new_node.definition.port(port)
+            if decl is None or decl.direction is not ast.PortDirection.OUT:
+                raise ReconfigurationError(
+                    f"replacement {new!r} lacks output port {port!r} of {old!r}"
+                )
+        for port, channel in list(old_node.inputs.items()):
+            channel.reattach_sink(ast.PortRef(new, port))
+            new_node.inputs[port] = channel
+            if channel.source is not None and channel.source.instance == _INGRESS:
+                # keep the ingress map addressing the new instance
+                for key, chan in list(self.ingress.items()):
+                    if chan is channel:
+                        del self.ingress[key]
+                        self.ingress[str(ast.PortRef(new, port))] = channel
+        for port, channel in list(old_node.outputs.items()):
+            channel.reattach_source(ast.PortRef(new, port))
+            new_node.outputs[port] = channel
+            if channel.sink is not None and channel.sink.instance == _EGRESS:
+                self.egress = [
+                    (ast.PortRef(new, port), c) if c is channel else (r, c)
+                    for r, c in self.egress
+                ]
+        old_node.inputs.clear()
+        old_node.outputs.clear()
+        if self._started and new_node.streamlet.state is StreamletState.CREATED:
+            new_node.streamlet.activate()
+            new_node.streamlet.on_start(new_node.ctx)
+        self.remove_streamlet(old, heal=False, force=True)
+
+    def remove_channel(self, name: str) -> None:
+        """Destroy an unused channel instance."""
+        channel = self.channel(name)
+        if channel.source is not None or channel.sink is not None:
+            raise CompositionError(f"channel {name!r} still carries a connection")
+        del self._channels[name]
+
+    def _forget_channel(self, channel: Channel) -> None:
+        if channel.name in self._channels and channel.name.startswith("__"):
+            del self._channels[channel.name]
+
+    def _release_dropped(self, msg_ids: list[str]) -> None:
+        for msg_id in msg_ids:
+            if msg_id in self.pool:
+                self.pool.release(msg_id)
+            self.stats.queue_drops += 1
+
+    # -- event-driven reconfiguration (section 6.4 / 7.4) ---------------------------------------------------
+
+    def on_event(self, event: ContextEvent) -> ReconfigTiming | None:
+        """React to a context event.
+
+        System Command events (Table 6-1) get built-in behaviour — PAUSE
+        suspends every streamlet, RESUME reactivates them, END tears the
+        stream down — *after* any custom handler the script declares for
+        them.  Other events only run their compiled ``when`` handler.
+        """
+        timing: ReconfigTiming | None = None
+        actions = self.table.handlers.get(event.event_id)
+        if actions is not None:
+            with self.topology_lock:
+                timing = self._execute_actions(actions)
+            self.stats.events_handled += 1
+            self.last_reconfig = timing
+        if event.event_id == "PAUSE":
+            self.pause_all()
+        elif event.event_id == "RESUME":
+            self.resume_all()
+        elif event.event_id == "END":
+            self.end()
+        return timing
+
+    def pause_all(self) -> None:
+        """Suspend every active streamlet (the PAUSE system command)."""
+        with self.topology_lock:
+            for node in self._nodes.values():
+                if node.streamlet.is_active:
+                    node.streamlet.pause()
+
+    def resume_all(self) -> None:
+        """Reactivate every paused streamlet (the RESUME system command)."""
+        with self.topology_lock:
+            for node in self._nodes.values():
+                if node.streamlet.state is StreamletState.PAUSED:
+                    node.streamlet.activate()
+
+    def _execute_actions(self, actions) -> ReconfigTiming:
+        timing = ReconfigTiming()
+        for action in actions:
+            if isinstance(action, ast.NewInstances):
+                t0 = self._clock.now()
+                for name in action.names:
+                    if action.kind == "channel":
+                        self.new_channel(name, action.definition)
+                    else:
+                        self.new_streamlet(name, action.definition)
+                timing.channel_ops += self._clock.now() - t0
+                timing.actions += 1
+            elif isinstance(action, ast.Connect):
+                timing.merge(self._timed_rewire(
+                    lambda a=action: self.connect(a.source, a.sink, a.channel),
+                    suspend=[action.source.instance],
+                ))
+            elif isinstance(action, ast.Disconnect):
+                timing.merge(self._timed_rewire(
+                    lambda a=action: self.disconnect(a.source, a.sink),
+                    suspend=[action.source.instance],
+                ))
+            elif isinstance(action, ast.DisconnectAll):
+                timing.merge(self._timed_rewire(
+                    lambda a=action: self.disconnect_all(a.instance),
+                    suspend=[action.instance],
+                ))
+            elif isinstance(action, ast.Insert):
+                timing.merge(self.insert(action.source, action.sink, action.instance))
+            elif isinstance(action, ast.Replace):
+                timing.merge(self._timed_rewire(
+                    lambda a=action: self.replace(a.old, a.new), suspend=[],
+                ))
+            elif isinstance(action, ast.RemoveInstance):
+                if action.kind == "channel":
+                    operation = lambda a=action: self.remove_channel(a.name)  # noqa: E731
+                elif action.kind == "extract":
+                    operation = lambda a=action: self.extract_streamlet(a.name)  # noqa: E731
+                else:
+                    operation = lambda a=action: self.remove_streamlet(a.name)  # noqa: E731
+                timing.merge(self._timed_rewire(operation, suspend=[]))
+            else:  # pragma: no cover - compiler validates handler content
+                raise ReconfigurationError(f"illegal handler action {action!r}")
+        return timing
+
+    def _timed_rewire(self, operation, suspend: list[str]) -> ReconfigTiming:
+        """Suspend affected producers, run the wiring op, resume (Eq 7-1)."""
+        timing = ReconfigTiming(actions=1)
+        resumable: list[_Node] = []
+        t0 = self._clock.now()
+        for name in suspend:
+            node = self._nodes.get(name)
+            if node is not None and node.streamlet.is_active:
+                node.streamlet.pause()
+                resumable.append(node)
+        timing.suspend += self._clock.now() - t0
+        t0 = self._clock.now()
+        try:
+            operation()
+        finally:
+            timing.channel_ops += self._clock.now() - t0
+            t0 = self._clock.now()
+            for node in resumable:
+                if node.streamlet.state is StreamletState.PAUSED:
+                    node.streamlet.activate()
+            timing.activate += self._clock.now() - t0
+        return timing
+
+
+def _as_ref(ref: ast.PortRef | str) -> ast.PortRef:
+    if isinstance(ref, ast.PortRef):
+        return ref
+    instance, _, port = ref.partition(".")
+    if not port:
+        raise CompositionError(f"bad port reference {ref!r}; expected 'instance.port'")
+    return ast.PortRef(instance, port)

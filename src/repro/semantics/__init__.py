@@ -1,0 +1,30 @@
+"""The MCL semantic model and its analyses (thesis chapter 5).
+
+The thesis formalises MCL in Z and derives five consistency analyses over a
+stream's *connection graph* (StreamGraph, section 5.2):
+
+=====================  =======================================  ============
+analysis               violation                                 thesis §
+=====================  =======================================  ============
+feedback loops         the graph has a cycle                     5.2.1
+open circuit           a non-terminal streamlet drops messages   5.2.2
+mutual exclusion       excluded streamlets share a path          5.2.3
+dependency             a required companion streamlet missing    5.2.4
+preorder               services deployed in the wrong order      5.2.5
+=====================  =======================================  ============
+
+:func:`analyze` runs all of them over a compiled
+:class:`~repro.mcl.config.ConfigurationTable` and returns an
+:class:`AnalysisReport`; :func:`verify` raises the matching
+:class:`~repro.errors.SemanticError` subclass on the first violation.
+"""
+
+from repro.semantics.graph import StreamGraph
+from repro.semantics.analyzer import (
+    AnalysisReport,
+    Violation,
+    analyze,
+    verify,
+)
+
+__all__ = ["StreamGraph", "AnalysisReport", "Violation", "analyze", "verify"]

@@ -1,0 +1,152 @@
+"""The five chapter-5 analyses, each returning a list of violations.
+
+Each function inspects a :class:`~repro.semantics.graph.StreamGraph`
+(plus, where needed, the configuration table for port-level detail) and
+returns human-readable violation descriptions; empty list = consistent.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.mcl import astnodes as ast
+from repro.mcl.config import ConfigurationTable
+from repro.semantics.graph import StreamGraph
+
+
+def find_feedback_loops(graph: StreamGraph) -> list[str]:
+    """Section 5.2.1 — data processed by a streamlet must never re-enter it."""
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return []
+    return [f"feedback loop: {' -> '.join(cycle)}"]
+
+
+def find_open_circuits(
+    graph: StreamGraph,
+    table: ConfigurationTable,
+    *,
+    terminal_definitions: frozenset[str] = frozenset(),
+    exposed_ports_bound: bool = True,
+) -> list[str]:
+    """Section 5.2.2 — intermediate outputs left unconnected lose messages.
+
+    Two levels are reported:
+
+    * *instance-level*: a connected streamlet with output ports but no
+      outgoing link (and whose definition is not declared terminal, e.g.
+      a communicator) silently drops everything it produces;
+    * *port-level*: an instance with some outputs wired and some dangling
+      loses the traffic routed to the dangling port.
+
+    ``exposed_ports_bound`` selects the viewpoint: ``True`` (deployment —
+    the runtime attaches real egress channels to exposed ports, so they
+    are satisfied); ``False`` (standalone thesis-style analysis of a
+    closed composition — every dangling non-terminal output is a mistake).
+    """
+    violations: list[str] = []
+    bound: set[tuple[str, str]] = set()
+    for link in table.links:
+        bound.add((link.source.instance, link.source.port))
+        bound.add((link.sink.instance, link.sink.port))
+    if exposed_ports_bound:
+        # exposed ports are the composite's external interface (InnerIn /
+        # InnerOut of section 5.1.4): traffic leaves the stream there by design
+        for ref in table.exposed_in + table.exposed_out:
+            bound.add((ref.instance, ref.port))
+    for node in sorted(graph.nodes):
+        definition = table.instances.get(node)
+        if definition is None:  # pragma: no cover - graph always from table
+            continue
+        if definition.name in terminal_definitions:
+            continue
+        outputs = definition.outputs()
+        if not outputs:
+            continue  # a true sink by interface
+        unbound = [p.name for p in outputs if (node, p.name) not in bound]
+        if len(unbound) == len(outputs):
+            violations.append(
+                f"open circuit: {node} ({definition.name}) has no outgoing "
+                "connection; incoming messages would be lost"
+            )
+        elif unbound:
+            violations.append(
+                f"open circuit: {node} ({definition.name}) leaves output "
+                f"port(s) {', '.join(unbound)} unconnected"
+            )
+    return violations
+
+
+def find_mutual_exclusions(graph: StreamGraph, table: ConfigurationTable) -> list[str]:
+    """Section 5.2.3 — excluded streamlets may not share a message path.
+
+    The ``repel`` relation comes from the ``excludes`` attribute of the
+    streamlet definitions and is treated symmetrically.
+    """
+    violations: list[str] = []
+    for a, b in combinations(sorted(graph.nodes), 2):
+        def_a = table.instances[a]
+        def_b = table.instances[b]
+        if def_b.name in def_a.excludes or def_a.name in def_b.excludes:
+            if graph.on_common_path(a, b):
+                violations.append(
+                    f"mutual exclusion: {a} ({def_a.name}) and {b} ({def_b.name}) "
+                    "lie on a common path"
+                )
+    return violations
+
+
+def find_dependency_violations(graph: StreamGraph, table: ConfigurationTable) -> list[str]:
+    """Section 5.2.4 — mutually dependent streamlets must be deployed together.
+
+    For every connected instance of a definition with ``requires = (Y, ...)``,
+    some instance of each Y must exist and share a path with it
+    (``(x,y) ∈ connect+ ∨ (y,x) ∈ connect+``).
+    """
+    violations: list[str] = []
+    for node in sorted(graph.nodes):
+        definition = table.instances[node]
+        for required in definition.requires:
+            partners = graph.instances_of(required)
+            if not partners:
+                violations.append(
+                    f"dependency: {node} ({definition.name}) requires a "
+                    f"{required} streamlet, but none is deployed"
+                )
+            elif not any(graph.on_common_path(node, p) for p in partners):
+                violations.append(
+                    f"dependency: {node} ({definition.name}) requires {required} "
+                    "on its path, but no deployed instance shares a path"
+                )
+    return violations
+
+
+def find_preorder_violations(graph: StreamGraph, table: ConfigurationTable) -> list[str]:
+    """Section 5.2.5 — deployment-order constraints.
+
+    ``after = (Y, ...)`` on definition X means: wherever an X and a Y share
+    a path, the Y must come first (encryption before compression, in the
+    thesis's example).
+    """
+    violations: list[str] = []
+    for node in sorted(graph.nodes):
+        definition = table.instances[node]
+        for earlier in definition.after:
+            for partner in sorted(graph.instances_of(earlier)):
+                if partner == node:
+                    continue
+                if graph.connects(node, partner):
+                    violations.append(
+                        f"preorder: {partner} ({earlier}) must be deployed before "
+                        f"{node} ({definition.name}), but follows it on the path"
+                    )
+    return violations
+
+
+def composite_interface(table: ConfigurationTable) -> tuple[tuple[ast.PortRef, ...], tuple[ast.PortRef, ...]]:
+    """Section 5.1.4 — the InnerIn/InnerOut sets of the composite streamlet.
+
+    Exposed unsatisfied ports of the architecture, as already derived by
+    the compiler; surfaced here for symmetry with the Z model.
+    """
+    return table.exposed_in, table.exposed_out

@@ -1,0 +1,131 @@
+"""Orchestrates the chapter-5 analyses over a configuration table.
+
+:func:`analyze` is the tool form (collect everything); :func:`verify` is
+the compiler-gate form — raise on the first violation, in the severity
+order the thesis discusses them (loops, then lost messages, then the
+relation constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import (
+    DependencyError,
+    FeedbackLoopError,
+    MutualExclusionError,
+    OpenCircuitError,
+    PreorderError,
+)
+from repro.mcl.config import ConfigurationTable
+from repro.semantics.analyses import (
+    find_dependency_violations,
+    find_feedback_loops,
+    find_mutual_exclusions,
+    find_open_circuits,
+    find_preorder_violations,
+)
+from repro.semantics.graph import StreamGraph
+
+
+class ViolationKind(Enum):
+    """The five chapter-5 inconsistency classes."""
+    FEEDBACK_LOOP = "feedback-loop"
+    OPEN_CIRCUIT = "open-circuit"
+    MUTUAL_EXCLUSION = "mutual-exclusion"
+    DEPENDENCY = "dependency"
+    PREORDER = "preorder"
+
+
+_ERROR_FOR = {
+    ViolationKind.FEEDBACK_LOOP: FeedbackLoopError,
+    ViolationKind.OPEN_CIRCUIT: OpenCircuitError,
+    ViolationKind.MUTUAL_EXCLUSION: MutualExclusionError,
+    ViolationKind.DEPENDENCY: DependencyError,
+    ViolationKind.PREORDER: PreorderError,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: ViolationKind
+    message: str
+
+    def raise_(self) -> None:
+        """Raise this violation as its matching SemanticError subclass."""
+        raise _ERROR_FOR[self.kind](self.message)
+
+
+@dataclass
+class AnalysisReport:
+    stream_name: str
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def of_kind(self, kind: ViolationKind) -> list[Violation]:
+        """The subset of violations of one kind."""
+        return [v for v in self.violations if v.kind is kind]
+
+    def summary(self) -> str:
+        """Human-readable report, one line per violation."""
+        if self.consistent:
+            return f"{self.stream_name}: consistent"
+        lines = [f"{self.stream_name}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  [{v.kind.value}] {v.message}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def analyze(
+    table: ConfigurationTable,
+    *,
+    terminal_definitions: frozenset[str] | set[str] = frozenset(),
+    exposed_ports_bound: bool = True,
+) -> AnalysisReport:
+    """Run every analysis; collect all violations.
+
+    ``terminal_definitions`` names definitions that legitimately terminate
+    a flow (communicators, caches acting as sinks) and are exempt from
+    open-circuit detection.  ``exposed_ports_bound=False`` selects the
+    standalone thesis-style view in which every dangling non-terminal
+    output — even an exposed one — is an open circuit.
+    """
+    graph = StreamGraph.from_table(table)
+    report = AnalysisReport(stream_name=table.stream_name)
+
+    def extend(kind: ViolationKind, messages: list[str]) -> None:
+        report.violations.extend(Violation(kind, m) for m in messages)
+
+    extend(ViolationKind.FEEDBACK_LOOP, find_feedback_loops(graph))
+    extend(
+        ViolationKind.OPEN_CIRCUIT,
+        find_open_circuits(
+            graph,
+            table,
+            terminal_definitions=frozenset(terminal_definitions),
+            exposed_ports_bound=exposed_ports_bound,
+        ),
+    )
+    extend(ViolationKind.MUTUAL_EXCLUSION, find_mutual_exclusions(graph, table))
+    extend(ViolationKind.DEPENDENCY, find_dependency_violations(graph, table))
+    extend(ViolationKind.PREORDER, find_preorder_violations(graph, table))
+    return report
+
+
+def verify(
+    table: ConfigurationTable,
+    *,
+    terminal_definitions: frozenset[str] | set[str] = frozenset(),
+    exposed_ports_bound: bool = True,
+) -> None:
+    """Raise the matching :class:`SemanticError` on the first violation."""
+    report = analyze(
+        table,
+        terminal_definitions=terminal_definitions,
+        exposed_ports_bound=exposed_ports_bound,
+    )
+    if report.violations:
+        report.violations[0].raise_()

@@ -1,0 +1,179 @@
+"""StreamGraph — the directed graph underlying all chapter-5 analyses.
+
+"A stream configuration is considered as a directed graph in which two
+streamlets are connected if any of their ports are attached to a common
+channel" (section 5.2).  Nodes are instance names; an edge s1→s2 exists
+when some channel carries s1's output to s2's input.
+
+The graph also remembers each node's *definition name* so the relation
+attributes (``excludes``/``requires``/``after``) — which are declared per
+definition — can be applied to instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.mcl.config import ConfigurationTable
+
+
+class StreamGraph:
+    """Immutable-ish directed graph over streamlet instances."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str],
+        edges: Iterable[tuple[str, str]],
+        definition_of: dict[str, str] | None = None,
+    ):
+        self._nodes: set[str] = set(nodes)
+        self._succ: dict[str, set[str]] = {n: set() for n in self._nodes}
+        self._pred: dict[str, set[str]] = {n: set() for n in self._nodes}
+        for src, dst in edges:
+            if src not in self._nodes or dst not in self._nodes:
+                raise ValueError(f"edge ({src}, {dst}) references unknown node")
+            self._succ[src].add(dst)
+            self._pred[dst].add(src)
+        self._definition_of = dict(definition_of or {})
+
+    @classmethod
+    def from_table(cls, table: ConfigurationTable) -> "StreamGraph":
+        """Build the graph of *connected* instances from a config table.
+
+        Dormant instances (declared, never connected — the dashed optional
+        entities of Figure 4-6) are excluded: they process no messages
+        until an event splices them in.
+        """
+        connected = table.connected_instances()
+        edges = [
+            (link.source.instance, link.sink.instance)
+            for link in table.links
+        ]
+        definition_of = {
+            name: table.instances[name].name for name in connected if name in table.instances
+        }
+        return cls(connected, edges, definition_of)
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def successors(self, node: str) -> frozenset[str]:
+        """Direct downstream neighbours of ``node``."""
+        return frozenset(self._succ.get(node, ()))
+
+    def predecessors(self, node: str) -> frozenset[str]:
+        """Direct upstream neighbours of ``node``."""
+        return frozenset(self._pred.get(node, ()))
+
+    def edges(self) -> frozenset[tuple[str, str]]:
+        """Every (source, sink) instance edge."""
+        return frozenset(
+            (src, dst) for src, dsts in self._succ.items() for dst in dsts
+        )
+
+    def definition_of(self, node: str) -> str:
+        """The definition name behind an instance node."""
+        return self._definition_of.get(node, node)
+
+    def instances_of(self, definition: str) -> frozenset[str]:
+        """The nodes instantiated from ``definition``."""
+        return frozenset(
+            node for node in self._nodes if self.definition_of(node) == definition
+        )
+
+    def sources(self) -> frozenset[str]:
+        """Nodes with no incoming edges."""
+        return frozenset(n for n in self._nodes if not self._pred[n])
+
+    def sinks(self) -> frozenset[str]:
+        """Nodes with no outgoing edges."""
+        return frozenset(n for n in self._nodes if not self._succ[n])
+
+    # -- reachability (``connect+`` of the Z model) -------------------------------
+
+    def reachable_from(self, start: str) -> frozenset[str]:
+        """Strict transitive successors of ``start`` (excludes start unless cyclic)."""
+        seen: set[str] = set()
+        frontier = list(self._succ.get(start, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._succ.get(node, ()))
+        return frozenset(seen)
+
+    def connects(self, a: str, b: str) -> bool:
+        """``(a, b) ∈ connect+``"""
+        return b in self.reachable_from(a)
+
+    def on_common_path(self, a: str, b: str) -> bool:
+        """True if a reaches b or b reaches a."""
+        return self.connects(a, b) or self.connects(b, a)
+
+    # -- cycles ----------------------------------------------------------------------
+
+    def find_cycle(self) -> list[str] | None:
+        """Any one cycle as a node list (closed: first == last), or None."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = dict.fromkeys(self._nodes, WHITE)
+        parent: dict[str, str] = {}
+
+        for root in sorted(self._nodes):
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[str, Iterable[str]]] = [(root, iter(sorted(self._succ[root])))]
+            color[root] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == GRAY:
+                        # reconstruct the cycle from the gray chain
+                        cycle = [nxt, node]
+                        cur = node
+                        while cur != nxt:
+                            cur = parent[cur]
+                            cycle.append(cur)
+                        cycle.reverse()
+                        return cycle
+                    if color[nxt] == WHITE:
+                        color[nxt] = GRAY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(sorted(self._succ[nxt]))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        """True when the graph has no cycle."""
+        return self.find_cycle() is None
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises ValueError if cyclic."""
+        indegree = {n: len(self._pred[n]) for n in self._nodes}
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for nxt in sorted(self._succ[node]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+            ready.sort()
+        if len(order) != len(self._nodes):
+            raise ValueError("graph is cyclic; no topological order")
+        return order
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StreamGraph({len(self._nodes)} nodes, {len(self.edges())} edges)"

@@ -1,0 +1,203 @@
+"""The Z semantic model of chapter 5, as executable schemas.
+
+The thesis formalises MCL in Z: schemas *Streamlet*, *Channel*, *Stream*
+(section 5.1) with predicates that every well-formed composition must
+satisfy, plus the derived *StreamGraph*/*connect* relation the analyses
+run on (section 5.2).  This module renders those schemas as dataclasses
+whose ``check`` methods evaluate the schema predicates — an independent
+validator for the compiler's output, and the machinery behind the worked
+section 5.3 derivation (``id streamlets ∩ connect+ ≠ ∅`` ⇒ feedback
+loop).
+
+Extraction (:func:`model_of`) maps a compiled configuration table into the
+model's sets; ``to_z_text`` renders any schema instance in Z-ish concrete
+syntax for documentation and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.mcl import astnodes as ast
+from repro.mcl.config import ConfigurationTable
+from repro.mime.registry import TypeRegistry, default_registry
+
+
+class ZViolation(SemanticError):
+    """A schema predicate failed — the composition is not well-formed."""
+
+
+@dataclass(frozen=True)
+class ZStreamlet:
+    """Schema *Streamlet* (section 5.1.1)."""
+
+    id: str
+    inputs: frozenset[str]
+    outputs: frozenset[str]
+    port_type: dict[str, str] = field(hash=False)
+
+    def check(self) -> None:
+        # "Input and output data ports are distinct"
+        """Evaluate the Streamlet schema predicates (ZViolation on failure)."""
+        if self.inputs & self.outputs:
+            raise ZViolation(
+                f"streamlet {self.id}: inputs ∩ outputs ≠ ∅ "
+                f"({sorted(self.inputs & self.outputs)})"
+            )
+        # "Each port is associated with a data type"
+        if set(self.port_type) != set(self.inputs | self.outputs):
+            raise ZViolation(
+                f"streamlet {self.id}: dom port-type ≠ inputs ∪ outputs"
+            )
+
+    def to_z_text(self) -> str:
+        """Render this schema instance in Z-ish concrete syntax."""
+        return (
+            f"Streamlet ≙ [ id: {self.id};"
+            f" inputs: {{{', '.join(sorted(self.inputs))}}};"
+            f" outputs: {{{', '.join(sorted(self.outputs))}}} ]"
+        )
+
+
+@dataclass(frozen=True)
+class ZChannel:
+    """Schema *Channel* (section 5.1.2)."""
+
+    id: str
+    source: tuple[str, str]  # (streamlet id, port)
+    sink: tuple[str, str]
+    type: str
+
+    def check(self) -> None:
+        # "sink ≠ source"
+        """Evaluate the Channel schema predicates (ZViolation on failure)."""
+        if self.sink == self.source:
+            raise ZViolation(f"channel {self.id}: sink = source")
+
+    def to_z_text(self) -> str:
+        """Render this schema instance in Z-ish concrete syntax."""
+        return (
+            f"Channel ≙ [ id: {self.id};"
+            f" source: {self.source[0]}.{self.source[1]};"
+            f" sink: {self.sink[0]}.{self.sink[1]}; type: {self.type} ]"
+        )
+
+
+@dataclass
+class ZStream:
+    """Schema *Stream* (section 5.1.3): streamlets agglomerated by channels."""
+
+    name: str
+    streamlets: dict[str, ZStreamlet]
+    channels: dict[str, ZChannel]
+    registry: TypeRegistry = field(default_factory=default_registry)
+
+    # -- schema predicates ------------------------------------------------------------
+
+    def check(self) -> None:
+        """Evaluate every predicate of the Stream schema."""
+        for streamlet in self.streamlets.values():
+            streamlet.check()
+        for channel in self.channels.values():
+            channel.check()
+            self._check_channel_wiring(channel)
+
+    def _check_channel_wiring(self, channel: ZChannel) -> None:
+        # "name clashes between distinct streamlets and channels are disallowed"
+        if channel.id in self.streamlets:
+            raise ZViolation(f"name clash: {channel.id} is both streamlet and channel")
+        src_inst, src_port = channel.source
+        dst_inst, dst_port = channel.sink
+        source = self.streamlets.get(src_inst)
+        sink = self.streamlets.get(dst_inst)
+        if source is None or src_port not in source.outputs:
+            raise ZViolation(
+                f"channel {channel.id}: source {src_inst}.{src_port} is not an output"
+            )
+        if sink is None or dst_port not in sink.inputs:
+            raise ZViolation(
+                f"channel {channel.id}: sink {dst_inst}.{dst_port} is not an input"
+            )
+        # "the port type of two connected streamlets must be compatible with
+        # that of the intermediate channel"
+        produced = source.port_type[src_port]
+        accepted = sink.port_type[dst_port]
+        if not self.registry.compatible(produced, accepted):
+            raise ZViolation(
+                f"channel {channel.id}: {produced} not compatible with {accepted}"
+            )
+        if not self.registry.compatible(produced, channel.type):
+            raise ZViolation(
+                f"channel {channel.id}: cannot carry {produced} (declares {channel.type})"
+            )
+
+    # -- the connect relation (section 5.2) ----------------------------------------------
+
+    def connect(self) -> frozenset[tuple[str, str]]:
+        """The *connect* relation: (s1, s2) iff a channel joins them."""
+        return frozenset(
+            (channel.source[0], channel.sink[0]) for channel in self.channels.values()
+        )
+
+    def connect_plus(self) -> frozenset[tuple[str, str]]:
+        """``connect+`` — the smallest transitive relation containing connect."""
+        closure: set[tuple[str, str]] = set(self.connect())
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(closure):
+                for c, d in list(closure):
+                    if b == c and (a, d) not in closure:
+                        closure.add((a, d))
+                        changed = True
+        return frozenset(closure)
+
+    def identity(self) -> frozenset[tuple[str, str]]:
+        """``id streamlets``"""
+        return frozenset((s, s) for s in self.streamlets)
+
+    def is_acyclic(self) -> bool:
+        """Section 5.3: acyclic ⇔ ``id streamlets ∩ connect+ = ∅``."""
+        return not (self.identity() & self.connect_plus())
+
+    def to_z_text(self) -> str:
+        """Render the whole stream model in Z-ish concrete syntax."""
+        lines = [f"Stream {self.name} ≙ ["]
+        for streamlet in sorted(self.streamlets.values(), key=lambda s: s.id):
+            lines.append("  " + streamlet.to_z_text())
+        for channel in sorted(self.channels.values(), key=lambda c: c.id):
+            lines.append("  " + channel.to_z_text())
+        lines.append("]")
+        return "\n".join(lines)
+
+
+def model_of(table: ConfigurationTable, *, registry: TypeRegistry | None = None) -> ZStream:
+    """Extract the Z model of a compiled stream (connected instances only)."""
+    connected = table.connected_instances()
+    streamlets: dict[str, ZStreamlet] = {}
+    for name in connected:
+        definition = table.instances.get(name)
+        if definition is None:
+            continue
+        streamlets[name] = ZStreamlet(
+            id=name,
+            inputs=frozenset(p.name for p in definition.inputs()),
+            outputs=frozenset(p.name for p in definition.outputs()),
+            port_type={p.name: str(p.mediatype) for p in definition.ports},
+        )
+    channels: dict[str, ZChannel] = {}
+    for link in table.links:
+        entry = table.channels[link.channel]
+        channels[link.channel] = ZChannel(
+            id=link.channel,
+            source=(link.source.instance, link.source.port),
+            sink=(link.sink.instance, link.sink.port),
+            type=str(entry.definition.in_port.mediatype),
+        )
+    return ZStream(
+        name=table.stream_name,
+        streamlets=streamlets,
+        channels=channels,
+        registry=registry if registry is not None else default_registry(),
+    )

@@ -1,0 +1,78 @@
+"""The built-in streamlet library — the service entities of the thesis.
+
+Section 4.3 (datatype-specific distillation) and section 7.5 (web
+acceleration) name these services; each module implements the server-side
+streamlet, its MCL interface definition, and — where the transformation is
+reversible — the client-side peer:
+
+================  =====================================  ==============
+streamlet          role                                   peer
+================  =====================================  ==============
+redirector         no-op measurement streamlet (§7.2)     —
+switch             split multipart by semantic type       —
+merge              re-join tagged parts                   —
+img_down_sample    lossy image distillation               —
+map_to_16_grays    shallow-grayscale transcoding          —
+gif2jpeg           palette → transform-coded image        —
+postscript2text    strip formatting, keep text            —
+text_compress      LZSS+Huffman compression               text_decompress
+encryptor          keyed stream cipher                    decryptor
+cache              duplicate suppression                  client_cache
+power_saving       message bundling (radio sleep)         unbundler
+communicator       terminal: hand messages to the link    —
+================  =====================================  ==============
+
+:func:`register_builtin_streamlets` advertises everything into a
+:class:`~repro.runtime.directory.StreamletDirectory`.
+"""
+
+from repro.streamlets.registry import (
+    register_builtin_streamlets,
+    builtin_definitions,
+)
+from repro.streamlets.basic import Redirector, REDIRECTOR_DEF
+from repro.streamlets.switch import ContentSwitch, SWITCH_DEF
+from repro.streamlets.merge import Merge, MERGE_DEF
+from repro.streamlets.image_ops import (
+    ImageDownSample,
+    MapTo16Grays,
+    Gif2Jpeg,
+    IMG_DOWN_SAMPLE_DEF,
+    MAP_TO_16_GRAYS_DEF,
+    GIF2JPEG_DEF,
+)
+from repro.streamlets.text_ops import Postscript2Text, POSTSCRIPT2TEXT_DEF
+from repro.streamlets.compress import TextCompress, TEXT_COMPRESS_DEF
+from repro.streamlets.crypto import Encryptor, ENCRYPTOR_DEF
+from repro.streamlets.cache import CacheStreamlet, CACHE_DEF
+from repro.streamlets.power import PowerSaving, POWER_SAVING_DEF
+from repro.streamlets.communicator import Communicator, COMMUNICATOR_DEF
+
+__all__ = [
+    "register_builtin_streamlets",
+    "builtin_definitions",
+    "Redirector",
+    "ContentSwitch",
+    "Merge",
+    "ImageDownSample",
+    "MapTo16Grays",
+    "Gif2Jpeg",
+    "Postscript2Text",
+    "TextCompress",
+    "Encryptor",
+    "CacheStreamlet",
+    "PowerSaving",
+    "Communicator",
+    "REDIRECTOR_DEF",
+    "SWITCH_DEF",
+    "MERGE_DEF",
+    "IMG_DOWN_SAMPLE_DEF",
+    "MAP_TO_16_GRAYS_DEF",
+    "GIF2JPEG_DEF",
+    "POSTSCRIPT2TEXT_DEF",
+    "TEXT_COMPRESS_DEF",
+    "ENCRYPTOR_DEF",
+    "CACHE_DEF",
+    "POWER_SAVING_DEF",
+    "COMMUNICATOR_DEF",
+]

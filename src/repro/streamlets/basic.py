@@ -1,0 +1,29 @@
+"""The redirector — the section 7.2 measurement streamlet.
+
+"Its primary logic is to read and parse incoming messages from its input
+port, encapsulating the necessary headers and sending the messages to its
+relevant output port."  It carries the overheads common to every streamlet
+(message parse + queue hop) and nothing else, so a chain of N redirectors
+isolates the per-streamlet cost of Figure 7-2.
+"""
+
+from __future__ import annotations
+
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import ANY
+from repro.runtime.streamlet import ForwardingStreamlet
+
+REDIRECTOR_DEF = ast.StreamletDef(
+    name="redirector",
+    ports=(
+        ast.PortDecl(ast.PortDirection.IN, "pi", ANY),
+        ast.PortDecl(ast.PortDirection.OUT, "po", ANY),
+    ),
+    kind=ast.StreamletKind.STATELESS,
+    library="general/redirector",
+    description="parse and forward unchanged; the overhead-measurement streamlet",
+)
+
+
+class Redirector(ForwardingStreamlet):
+    """Alias of the runtime's forwarding streamlet with its MCL identity."""

@@ -1,0 +1,56 @@
+"""Advertise the built-in streamlet library into a directory."""
+
+from __future__ import annotations
+
+from repro.mcl import astnodes as ast
+from repro.runtime.directory import StreamletDirectory
+from repro.streamlets.aggregate import AGGREGATOR_DEF, Aggregator
+from repro.streamlets.basic import REDIRECTOR_DEF, Redirector
+from repro.streamlets.customize import CUSTOMIZER_DEF, Customizer
+from repro.streamlets.cache import CACHE_DEF, CacheStreamlet
+from repro.streamlets.communicator import COMMUNICATOR_DEF, Communicator
+from repro.streamlets.compress import TEXT_COMPRESS_DEF, TextCompress
+from repro.streamlets.crypto import ENCRYPTOR_DEF, Encryptor
+from repro.streamlets.image_ops import (
+    GIF2JPEG_DEF,
+    IMG_DOWN_SAMPLE_DEF,
+    MAP_TO_16_GRAYS_DEF,
+    Gif2Jpeg,
+    ImageDownSample,
+    MapTo16Grays,
+)
+from repro.streamlets.merge import MERGE_DEF, Merge
+from repro.streamlets.power import POWER_SAVING_DEF, PowerSaving
+from repro.streamlets.switch import SWITCH_DEF, ContentSwitch
+from repro.streamlets.text_ops import POSTSCRIPT2TEXT_DEF, Postscript2Text
+from repro.streamlets.xmlstream import XML_STREAMER_DEF, XmlStreamer
+
+_BUILTINS = [
+    (REDIRECTOR_DEF, Redirector),
+    (SWITCH_DEF, ContentSwitch),
+    (MERGE_DEF, Merge),
+    (IMG_DOWN_SAMPLE_DEF, ImageDownSample),
+    (MAP_TO_16_GRAYS_DEF, MapTo16Grays),
+    (GIF2JPEG_DEF, Gif2Jpeg),
+    (POSTSCRIPT2TEXT_DEF, Postscript2Text),
+    (TEXT_COMPRESS_DEF, TextCompress),
+    (ENCRYPTOR_DEF, Encryptor),
+    (CACHE_DEF, CacheStreamlet),
+    (POWER_SAVING_DEF, PowerSaving),
+    (COMMUNICATOR_DEF, Communicator),
+    (AGGREGATOR_DEF, Aggregator),
+    (CUSTOMIZER_DEF, Customizer),
+    (XML_STREAMER_DEF, XmlStreamer),
+]
+
+
+def builtin_definitions() -> dict[str, ast.StreamletDef]:
+    """Definition objects for every built-in service."""
+    return {definition.name: definition for definition, _factory in _BUILTINS}
+
+
+def register_builtin_streamlets(directory: StreamletDirectory) -> None:
+    """Advertise every built-in service into ``directory`` (idempotent)."""
+    for definition, factory in _BUILTINS:
+        if definition.name not in directory:
+            directory.advertise(definition, factory)

@@ -1,0 +1,47 @@
+"""PostScript-to-Text: "discarding some information on format and
+converting documents to rich-text supported by most devices" (section 4.3).
+
+The payload is a :class:`~repro.codecs.psdoc.PsDocument` (or its textual
+wire form); the streamlet keeps the ``show`` text runs and drops the
+formatting/graphics operators, retyping to ``text/richtext`` — which the
+compatibility example of section 4.4.1 then feeds into the Text Compressor
+(``text/richtext`` ≤ ``text``).
+"""
+
+from __future__ import annotations
+
+from repro.codecs.psdoc import PsDocument
+from repro.errors import CodecError
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import APPLICATION_POSTSCRIPT, TEXT_RICHTEXT
+from repro.mime.message import MimeMessage
+from repro.runtime.streamlet import Emission, Streamlet, StreamletContext
+
+POSTSCRIPT2TEXT_DEF = ast.StreamletDef(
+    name="postscript2text",
+    ports=(
+        ast.PortDecl(ast.PortDirection.IN, "pi", APPLICATION_POSTSCRIPT),
+        ast.PortDecl(ast.PortDirection.OUT, "po", TEXT_RICHTEXT),
+    ),
+    kind=ast.StreamletKind.STATELESS,
+    library="text/postscript2text",
+    description="discard formatting and convert documents to rich text",
+)
+
+
+class Postscript2Text(Streamlet):
+    """Strip formatting operators; keep the text runs as text/richtext."""
+    def process(self, port: str, message: MimeMessage, ctx: StreamletContext) -> Emission:
+        body = message.body
+        if isinstance(body, PsDocument):
+            document = body
+        elif isinstance(body, bytes | bytearray):
+            document = PsDocument.parse(bytes(body).decode("utf-8"))
+        elif isinstance(body, str):
+            document = PsDocument.parse(body)
+        else:
+            raise CodecError(
+                f"postscript2text received undecodable {message.content_type} payload"
+            )
+        message.set_body(document.to_text().encode("utf-8"), TEXT_RICHTEXT)
+        return [("po", message)]

@@ -1,0 +1,15 @@
+"""Shared utilities: clocks, identifier generation, and simple statistics."""
+
+from repro.util.clock import Clock, VirtualClock, WallClock
+from repro.util.ids import IdGenerator, session_id
+from repro.util.stats import RunningStats, Timer
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "IdGenerator",
+    "session_id",
+    "RunningStats",
+    "Timer",
+]

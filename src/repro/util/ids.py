@@ -1,0 +1,44 @@
+"""Identifier generation.
+
+The paper labels every message with a ``Content-Session`` id (section 4.4.3)
+and refers to messages by pool identifiers (section 6.7).  We generate ids
+from per-prefix counters so tests and simulations are deterministic, with an
+optional process-unique salt for the threaded runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Thread-safe sequential id generator: ``prefix-0``, ``prefix-1``, ..."""
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def next(self) -> str:
+        """The next ``prefix-N`` identifier (thread-safe)."""
+        with self._lock:
+            return f"{self._prefix}-{next(self._counter)}"
+
+    def __iter__(self):
+        while True:
+            yield self.next()
+
+
+_session_counter = IdGenerator("sess")
+
+
+def session_id() -> str:
+    """A fresh ``Content-Session`` value (unique within the process)."""
+    return _session_counter.next()

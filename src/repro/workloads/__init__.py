@@ -1,0 +1,23 @@
+"""Synthetic workloads: the web-content mixes the experiments transmit."""
+
+from repro.workloads.content import (
+    synthetic_text,
+    synthetic_image_message,
+    synthetic_text_message,
+    synthetic_ps_document,
+    synthetic_ps_message,
+    ps_page_message,
+    web_page_message,
+)
+from repro.workloads.generators import WebWorkload
+
+__all__ = [
+    "synthetic_text",
+    "synthetic_image_message",
+    "synthetic_text_message",
+    "synthetic_ps_document",
+    "synthetic_ps_message",
+    "ps_page_message",
+    "web_page_message",
+    "WebWorkload",
+]

@@ -1,0 +1,141 @@
+"""Deterministic synthetic content: text, images, PostScript-like docs.
+
+Everything is seeded, so workloads are byte-identical across runs — the
+emulated replacement for the "real image and text messages" of
+section 7.5.  Text is word-sampled English-like prose (compressible, like
+web text); images come from :meth:`ImageRaster.synthetic` encoded as
+MGIF; documents mix text runs with formatting operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.imagefmt import ImageRaster, encode_gif
+from repro.codecs.psdoc import PsDocument
+from repro.errors import WorkloadError
+from repro.mime.mediatype import APPLICATION_POSTSCRIPT, IMAGE_GIF, TEXT_PLAIN
+from repro.mime.message import MimeMessage
+
+_WORDS = (
+    "the of and a to in is was he for it with as his on be at by had not are "
+    "but from or have an they which one you were her all she there would their "
+    "we him been has when who will more no if out so said what up its about "
+    "into than them can only other new some could time these two may then do "
+    "first any my now such like our over man me even most made after also did "
+    "many before must through back years where much your way well down should "
+    "because each just those people mister how too little state good very make "
+    "world still own see men work long get here between both life being under "
+    "never day same another know while last might us great old year off come "
+    "since against go came right used take three"
+).split()
+
+
+# A fixed pool of sentences, Zipf-sampled below.  Web text is repetitive
+# at the phrase level (boilerplate, markup, recurring wording); sampling
+# whole sentences rather than independent words gives the LZSS stage the
+# long matches it finds in real pages.
+_SENTENCE_RNG = np.random.default_rng(0xC0FFEE)
+_SENTENCES = [
+    " ".join(
+        _WORDS[int(_SENTENCE_RNG.integers(0, len(_WORDS)))]
+        for _ in range(int(_SENTENCE_RNG.integers(6, 14)))
+    ).capitalize() + "."
+    for _ in range(48)
+]
+
+
+def synthetic_text(size_bytes: int, seed: int = 0) -> bytes:
+    """About ``size_bytes`` of web-like prose (UTF-8), seeded."""
+    if size_bytes < 0:
+        raise WorkloadError(f"size must be >= 0, got {size_bytes}")
+    if size_bytes == 0:
+        return b""
+    rng = np.random.default_rng(seed)
+    # Zipf-ish sentence popularity: low ranks dominate, like boilerplate
+    ranks = np.arange(1, len(_SENTENCES) + 1, dtype=np.float64)
+    probabilities = (1.0 / ranks) / np.sum(1.0 / ranks)
+    order = rng.permutation(len(_SENTENCES))  # which sentences are popular
+    average = sum(map(len, _SENTENCES)) / len(_SENTENCES) + 1
+    pieces: list[str] = []
+    length = 0
+    while length < size_bytes:
+        # draw sentence picks in vectorised batches, not one at a time
+        batch = max(8, int((size_bytes - length) / average * 1.2))
+        choices = rng.choice(len(_SENTENCES), size=batch, p=probabilities)
+        for choice in choices:
+            sentence = _SENTENCES[order[int(choice)]]
+            pieces.append(sentence)
+            length += len(sentence) + 1
+            if length >= size_bytes:
+                break
+    return " ".join(pieces).encode("utf-8")[:size_bytes]
+
+
+def synthetic_text_message(size_bytes: int, seed: int = 0) -> MimeMessage:
+    """Web-like prose wrapped as text/plain."""
+    return MimeMessage(TEXT_PLAIN, synthetic_text(size_bytes, seed))
+
+
+def synthetic_image_message(
+    width: int = 128, height: int = 96, seed: int = 0
+) -> MimeMessage:
+    """A photo-like image encoded in the GIF-like palette format."""
+    raster = ImageRaster.synthetic(width, height, seed=seed)
+    return MimeMessage(IMAGE_GIF, encode_gif(raster))
+
+
+def synthetic_ps_document(paragraphs: int = 5, seed: int = 0) -> PsDocument:
+    """A formatted document: per paragraph, positioning + rules + a text run."""
+    if paragraphs < 1:
+        raise WorkloadError(f"need at least one paragraph, got {paragraphs}")
+    rng = np.random.default_rng(seed)
+    doc = PsDocument()
+    doc.add("font", "Times 11")
+    y = 720
+    for index in range(paragraphs):
+        doc.add("moveto", f"72 {y}")
+        doc.add("setgray", "0.0")
+        run = synthetic_text(int(rng.integers(120, 400)), seed=seed * 1000 + index)
+        doc.show(run.decode("utf-8"))
+        doc.add("line", f"72 {y - 6} 540 {y - 6}")
+        y -= 40
+        if y < 72:
+            doc.add("page")
+            y = 720
+    doc.add("page")
+    return doc
+
+
+def synthetic_ps_message(paragraphs: int = 5, seed: int = 0) -> MimeMessage:
+    """A PostScript-like document wrapped as application/postscript."""
+    doc = synthetic_ps_document(paragraphs, seed)
+    return MimeMessage(APPLICATION_POSTSCRIPT, doc)
+
+
+def ps_page_message(
+    *, n_images: int = 2, paragraphs: int = 4, image_size: tuple[int, int] = (128, 96),
+    seed: int = 0,
+) -> MimeMessage:
+    """A document 'page' for the distillation app: PostScript + images."""
+    if n_images < 0:
+        raise WorkloadError(f"n_images must be >= 0, got {n_images}")
+    parts = [synthetic_ps_message(paragraphs, seed)]
+    width, height = image_size
+    for index in range(n_images):
+        parts.append(synthetic_image_message(width, height, seed=seed * 100 + index))
+    return MimeMessage.multipart(parts)
+
+
+def web_page_message(
+    *, n_images: int = 2, text_bytes: int = 8 * 1024, image_size: tuple[int, int] = (128, 96),
+    seed: int = 0,
+) -> MimeMessage:
+    """A multipart 'web page': one text part plus ``n_images`` image parts."""
+    if n_images < 0:
+        raise WorkloadError(f"n_images must be >= 0, got {n_images}")
+    parts = [synthetic_text_message(text_bytes, seed)]
+    width, height = image_size
+    for index in range(n_images):
+        parts.append(synthetic_image_message(width, height, seed=seed * 100 + index))
+    return MimeMessage.multipart(parts)

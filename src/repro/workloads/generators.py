@@ -1,0 +1,61 @@
+"""Workload generators: streams of messages with controlled mixes.
+
+``WebWorkload`` reproduces the section 7.5 traffic: a continuous mix of
+image and text messages ("an amount of real image and text messages are
+generated continuously"), with seeded randomness in sizes and ordering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.mime.message import MimeMessage
+from repro.workloads.content import synthetic_image_message, synthetic_text_message
+
+
+class WebWorkload:
+    """Seeded generator of mixed image/text messages."""
+
+    def __init__(
+        self,
+        *,
+        image_fraction: float = 0.4,
+        text_bytes_range: tuple[int, int] = (2 * 1024, 16 * 1024),
+        image_size_range: tuple[int, int] = (64, 160),
+        seed: int = 0,
+    ):
+        if not 0.0 <= image_fraction <= 1.0:
+            raise WorkloadError(f"image_fraction must be in [0, 1], got {image_fraction}")
+        lo, hi = text_bytes_range
+        if lo < 1 or hi < lo:
+            raise WorkloadError(f"bad text size range {text_bytes_range}")
+        slo, shi = image_size_range
+        if slo < 8 or shi < slo:
+            raise WorkloadError(f"bad image size range {image_size_range}")
+        self._image_fraction = image_fraction
+        self._text_range = text_bytes_range
+        self._image_range = image_size_range
+        self._seed = seed
+
+    def messages(self, count: int) -> Iterator[MimeMessage]:
+        """Yield ``count`` messages; identical for identical parameters."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        rng = np.random.default_rng(self._seed)
+        for index in range(count):
+            if rng.random() < self._image_fraction:
+                side = int(rng.integers(self._image_range[0], self._image_range[1] + 1))
+                yield synthetic_image_message(
+                    width=side, height=max(8, (side * 3) // 4),
+                    seed=self._seed * 10_000 + index,
+                )
+            else:
+                size = int(rng.integers(self._text_range[0], self._text_range[1] + 1))
+                yield synthetic_text_message(size, seed=self._seed * 10_000 + index)
+
+    def total_bytes(self, count: int) -> int:
+        """Total wire size of the first ``count`` messages."""
+        return sum(m.total_size() for m in self.messages(count))

@@ -1,0 +1,158 @@
+import pytest
+
+from repro.client import ClientStreamletPool, MessageDistributor, MobiGateClient
+from repro.client.peers import PeerStreamlet
+from repro.errors import DistributorError, PeerNotFoundError
+from repro.mime.mediatype import TEXT_PLAIN
+from repro.mime.message import MimeMessage
+from repro.runtime.streamlet import StreamletContext
+from repro.streamlets import (
+    ENCRYPTOR_DEF,
+    POWER_SAVING_DEF,
+    TEXT_COMPRESS_DEF,
+    Encryptor,
+    PowerSaving,
+    TextCompress,
+)
+from repro.workloads.content import synthetic_text_message
+
+
+def ctx(**params):
+    return StreamletContext("srv", params=params)
+
+
+def server_transform(streamlet, message, **params):
+    """Apply a server streamlet and simulate the runtime's peer push."""
+    [(_, out)] = streamlet.process("pi", message, ctx(**params))
+    if streamlet.peer_id:
+        out.headers.push_peer(streamlet.peer_id)
+    return out
+
+
+class TestClientStreamletPool:
+    def test_builtin_peers_known(self):
+        pool = ClientStreamletPool()
+        assert {"text_decompress", "decryptor", "client_cache", "unbundler"} <= pool.known_peers()
+
+    def test_lazy_singleton(self):
+        pool = ClientStreamletPool()
+        a = pool.acquire("text_decompress")
+        b = pool.acquire("text_decompress")
+        assert a is b
+        assert pool.live_count() == 1
+
+    def test_unknown_peer(self):
+        with pytest.raises(PeerNotFoundError):
+            ClientStreamletPool().acquire("ghost")
+
+    def test_destroy_recreates(self):
+        pool = ClientStreamletPool()
+        a = pool.acquire("unbundler")
+        assert pool.destroy("unbundler")
+        assert not pool.destroy("unbundler")
+        assert pool.acquire("unbundler") is not a
+
+    def test_register_custom(self):
+        class Custom(PeerStreamlet):
+            def __init__(self):
+                super().__init__("custom")
+
+        pool = ClientStreamletPool()
+        pool.register("custom", Custom)
+        assert isinstance(pool.acquire("custom"), Custom)
+
+
+class TestDistributor:
+    def test_plain_message_untouched(self):
+        dist = MessageDistributor(ClientStreamletPool())
+        msg = MimeMessage(TEXT_PLAIN, b"plain")
+        assert dist.distribute(msg) == [msg]
+
+    def test_reverses_compression(self):
+        dist = MessageDistributor(ClientStreamletPool())
+        original = synthetic_text_message(2048, seed=1)
+        payload = original.body
+        wire = server_transform(TextCompress("c", TEXT_COMPRESS_DEF), original)
+        [out] = dist.distribute(wire)
+        assert out.body == payload
+
+    def test_lifo_unwind_compress_then_encrypt(self):
+        # server order: compress, then encrypt => client decrypts first
+        dist = MessageDistributor(ClientStreamletPool())
+        original = synthetic_text_message(2048, seed=2)
+        payload = original.body
+        wire = server_transform(TextCompress("c", TEXT_COMPRESS_DEF), original)
+        wire = server_transform(Encryptor("e", ENCRYPTOR_DEF), wire)
+        assert wire.headers.peer_stack() == ["text_decompress", "decryptor"]
+        [out] = dist.distribute(wire)
+        assert out.body == payload
+
+    def test_unbundling_splits_with_nested_stacks(self):
+        compressor = TextCompress("c", TEXT_COMPRESS_DEF)
+        bundler = PowerSaving("p", POWER_SAVING_DEF)
+        payloads = []
+        bundle = None
+        for i in range(3):
+            msg = synthetic_text_message(1024, seed=10 + i)
+            payloads.append(msg.body)
+            compressed = server_transform(compressor, msg)
+            emissions = bundler.process("pi", compressed, ctx(bundle=3))
+            if emissions:
+                [(_, bundle)] = emissions
+                bundle.headers.push_peer(bundler.peer_id)
+        assert bundle is not None
+        dist = MessageDistributor(ClientStreamletPool())
+        outs = dist.distribute(bundle)
+        assert [m.body for m in outs] == payloads
+
+    def test_unknown_peer_raises(self):
+        dist = MessageDistributor(ClientStreamletPool(include_builtin=False))
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        msg.headers.push_peer("nonexistent")
+        with pytest.raises(PeerNotFoundError):
+            dist.distribute(msg)
+
+    def test_non_message_rejected(self):
+        dist = MessageDistributor(ClientStreamletPool())
+        with pytest.raises(DistributorError):
+            dist.distribute(b"raw bytes")  # type: ignore[arg-type]
+
+    def test_threaded_workers(self):
+        pool = ClientStreamletPool()
+        dist = MessageDistributor(pool)
+        delivered = []
+        dist.start(delivered.append, workers=3)
+        try:
+            compressor = TextCompress("c", TEXT_COMPRESS_DEF)
+            originals = []
+            for i in range(20):
+                msg = synthetic_text_message(512, seed=100 + i)
+                originals.append(msg.body)
+                dist.submit(server_transform(compressor, msg))
+            dist.drain()
+        finally:
+            dist.stop()
+        assert sorted(m.body for m in delivered) == sorted(originals)
+
+    def test_submit_before_start_rejected(self):
+        dist = MessageDistributor(ClientStreamletPool())
+        with pytest.raises(DistributorError):
+            dist.submit(MimeMessage(TEXT_PLAIN, b"x"))
+
+
+class TestMobiGateClient:
+    def test_receive_counts_and_delivers(self):
+        client = MobiGateClient()
+        msg = synthetic_text_message(256, seed=3)
+        wire_size = msg.total_size()
+        results = client.receive(msg)
+        assert results == [msg]
+        assert client.bytes_received == wire_size
+        assert client.take_delivered() == [msg]
+        assert client.take_delivered() == []
+
+    def test_on_deliver_callback(self):
+        seen = []
+        client = MobiGateClient(on_deliver=seen.append)
+        client.receive(synthetic_text_message(64, seed=4))
+        assert len(seen) == 1

@@ -1,0 +1,90 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.bits import BitReader, BitWriter
+from repro.errors import CodecError
+
+
+class TestBitWriter:
+    def test_empty(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_padding(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_cross_byte(self):
+        w = BitWriter()
+        w.write_bits(0b1111, 4)
+        w.write_bits(0b00001111, 8)
+        assert w.getvalue() == bytes([0b11110000, 0b11110000])
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(4, 2)
+
+    def test_bit_length(self):
+        w = BitWriter()
+        w.write_bits(0, 13)
+        assert w.bit_length() == 13
+
+    def test_write_bit(self):
+        w = BitWriter()
+        for b in [1, 0, 1, 0, 1, 0, 1, 0]:
+            w.write_bit(b)
+        assert w.getvalue() == bytes([0b10101010])
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        r = BitReader(b"\xab")
+        assert r.read_bits(8) == 0xAB
+
+    def test_read_bit_sequence(self):
+        r = BitReader(bytes([0b11001010]))
+        assert [r.read_bit() for _ in range(8)] == [1, 1, 0, 0, 1, 0, 1, 0]
+
+    def test_start_byte_offset(self):
+        r = BitReader(b"\x00\xff", start_byte=1)
+        assert r.read_bits(8) == 0xFF
+
+    def test_exhaustion(self):
+        r = BitReader(b"\x00")
+        r.read_bits(8)
+        with pytest.raises(CodecError):
+            r.read_bit()
+
+    def test_overread(self):
+        with pytest.raises(CodecError):
+            BitReader(b"\x00").read_bits(9)
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read_bits(3)
+        assert r.bits_remaining == 13
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**20 - 1),
+                          st.integers(min_value=20, max_value=20)), max_size=50))
+def test_roundtrip_fixed_width(items):
+    w = BitWriter()
+    for value, width in items:
+        w.write_bits(value, width)
+    r = BitReader(w.getvalue())
+    for value, width in items:
+        assert r.read_bits(width) == value
+
+
+@given(st.binary(max_size=256))
+def test_roundtrip_bytes(data):
+    w = BitWriter()
+    for byte in data:
+        w.write_bits(byte, 8)
+    assert w.getvalue() == data

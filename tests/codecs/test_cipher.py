@@ -1,0 +1,68 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.cipher import StreamCipher
+from repro.errors import CodecError
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        cipher = StreamCipher(b"key")
+        ct = cipher.encrypt(b"attack at dawn", b"nonce1")
+        assert cipher.decrypt(ct, b"nonce1") == b"attack at dawn"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = StreamCipher(b"key")
+        pt = b"a" * 64
+        assert cipher.encrypt(pt, b"n") != pt
+
+    def test_nonce_changes_keystream(self):
+        cipher = StreamCipher(b"key")
+        pt = b"same plaintext bytes"
+        assert cipher.encrypt(pt, b"n1") != cipher.encrypt(pt, b"n2")
+
+    def test_key_changes_keystream(self):
+        pt = b"same plaintext bytes"
+        assert StreamCipher(b"k1").encrypt(pt, b"n") != StreamCipher(b"k2").encrypt(pt, b"n")
+
+    def test_wrong_nonce_garbles(self):
+        cipher = StreamCipher(b"key")
+        ct = cipher.encrypt(b"secret messages here", b"right")
+        assert cipher.decrypt(ct, b"wrong") != b"secret messages here"
+
+    def test_empty_plaintext(self):
+        cipher = StreamCipher(b"key")
+        assert cipher.encrypt(b"", b"n") == b""
+
+    def test_size_preserved(self):
+        cipher = StreamCipher(b"key")
+        for n in [1, 17, 256, 1000]:
+            assert len(cipher.encrypt(b"x" * n, b"n")) == n
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CodecError):
+            StreamCipher(b"")
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(CodecError):
+            StreamCipher(b"k" * 257)
+
+    def test_empty_nonce_rejected(self):
+        with pytest.raises(CodecError):
+            StreamCipher(b"key").encrypt(b"data", b"")
+
+    def test_keystream_roughly_balanced(self):
+        # weak statistical sanity: about half the bits flip
+        cipher = StreamCipher(b"balance-test-key")
+        ct = cipher.encrypt(bytes(4096), b"nonce")
+        ones = sum(bin(b).count("1") for b in ct)
+        assert 0.45 < ones / (4096 * 8) < 0.55
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=32),
+       st.binary(max_size=2048))
+def test_roundtrip_property(key, nonce, plaintext):
+    cipher = StreamCipher(key)
+    assert cipher.decrypt(cipher.encrypt(plaintext, nonce), nonce) == plaintext

@@ -1,0 +1,55 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.huffman import huffman_decode, huffman_encode
+from repro.errors import CodecError
+
+
+class TestHuffman:
+    def test_empty(self):
+        assert huffman_decode(huffman_encode(b"")) == b""
+
+    def test_single_symbol_stream(self):
+        data = b"a" * 100
+        assert huffman_decode(huffman_encode(data)) == data
+
+    def test_two_symbols(self):
+        data = b"ab" * 50
+        assert huffman_decode(huffman_encode(data)) == data
+
+    def test_english_text_compresses(self):
+        text = (b"the quick brown fox jumps over the lazy dog " * 100)
+        encoded = huffman_encode(text)
+        # header is 260 bytes; entropy coding must win on the body
+        assert len(encoded) < len(text)
+
+    def test_skewed_distribution_near_entropy(self):
+        data = b"a" * 10000 + b"b" * 100
+        encoded = huffman_encode(data)
+        assert len(encoded) < len(data) / 4
+
+    def test_all_256_symbols(self):
+        data = bytes(range(256)) * 3
+        assert huffman_decode(huffman_encode(data)) == data
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(CodecError):
+            huffman_decode(b"\x00\x00")
+
+    def test_missing_codebook_raises(self):
+        # claims 5 bytes but all code lengths zero
+        bogus = (5).to_bytes(4, "little") + bytes(256)
+        with pytest.raises(CodecError):
+            huffman_decode(bogus)
+
+
+@given(st.binary(max_size=4096))
+def test_roundtrip(data):
+    assert huffman_decode(huffman_encode(data)) == data
+
+
+@given(st.text(alphabet="abcde \n", max_size=2000))
+def test_roundtrip_small_alphabet(text):
+    data = text.encode()
+    assert huffman_decode(huffman_encode(data)) == data

@@ -1,0 +1,169 @@
+import numpy as np
+import pytest
+
+from repro.codecs.imagefmt import (
+    ImageRaster,
+    decode_gif,
+    decode_jpeg,
+    downsample,
+    encode_gif,
+    encode_jpeg,
+    quantize_grays,
+)
+from repro.errors import CodecError
+
+
+@pytest.fixture
+def photo():
+    return ImageRaster.synthetic(96, 64, seed=3)
+
+
+class TestImageRaster:
+    def test_shape_properties(self, photo):
+        assert photo.width == 96
+        assert photo.height == 64
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(CodecError):
+            ImageRaster(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(CodecError):
+            ImageRaster(np.zeros((4, 4, 3), dtype=np.float64))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodecError):
+            ImageRaster(np.zeros((0, 4, 3), dtype=np.uint8))
+
+    def test_size_bytes(self, photo):
+        assert photo.size_bytes() == 96 * 64 * 3
+
+    def test_clone_independent(self, photo):
+        copy = photo.clone()
+        copy.pixels[0, 0, 0] ^= 0xFF
+        assert photo != copy
+
+    def test_synthetic_deterministic(self):
+        a = ImageRaster.synthetic(32, 32, seed=5)
+        b = ImageRaster.synthetic(32, 32, seed=5)
+        assert a == b
+
+    def test_synthetic_seed_varies(self):
+        assert ImageRaster.synthetic(32, 32, seed=1) != ImageRaster.synthetic(32, 32, seed=2)
+
+
+class TestGifLike:
+    def test_roundtrip_preserves_dimensions(self, photo):
+        decoded = decode_gif(encode_gif(photo))
+        assert (decoded.width, decoded.height) == (photo.width, photo.height)
+
+    def test_palette_quantisation_error_bounded(self, photo):
+        decoded = decode_gif(encode_gif(photo))
+        err = np.abs(decoded.pixels.astype(int) - photo.pixels.astype(int))
+        # 3-3-2: worst channel quantisation error is one bucket
+        assert err[:, :, 0].max() <= 16
+        assert err[:, :, 1].max() <= 16
+        assert err[:, :, 2].max() <= 32
+
+    def test_flat_image_tiny(self):
+        flat = ImageRaster(np.full((64, 64, 3), 200, dtype=np.uint8))
+        assert len(encode_gif(flat)) < 200
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            decode_gif(b"NOPE" + bytes(10))
+
+    def test_pixel_count_mismatch(self):
+        good = encode_gif(ImageRaster(np.zeros((8, 8, 3), dtype=np.uint8)))
+        with pytest.raises(CodecError):
+            decode_gif(good[:-1])
+
+
+class TestJpegLike:
+    def test_roundtrip_dimensions(self, photo):
+        decoded = decode_jpeg(encode_jpeg(photo, quality=80))
+        assert (decoded.width, decoded.height) == (photo.width, photo.height)
+
+    def test_non_multiple_of_8(self):
+        img = ImageRaster.synthetic(37, 21, seed=1)
+        decoded = decode_jpeg(encode_jpeg(img, quality=90))
+        assert (decoded.width, decoded.height) == (37, 21)
+
+    def test_high_quality_low_error(self, photo):
+        decoded = decode_jpeg(encode_jpeg(photo, quality=100))
+        err = np.abs(decoded.pixels.astype(int) - photo.pixels.astype(int))
+        # frequency-weighted quantisation keeps some high-frequency loss
+        # even at q100, like real JPEG's quality-100 tables
+        assert err.mean() < 5.0
+
+    def test_quality_controls_error(self, photo):
+        err = {}
+        for q in (20, 60, 100):
+            decoded = decode_jpeg(encode_jpeg(photo, quality=q))
+            err[q] = np.abs(decoded.pixels.astype(int) - photo.pixels.astype(int)).mean()
+        assert err[100] < err[60] < err[20]
+
+    def test_quality_controls_size(self, photo):
+        hi = len(encode_jpeg(photo, quality=95))
+        lo = len(encode_jpeg(photo, quality=20))
+        assert lo < hi
+
+    def test_jpeg_smaller_than_gif_on_photo(self, photo):
+        # the economic premise of the Gif2Jpeg streamlet
+        assert len(encode_jpeg(photo, quality=60)) < len(encode_gif(photo))
+
+    def test_quality_bounds(self, photo):
+        for q in [0, 101, -5]:
+            with pytest.raises(CodecError):
+                encode_jpeg(photo, quality=q)
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            decode_jpeg(b"JUNK" + bytes(16))
+
+    def test_truncated_channel(self, photo):
+        data = encode_jpeg(photo, quality=50)
+        with pytest.raises(CodecError):
+            decode_jpeg(data[:12])
+
+
+class TestPixelOps:
+    def test_downsample_shape(self, photo):
+        small = downsample(photo, 2)
+        assert (small.width, small.height) == (48, 32)
+
+    def test_downsample_identity(self, photo):
+        assert downsample(photo, 1) == photo
+
+    def test_downsample_reduces_bytes(self, photo):
+        assert downsample(photo, 4).size_bytes() == photo.size_bytes() // 16
+
+    def test_downsample_flat_preserves_value(self):
+        flat = ImageRaster(np.full((16, 16, 3), 77, dtype=np.uint8))
+        assert np.all(downsample(flat, 4).pixels == 77)
+
+    def test_downsample_bad_factor(self, photo):
+        with pytest.raises(CodecError):
+            downsample(photo, 0)
+
+    def test_downsample_too_small(self):
+        tiny = ImageRaster(np.zeros((2, 2, 3), dtype=np.uint8))
+        with pytest.raises(CodecError):
+            downsample(tiny, 5)
+
+    def test_quantize_grays_levels(self, photo):
+        gray = quantize_grays(photo, levels=16)
+        # grayscale: all channels equal
+        assert np.array_equal(gray.pixels[:, :, 0], gray.pixels[:, :, 1])
+        assert len(np.unique(gray.pixels[:, :, 0])) <= 16
+
+    def test_quantize_grays_bad_levels(self, photo):
+        for levels in [1, 257]:
+            with pytest.raises(CodecError):
+                quantize_grays(photo, levels=levels)
+
+    def test_quantize_grays_black_white(self):
+        black = ImageRaster(np.zeros((8, 8, 3), dtype=np.uint8))
+        white = ImageRaster(np.full((8, 8, 3), 255, dtype=np.uint8))
+        assert quantize_grays(black, 16).pixels.max() < 16
+        assert quantize_grays(white, 16).pixels.min() > 239

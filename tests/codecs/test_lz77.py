@@ -1,0 +1,78 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.lz77 import lzss_compress, lzss_decompress
+from repro.errors import CodecError
+
+
+class TestLzss:
+    def test_empty(self):
+        assert lzss_decompress(lzss_compress(b"")) == b""
+
+    def test_no_match_stream(self):
+        data = bytes(range(256))
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    def test_repetitive_compresses_well(self):
+        data = b"abcabcabc" * 500
+        encoded = lzss_compress(data)
+        assert len(encoded) < len(data) / 10
+        assert lzss_decompress(encoded) == data
+
+    def test_overlapping_match(self):
+        # classic LZ self-overlap: run longer than distance
+        data = b"a" * 1000
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    def test_english_like(self):
+        data = (b"the rain in spain stays mainly in the plain. " * 200)
+        encoded = lzss_compress(data)
+        assert len(encoded) < len(data) / 3
+        assert lzss_decompress(encoded) == data
+
+    def test_long_input_beyond_window(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        # structured data longer than the 32 KiB window
+        chunk = bytes(rng.integers(0, 16, 512, dtype=np.uint8))
+        data = chunk * 100  # 51200 bytes
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    def test_max_chain_tradeoff(self):
+        data = (b"abcdefgh" * 1000)
+        small = lzss_compress(data, max_chain=1)
+        large = lzss_compress(data, max_chain=64)
+        assert lzss_decompress(small) == data
+        assert lzss_decompress(large) == data
+        assert len(large) <= len(small)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CodecError):
+            lzss_decompress(b"\x01")
+
+    def test_corrupt_match_distance_raises(self):
+        import struct
+
+        from repro.codecs.bits import BitWriter
+
+        w = BitWriter()
+        w.write_bit(1)
+        w.write_bits(100, 15)  # distance 101 into an empty history
+        w.write_bits(0, 8)
+        with pytest.raises(CodecError):
+            lzss_decompress(struct.pack("<I", 3) + w.getvalue())
+
+
+@settings(deadline=None)
+@given(st.binary(max_size=4096))
+def test_roundtrip_random(data):
+    assert lzss_decompress(lzss_compress(data)) == data
+
+
+@settings(deadline=None)
+@given(st.text(alphabet="abc", max_size=3000))
+def test_roundtrip_compressible(text):
+    data = text.encode()
+    assert lzss_decompress(lzss_compress(data)) == data

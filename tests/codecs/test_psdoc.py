@@ -1,0 +1,108 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.psdoc import PsDocument, PsOp
+from repro.errors import CodecError
+
+
+def sample_doc():
+    return (
+        PsDocument()
+        .add("font", "Helvetica 12")
+        .add("moveto", "72 720")
+        .show("Hello, world")
+        .add("line", "10 10 200 10")
+        .add("setgray", "0.5")
+        .show("Second paragraph")
+        .add("page")
+    )
+
+
+class TestPsOp:
+    def test_valid(self):
+        PsOp("moveto", "1 2")
+
+    def test_unknown_operator(self):
+        with pytest.raises(CodecError):
+            PsOp("bogus", "1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CodecError):
+            PsOp("moveto", "1")
+
+    def test_non_numeric_arg(self):
+        with pytest.raises(CodecError):
+            PsOp("moveto", "a b")
+
+    def test_page_takes_nothing(self):
+        with pytest.raises(CodecError):
+            PsOp("page", "1")
+
+    def test_newline_rejected(self):
+        with pytest.raises(CodecError):
+            PsOp("show", "bad\ntext")
+
+    def test_is_text(self):
+        assert PsOp("show", "x").is_text
+        assert not PsOp("page").is_text
+
+
+class TestPsDocument:
+    def test_roundtrip(self):
+        doc = sample_doc()
+        assert PsDocument.parse(doc.to_source()) == doc
+
+    def test_parse_skips_comments_and_blanks(self):
+        doc = PsDocument.parse("% comment\n\nshow hi\n")
+        assert len(doc) == 1
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(CodecError, match="line 2"):
+            PsDocument.parse("page\nmoveto 1\n")
+
+    def test_to_text_extracts_runs(self):
+        assert sample_doc().to_text() == "Hello, world\nSecond paragraph"
+
+    def test_show_escapes_newlines(self):
+        doc = PsDocument().show("a\nb")
+        assert "\n" not in doc.ops[0].args
+        assert doc.to_text() == "a\nb"
+
+    def test_show_trims_run_edges(self):
+        # wire form is whitespace-delimited: edge whitespace is dropped
+        assert PsDocument().show("  padded  ").to_text() == "padded"
+
+    def test_text_fraction(self):
+        doc = sample_doc()
+        assert 0.0 < doc.text_fraction() < 1.0
+
+    def test_text_fraction_empty(self):
+        assert PsDocument().text_fraction() == 0.0
+
+    def test_size_bytes_matches_source(self):
+        doc = sample_doc()
+        assert doc.size_bytes() == len(doc.to_source().encode())
+
+    def test_clone_independent(self):
+        doc = sample_doc()
+        copy = doc.clone()
+        copy.add("page")
+        assert len(doc) == len(copy) - 1
+
+    def test_text_smaller_than_source(self):
+        doc = sample_doc()
+        assert len(doc.to_text()) < doc.size_bytes()
+
+
+_RUN_ALPHABET = "abc XYZ019.,!?-_()" + "\n"
+
+
+@given(st.lists(st.text(alphabet=_RUN_ALPHABET, max_size=40), max_size=10))
+def test_show_roundtrip_property(runs):
+    doc = PsDocument()
+    for run in runs:
+        doc.show(run)
+    parsed = PsDocument.parse(doc.to_source())
+    assert parsed.to_text() == doc.to_text()
+    assert parsed == doc

@@ -1,0 +1,54 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.rle import rle_decode, rle_encode
+from repro.errors import CodecError
+
+
+class TestRle:
+    def test_empty(self):
+        assert rle_encode(b"") == b""
+        assert rle_decode(b"") == b""
+
+    def test_single_byte(self):
+        assert rle_decode(rle_encode(b"a")) == b"a"
+
+    def test_long_run_compresses(self):
+        data = b"\x00" * 1000
+        encoded = rle_encode(data)
+        assert len(encoded) < 30
+        assert rle_decode(encoded) == data
+
+    def test_alternating_expands_bounded(self):
+        data = bytes(range(256)) * 4
+        encoded = rle_encode(data)
+        assert len(encoded) <= len(data) + len(data) // 128 + 2
+        assert rle_decode(encoded) == data
+
+    def test_run_of_two_kept_literal(self):
+        assert rle_decode(rle_encode(b"aab")) == b"aab"
+
+    def test_max_run_boundary(self):
+        for n in [127, 128, 129, 130, 257, 258, 259]:
+            data = b"x" * n
+            assert rle_decode(rle_encode(data)) == data
+
+    def test_truncated_literal_raises(self):
+        with pytest.raises(CodecError):
+            rle_decode(bytes([5, 1, 2]))  # promises 6 literals, has 2
+
+    def test_truncated_repeat_raises(self):
+        with pytest.raises(CodecError):
+            rle_decode(bytes([0x85]))
+
+
+@given(st.binary(max_size=2048))
+def test_roundtrip(data):
+    assert rle_decode(rle_encode(data)) == data
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=5000))
+def test_roundtrip_runs(byte, count):
+    data = bytes([byte]) * count
+    assert rle_decode(rle_encode(data)) == data

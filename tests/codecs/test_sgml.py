@@ -1,0 +1,148 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.sgml import Element, escape_attr, escape_text, parse
+from repro.errors import CodecError
+
+
+class TestElement:
+    def test_construction(self):
+        e = Element("doc", {"id": "1"})
+        assert e.name == "doc"
+
+    def test_bad_name(self):
+        with pytest.raises(CodecError):
+            Element("1bad")
+        with pytest.raises(CodecError):
+            Element("has space")
+
+    def test_bad_attr_name(self):
+        with pytest.raises(CodecError):
+            Element("a", {"bad name": "x"})
+
+    def test_text_collection(self):
+        e = Element("p").add("one ").add(Element("b").add("two")).add(" three")
+        assert e.text() == "one two three"
+
+    def test_find(self):
+        e = Element("doc").add(Element("head")).add(Element("body"))
+        assert e.find("body").name == "body"
+        assert e.find("missing") is None
+
+    def test_clone_independent(self):
+        e = Element("doc").add(Element("child"))
+        copy = e.clone()
+        copy.children.append(Element("extra"))
+        assert len(e.children) == 1
+
+
+class TestSerialize:
+    def test_empty_element(self):
+        assert Element("br").serialize() == "<br/>"
+
+    def test_attrs_and_children(self):
+        e = Element("a", {"href": "x"}).add("text")
+        assert e.serialize() == '<a href="x">text</a>'
+
+    def test_escaping(self):
+        e = Element("p", {"title": 'say "hi" & bye'}).add("1 < 2 & 3 > 2")
+        text = e.serialize()
+        assert "&lt;" in text and "&amp;" in text and "&quot;" in text
+        assert parse(text) == e
+
+
+class TestParse:
+    def test_simple(self):
+        doc = parse('<doc id="7"><item>one</item><item>two</item></doc>')
+        assert doc.name == "doc"
+        assert doc.attrs == {"id": "7"}
+        assert [c.text() for c in doc.elements()] == ["one", "two"]
+
+    def test_self_closing(self):
+        doc = parse("<doc><hr/><hr/></doc>")
+        assert len(doc.elements()) == 2
+
+    def test_mixed_content(self):
+        doc = parse("<p>start <b>bold</b> end</p>")
+        assert doc.children[0] == "start "
+        assert doc.children[2] == " end"
+
+    def test_entities(self):
+        doc = parse("<p>&lt;tag&gt; &amp; &quot;quote&quot; &apos;</p>")
+        assert doc.text() == "<tag> & \"quote\" '"
+
+    def test_whitespace_around_root(self):
+        assert parse("  <doc/>  ").name == "doc"
+
+    @pytest.mark.parametrize("bad", [
+        "",                       # nothing
+        "plain text",             # no element
+        "<doc>",                  # unclosed
+        "<doc></other>",          # mismatched
+        "<doc/><doc/>",           # two roots
+        "<doc attr=unquoted/>",   # unquoted attribute
+        "<doc attr='single'/>",   # single quotes not in the dialect
+        '<doc a="1" a="2"/>',     # duplicate attribute
+        "<doc>&unknown;</doc>",   # unknown entity
+        "<doc>&amp</doc>",        # unterminated entity
+        "<1bad/>",                # illegal name
+        '<doc a="<"/>',           # '<' in attribute value
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(CodecError):
+            parse(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(CodecError):
+            parse(b"<doc/>")  # type: ignore[arg-type]
+
+    def test_deep_nesting(self):
+        source = "<a>" * 50 + "</a>" * 50
+        # fix: that's invalid (children mismatch); build properly
+        doc = Element("n0")
+        cur = doc
+        for i in range(1, 50):
+            nxt = Element(f"n{i}")
+            cur.add(nxt)
+            cur = nxt
+        assert parse(doc.serialize()) == doc
+
+
+# -- property: serialize/parse round-trip over generated trees ---------------------
+
+_names = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+_texts = st.text(
+    alphabet="abc <>&\"' é中", min_size=1, max_size=20
+)
+
+
+def _element(children):
+    return st.builds(
+        Element,
+        name=_names,
+        attrs=st.dictionaries(_names, _texts, max_size=3),
+        children=st.lists(st.one_of(_texts, children), max_size=4),
+    )
+
+
+_tree = st.recursive(_element(st.nothing()), _element, max_leaves=20)
+
+
+def _normalize(element: Element) -> Element:
+    """Canonical form: adjacent text children merged (as parsing does)."""
+    merged: list[Element | str] = []
+    for child in element.children:
+        if isinstance(child, str) and merged and isinstance(merged[-1], str):
+            merged[-1] = merged[-1] + child
+        elif isinstance(child, str):
+            merged.append(child)
+        else:
+            merged.append(_normalize(child))
+    return Element(element.name, dict(element.attrs), merged)
+
+
+@settings(deadline=None, max_examples=150)
+@given(_tree)
+def test_roundtrip_property(tree):
+    assert parse(tree.serialize()) == _normalize(tree)

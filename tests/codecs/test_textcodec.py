@@ -1,0 +1,71 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.textcodec import TextCodec
+from repro.errors import CodecError
+
+
+@pytest.fixture
+def codec():
+    return TextCodec()
+
+
+class TestTextCodec:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_roundtrip_simple(self, codec):
+        data = b"hello world " * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_english_hits_paper_ratio(self, codec):
+        # The thesis claims the Text Compressor reduces size by up to 75%.
+        text = (
+            b"MobiGATE is a mobile middleware architecture that supports the "
+            b"robust and flexible composition of transport entities, known as "
+            b"streamlets. The flow of data traffic is subjected to processing "
+            b"by a chain of streamlets across the wireless network. "
+        ) * 50
+        assert codec.ratio(text) < 0.35
+
+    def test_incompressible_bounded_overhead(self, codec):
+        import numpy as np
+
+        data = bytes(np.random.default_rng(1).integers(0, 256, 4096, dtype=np.uint8))
+        compressed = codec.compress(data)
+        assert len(compressed) <= len(data) + 5  # stored mode: magic + mode byte
+
+    def test_bad_magic_raises(self, codec):
+        with pytest.raises(CodecError):
+            codec.decompress(b"XXXX\x00data")
+
+    def test_unknown_mode_raises(self, codec):
+        with pytest.raises(CodecError):
+            codec.decompress(b"MGTC\x07body")
+
+    def test_short_input_raises(self, codec):
+        with pytest.raises(CodecError):
+            codec.decompress(b"MG")
+
+    def test_non_bytes_rejected(self, codec):
+        with pytest.raises(CodecError):
+            codec.compress("a string")  # type: ignore[arg-type]
+
+    def test_bytearray_accepted(self, codec):
+        data = bytearray(b"abc" * 100)
+        assert codec.decompress(codec.compress(data)) == bytes(data)
+
+    def test_bad_max_chain(self):
+        with pytest.raises(CodecError):
+            TextCodec(max_chain=0)
+
+    def test_ratio_empty_is_one(self, codec):
+        assert codec.ratio(b"") == 1.0
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.binary(max_size=3000))
+def test_roundtrip_property(data):
+    codec = TextCodec()
+    assert codec.decompress(codec.compress(data)) == data

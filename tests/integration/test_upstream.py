@@ -1,0 +1,73 @@
+"""Upstream (client-to-server) deployment (thesis section 3.2).
+
+"The MobiGATE server may reside in mobile nodes, while the MobiGATE client
+is placed at proxies in the wired network ... the architecture is
+sufficiently flexible to be used to address upstream communications as
+well."  Nothing in the runtime is direction-specific, and this test pins
+that claim: the *mobile* host runs a server-side stream that compresses
+and encrypts outgoing data before the weak uplink; the *wired* proxy runs
+the MobiGATE client machinery to reverse it.
+"""
+
+import pytest
+
+from repro.apps import build_server
+from repro.client.client import MobiGateClient
+from repro.mime.message import MimeMessage
+from repro.mime.wire import parse_message, serialize_message
+from repro.netsim.link import WirelessLink
+from repro.runtime.scheduler import InlineScheduler
+from repro.util.clock import VirtualClock
+
+UPLINK_STREAM = """
+main stream uplink{
+  streamlet comp = new-streamlet (text_compress);
+  streamlet enc = new-streamlet (encryptor);
+  connect (comp.po, enc.pi);
+}
+"""
+
+
+class TestUpstreamDirection:
+    def test_mobile_hosted_server_wired_hosted_client(self):
+        # the mobile device runs the coordination machinery...
+        mobile = build_server()
+        stream = mobile.deploy_script(UPLINK_STREAM)
+        scheduler = InlineScheduler(stream)
+
+        # ...the wired proxy runs the thin reverse-processing side
+        wired_proxy = MobiGateClient()
+
+        # asymmetric link: the upstream direction is the narrow one
+        clock = VirtualClock()
+        uplink = WirelessLink(32_000, clock=clock)  # 32 Kb/s uplink
+
+        report_lines = [f"sensor reading {i}: value={i * 7}" for i in range(50)]
+        payload = "\n".join(report_lines).encode()
+        stream.post(MimeMessage("text/plain", payload))
+        scheduler.pump()
+        [outgoing] = stream.collect()
+
+        wire = serialize_message(outgoing)
+        assert len(wire) < len(payload)  # compression pays on the weak uplink
+        transmission = uplink.transmit(len(wire))
+        assert not transmission.lost
+
+        [delivered] = wired_proxy.receive(parse_message(wire))
+        assert delivered.body == payload
+
+    def test_same_machinery_both_directions(self):
+        """One process can host both directions simultaneously."""
+        node = build_server()
+        down = node.deploy_script(
+            UPLINK_STREAM.replace("uplink", "down"), stream="down"
+        )
+        up = node.deploy_script(UPLINK_STREAM.replace("uplink", "up"), stream="up")
+        assert down.session != up.session
+        for stream, text in [(down, b"downstream"), (up, b"upstream")]:
+            scheduler = InlineScheduler(stream)
+            stream.post(MimeMessage("text/plain", text * 40))
+            scheduler.pump()
+            [wire] = stream.collect()
+            [out] = MobiGateClient().receive(wire)
+            assert out.body == text * 40

@@ -1,0 +1,133 @@
+"""Tests for the MCL command-line tool."""
+
+import pytest
+
+from repro.mcl.__main__ import main
+
+GOOD = """
+main stream pipe{
+  streamlet a = new-streamlet (redirector);
+  streamlet b = new-streamlet (encryptor);
+  streamlet c = new-streamlet (communicator);
+  connect (a.po, b.pi);
+  connect (b.po, c.pi1);
+}
+"""
+
+LOOPED = """
+main stream loop{
+  streamlet a, b = new-streamlet (redirector);
+  connect (a.po, b.pi);
+  connect (b.po, a.pi);
+}
+"""
+
+BROKEN = "stream x{ connect (a.po, ; }"
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(source, name="script.mcl"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return _write
+
+
+class TestCheck:
+    def test_consistent_script(self, write, capsys):
+        assert main(["check", write(GOOD)]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_violations_exit_1(self, write, capsys):
+        assert main(["check", write(LOOPED)]) == 1
+        assert "feedback-loop" in capsys.readouterr().out
+
+    def test_compile_error_exit_2(self, write, capsys):
+        assert main(["check", write(BROKEN)]) == 2
+        assert "compile error" in capsys.readouterr().err
+
+    def test_strict_mode_flags_dangling(self, write, capsys):
+        source = """
+main stream open{
+  streamlet a, b = new-streamlet (redirector);
+  connect (a.po, b.pi);
+}
+"""
+        assert main(["check", write(source)]) == 0
+        assert main(["check", "--strict", write(source)]) == 1
+
+    def test_no_builtins(self, write, capsys):
+        assert main(["check", "--no-builtins", write(GOOD)]) == 2
+        assert "redirector" in capsys.readouterr().err
+
+    def test_stream_selector(self, write, capsys):
+        source = GOOD.replace("main stream pipe", "stream pipe") + "stream other{ }"
+        assert main(["check", "--stream", "pipe", write(source)]) == 0
+        out = capsys.readouterr().out
+        assert "pipe" in out and "other" not in out
+
+    def test_unknown_stream(self, write, capsys):
+        assert main(["check", "--stream", "ghost", write(GOOD)]) == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent/path.mcl"]) == 2
+
+
+class TestJsonOutput:
+    def test_json_consistent(self, write, capsys):
+        import json
+
+        assert main(["check", "--json", write(GOOD)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        [stream] = payload["streams"]
+        assert stream["consistent"] is True
+        assert stream["links"] == 2
+
+    def test_json_violations(self, write, capsys):
+        import json
+
+        assert main(["check", "--json", write(LOOPED)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "violations"
+        kinds = [v["kind"] for v in payload["streams"][0]["violations"]]
+        assert "feedback-loop" in kinds
+
+    def test_json_compile_error(self, write, capsys):
+        import json
+
+        assert main(["check", "--json", write(BROKEN)]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "compile-error"
+
+
+class TestFormat:
+    def test_formats_canonically(self, write, capsys):
+        assert main(["format", write(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("main stream pipe {")
+        # formatted output must re-parse to the same AST
+        from repro.mcl.parser import parse_script
+
+        assert parse_script(out) == parse_script(GOOD)
+
+    def test_parse_error(self, write, capsys):
+        assert main(["format", write(BROKEN)]) == 2
+
+
+class TestGraph:
+    def test_edges_printed(self, write, capsys):
+        assert main(["graph", write(GOOD)]) == 0
+        out = capsys.readouterr().out
+        assert "a -> b" in out
+        assert "b -> c" in out
+
+    def test_dormant_listed(self, write, capsys):
+        source = GOOD.replace(
+            "connect (a.po, b.pi);",
+            "streamlet spare = new-streamlet (redirector);\n  connect (a.po, b.pi);",
+        )
+        main(["graph", write(source)])
+        assert "dormant: spare" in capsys.readouterr().out

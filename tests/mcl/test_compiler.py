@@ -1,0 +1,415 @@
+import pytest
+
+from repro.errors import MclCompileError, MclNameError, MclTypeError
+from repro.events import EventCatalog, EventCategory
+from repro.mcl import astnodes as ast
+from repro.mcl.compiler import DEFAULT_CHANNEL_DEF, MclCompiler, compile_script
+
+DEFS = """
+streamlet producer{
+  port{ out po : text/richtext; }
+}
+streamlet consumer{
+  port{ in pi : text/*; }
+}
+streamlet filter{
+  port{ in pi : text/*; out po : text/plain; }
+}
+streamlet imgsink{
+  port{ in pi : image/gif; }
+}
+channel bigChan{
+  port{ in cin : */*; out cout : */*; }
+  attribute{ buffer = 1024; }
+}
+"""
+
+
+def compile_one(body: str, defs: str = DEFS, stream: str = "s"):
+    return compile_script(defs + f"stream {stream}{{ {body} }}").tables[stream]
+
+
+class TestInstances:
+    def test_instantiation(self):
+        table = compile_one("streamlet a = new-streamlet (producer);")
+        assert table.instances["a"].name == "producer"
+
+    def test_multi_declaration(self):
+        table = compile_one("streamlet a, b = new-streamlet (producer);")
+        assert set(table.instances) == {"a", "b"}
+
+    def test_unknown_definition(self):
+        with pytest.raises(MclNameError):
+            compile_one("streamlet a = new-streamlet (nonexistent);")
+
+    def test_duplicate_instance_name(self):
+        with pytest.raises(MclNameError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet a = new-streamlet (consumer);"
+            )
+
+    def test_channel_instance(self):
+        table = compile_one("channel c = new-channel (bigChan);")
+        assert table.channels["c"].definition.buffer_kb == 1024
+
+    def test_name_collision_across_kinds(self):
+        with pytest.raises(MclNameError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "channel a = new-channel (bigChan);"
+            )
+
+    def test_remove_streamlet(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer); remove-streamlet (a);"
+        )
+        assert "a" not in table.instances
+
+    def test_remove_connected_streamlet_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (consumer);"
+                "connect (a.po, b.pi);"
+                "remove-streamlet (a);"
+            )
+
+    def test_remove_used_channel_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (consumer);"
+                "channel c = new-channel (bigChan);"
+                "connect (a.po, b.pi, c);"
+                "remove-channel (c);"
+            )
+
+
+class TestConnect:
+    def test_auto_channel(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet b = new-streamlet (consumer);"
+            "connect (a.po, b.pi);"
+        )
+        assert len(table.links) == 1
+        link = table.links[0]
+        assert table.channels[link.channel].auto
+        assert table.channels[link.channel].definition == DEFAULT_CHANNEL_DEF
+        assert str(link.mediatype) == "text/richtext"
+
+    def test_explicit_channel(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet b = new-streamlet (consumer);"
+            "channel c = new-channel (bigChan);"
+            "connect (a.po, b.pi, c);"
+        )
+        assert table.links[0].channel == "c"
+
+    def test_type_compatibility_subtype_ok(self):
+        # text/richtext source into text/* sink: the 4.4.1 example
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet b = new-streamlet (consumer);"
+            "connect (a.po, b.pi);"
+        )
+        assert table.links
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(MclTypeError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (imgsink);"
+                "connect (a.po, b.pi);"
+            )
+
+    def test_direction_enforced(self):
+        with pytest.raises(MclTypeError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (consumer);"
+                "connect (b.pi, a.po);"
+            )
+
+    def test_unknown_port(self):
+        with pytest.raises(MclTypeError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (consumer);"
+                "connect (a.nothere, b.pi);"
+            )
+
+    def test_port_reuse_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b, b2 = new-streamlet (consumer);"
+                "connect (a.po, b.pi);"
+                "connect (a.po, b2.pi);"
+            )
+
+    def test_channel_reuse_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a, a2 = new-streamlet (producer);"
+                "streamlet b, b2 = new-streamlet (consumer);"
+                "channel c = new-channel (bigChan);"
+                "connect (a.po, b.pi, c);"
+                "connect (a2.po, b2.pi, c);"
+            )
+
+    def test_channel_as_endpoint_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "channel c = new-channel (bigChan);"
+                "connect (a.po, c.cin);"
+            )
+
+    def test_disconnect_releases(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet b, b2 = new-streamlet (consumer);"
+            "connect (a.po, b.pi);"
+            "disconnect (a.po, b.pi);"
+            "connect (a.po, b2.pi);"
+        )
+        assert len(table.links) == 1
+        assert table.links[0].sink.instance == "b2"
+
+    def test_disconnect_missing_link(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (consumer);"
+                "disconnect (a.po, b.pi);"
+            )
+
+    def test_disconnectall(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet f = new-streamlet (filter);"
+            "streamlet b = new-streamlet (consumer);"
+            "connect (a.po, f.pi);"
+            "connect (f.po, b.pi);"
+            "disconnectall (f);"
+        )
+        assert table.links == []
+
+    def test_insert_outside_when_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (consumer);"
+                "streamlet f = new-streamlet (filter);"
+                "insert (a.po, b.pi, f);"
+            )
+
+
+class TestEvents:
+    def test_handler_stored_canonical(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet b = new-streamlet (consumer);"
+            "connect (a.po, b.pi);"
+            "when (LOW_GRAY) { disconnect (a.po, b.pi); }"
+        )
+        assert table.subscribed_events() == {"LOW_GRAYS"}
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one("when (MARTIAN_INVASION) { }")
+
+    def test_custom_event_via_catalog(self):
+        catalog = EventCatalog()
+        catalog.register("MARTIAN_INVASION", EventCategory.SOFTWARE_VARIATION)
+        compiler = MclCompiler(catalog=catalog)
+        compiled = compiler.compile(DEFS + "stream s{ when (MARTIAN_INVASION) { } }")
+        assert "MARTIAN_INVASION" in compiled.tables["s"].handlers
+
+    def test_duplicate_handler_rejected(self):
+        with pytest.raises(MclCompileError):
+            compile_one("when (END) { } when (END) { }")
+
+    def test_handler_validates_types(self):
+        with pytest.raises(MclTypeError):
+            compile_one(
+                "streamlet a = new-streamlet (producer);"
+                "streamlet b = new-streamlet (imgsink);"
+                "when (LOW_BANDWIDTH) { connect (a.po, b.pi); }"
+            )
+
+    def test_handler_local_instances(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (producer);"
+            "streamlet b = new-streamlet (consumer);"
+            "connect (a.po, b.pi);"
+            "when (LOW_BANDWIDTH) { streamlet f = new-streamlet (filter); "
+            "insert (a.po, b.pi, f); }"
+        )
+        actions = table.handlers["LOW_BANDWIDTH"]
+        assert isinstance(actions[0], ast.NewInstances)
+        assert isinstance(actions[1], ast.Insert)
+
+    def test_handler_unknown_name_rejected(self):
+        with pytest.raises(MclNameError):
+            compile_one("when (LOW_BANDWIDTH) { disconnectall (ghost); }")
+
+
+class TestExposedPorts:
+    def test_pipeline_exposes_ends(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (filter);"
+            "streamlet b = new-streamlet (filter);"
+            "connect (a.po, b.pi);"
+        )
+        assert table.exposed_in == (ast.PortRef("a", "pi"),)
+        assert table.exposed_out == (ast.PortRef("b", "po"),)
+
+    def test_dormant_instances_not_exposed(self):
+        table = compile_one(
+            "streamlet a = new-streamlet (filter);"
+            "streamlet b = new-streamlet (filter);"
+            "streamlet spare = new-streamlet (filter);"
+            "connect (a.po, b.pi);"
+        )
+        assert table.dormant_instances() == {"spare"}
+        assert all(ref.instance != "spare" for ref in table.exposed_in + table.exposed_out)
+
+
+class TestRecursiveComposition:
+    COMPOSITE = DEFS + """
+streamlet inner{
+  port{ in pi : text/*; out po : text/plain; }
+  attribute{ type = STATEFUL; library = "mcl/inner"; }
+}
+stream inner{
+  streamlet f1 = new-streamlet (filter);
+  streamlet f2 = new-streamlet (filter);
+  connect (f1.po, f2.pi);
+}
+main stream outer{
+  streamlet p = new-streamlet (producer);
+  streamlet comp = new-streamlet (inner);
+  streamlet c = new-streamlet (consumer);
+  connect (p.po, comp.pi);
+  connect (comp.po, c.pi);
+}
+"""
+
+    def test_expansion_inlines_instances(self):
+        table = compile_script(self.COMPOSITE).main_table()
+        assert "comp$f1" in table.instances
+        assert "comp$f2" in table.instances
+        assert "comp" not in table.instances
+
+    def test_expansion_rewires_links(self):
+        table = compile_script(self.COMPOSITE).main_table()
+        sinks = {str(l.sink) for l in table.links}
+        sources = {str(l.source) for l in table.links}
+        assert "comp$f1.pi" in sinks       # p.po -> comp$f1.pi
+        assert "comp$f2.po" in sources     # comp$f2.po -> c.pi
+        assert len(table.links) == 3
+
+    def test_synthesized_interface(self):
+        # no declared 'streamlet inner' interface: compiler derives one
+        source = DEFS + """
+stream box{
+  streamlet f1 = new-streamlet (filter);
+  streamlet f2 = new-streamlet (filter);
+  connect (f1.po, f2.pi);
+}
+main stream outer{
+  streamlet p = new-streamlet (producer);
+  streamlet b = new-streamlet (box);
+  connect (p.po, b.pi0);
+}
+"""
+        table = compile_script(source).main_table()
+        assert any(l.sink == ast.PortRef("b$f1", "pi") for l in table.links)
+
+    def test_cycle_detection(self):
+        source = """
+stream a{ streamlet x = new-streamlet (b); }
+stream b{ streamlet y = new-streamlet (a); }
+"""
+        with pytest.raises(MclCompileError, match="cycle"):
+            compile_script(source)
+
+    def test_self_recursion_rejected(self):
+        source = "stream a{ streamlet x = new-streamlet (a); }"
+        with pytest.raises(MclCompileError, match="cycle"):
+            compile_script(source)
+
+    def test_interface_arity_mismatch(self):
+        source = DEFS + """
+streamlet box{
+  port{ in p1 : text/*; in p2 : text/*; out q : text/plain; }
+}
+stream box{
+  streamlet f1 = new-streamlet (filter);
+  streamlet f2 = new-streamlet (filter);
+  connect (f1.po, f2.pi);
+}
+main stream outer{
+  streamlet b = new-streamlet (box);
+}
+"""
+        with pytest.raises(MclCompileError, match="exposes"):
+            compile_script(source)
+
+    def test_child_handlers_hoisted(self):
+        source = DEFS + """
+stream box{
+  streamlet f1 = new-streamlet (filter);
+  streamlet f2 = new-streamlet (filter);
+  connect (f1.po, f2.pi);
+  when (LOW_BANDWIDTH) { disconnect (f1.po, f2.pi); }
+}
+main stream outer{
+  streamlet b = new-streamlet (box);
+}
+"""
+        table = compile_script(source).main_table()
+        actions = table.handlers["LOW_BANDWIDTH"]
+        assert actions[0] == ast.Disconnect(
+            ast.PortRef("b$f1", "po"), ast.PortRef("b$f2", "pi")
+        )
+
+
+class TestScriptLevel:
+    def test_duplicate_streamlet_defs(self):
+        with pytest.raises(MclNameError):
+            compile_script(
+                "streamlet x{ port{ in a : text/*; } }"
+                "streamlet x{ port{ in a : text/*; } }"
+            )
+
+    def test_main_designation(self):
+        compiled = compile_script("main stream m{ } stream other{ }")
+        assert compiled.main == "m"
+        assert set(compiled.tables) == {"m", "other"}
+
+    def test_no_main(self):
+        compiled = compile_script("stream a{ } stream b{ }")
+        assert compiled.main is None
+        with pytest.raises(KeyError):
+            compiled.main_table()
+
+    def test_extra_definitions_from_directory(self):
+        defs = compile_script(DEFS).tables  # parse defs for reuse
+        del defs
+        from repro.mcl.parser import parse_script
+
+        parsed = parse_script(DEFS)
+        compiler = MclCompiler(
+            extra_streamlets={d.name: d for d in parsed.streamlets},
+            extra_channels={d.name: d for d in parsed.channels},
+        )
+        compiled = compiler.compile(
+            "stream s{ streamlet a = new-streamlet (producer); "
+            "streamlet b = new-streamlet (consumer); connect (a.po, b.pi); }"
+        )
+        assert len(compiled.tables["s"].links) == 1

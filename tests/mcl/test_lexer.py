@@ -1,0 +1,102 @@
+import pytest
+
+from repro.errors import MclLexError
+from repro.mcl.lexer import tokenize
+from repro.mcl.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_punctuation(self):
+        assert kinds("{}();:,.=*/")[:-1] == [
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.SEMI,
+            TokenKind.COLON,
+            TokenKind.COMMA,
+            TokenKind.DOT,
+            TokenKind.EQUALS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+        ]
+
+    def test_identifiers(self):
+        assert texts("switch img_down_sample s1") == ["switch", "img_down_sample", "s1"]
+
+    def test_hyphenated_keyword_is_one_token(self):
+        toks = tokenize("new-streamlet")
+        assert toks[0].text == "new-streamlet"
+        assert toks[0].kind is TokenKind.IDENT
+
+    def test_media_type_tokens(self):
+        assert texts("multipart/mixed") == ["multipart", "/", "mixed"]
+
+    def test_octet_stream_hyphen(self):
+        assert texts("application/octet-stream") == ["application", "/", "octet-stream"]
+
+    def test_numbers(self):
+        toks = tokenize("1024 3.5")
+        assert toks[0].kind is TokenKind.NUMBER and toks[0].text == "1024"
+        assert toks[1].text == "3.5"
+
+    def test_malformed_number(self):
+        with pytest.raises(MclLexError):
+            tokenize("1.2.3")
+
+    def test_string(self):
+        toks = tokenize('"general/switch"')
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].text == "general/switch"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b\n"')[0].text == 'a"b\n'
+
+    def test_unterminated_string(self):
+        with pytest.raises(MclLexError):
+            tokenize('"abc')
+
+    def test_string_newline_rejected(self):
+        with pytest.raises(MclLexError):
+            tokenize('"ab\ncd"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(MclLexError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_slash_star_is_wildcard_not_comment(self):
+        # '/*' must lex as SLASH STAR so 'text/*' media types work
+        assert texts("text/*") == ["text", "/", "*"]
+
+    def test_slash_alone(self):
+        assert kinds("/")[0] is TokenKind.SLASH
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(MclLexError) as exc:
+            tokenize("ok\n  @")
+        assert exc.value.line == 2

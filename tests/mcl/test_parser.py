@@ -1,0 +1,252 @@
+import pytest
+
+from repro.errors import MclParseError
+from repro.mcl import astnodes as ast
+from repro.mcl.parser import parse_script
+from repro.mime.mediatype import MediaType
+
+SWITCH = """
+streamlet switch{
+  port{
+    in pi : multipart/mixed;
+    out po1 : image/gif;
+    out po2 : application/postscript;
+  }
+  attribute{
+    type = STATELESS;
+    library = "general/switch";
+    description = "divide incoming messages by semantic type";
+  }
+}
+"""
+
+CHANNEL = """
+channel largeBufferChan{
+  port{
+    in cin : image/*;
+    out cout : image/*;
+  }
+  attribute{
+    type = ASYNC;
+    category = BK;
+    buffer = 1024;
+  }
+}
+"""
+
+STREAM = """
+stream streamApp{
+  streamlet s1 = new-streamlet (switch);
+  streamlet s2 = new-streamlet (img_down_sample);
+  channel c1, c2 = new-channel (largeBufferChan);
+  connect (s1.po1, s2.pi, c1);
+  connect (s1.po2, s2.pi2);
+  when (LOW_ENERGY){
+    connect (s2.po, s1.pi);
+  }
+}
+"""
+
+
+class TestStreamletDef:
+    def test_parse(self):
+        script = parse_script(SWITCH)
+        d = script.streamlet("switch")
+        assert d is not None
+        assert d.kind is ast.StreamletKind.STATELESS
+        assert d.library == "general/switch"
+        assert [p.name for p in d.ports] == ["pi", "po1", "po2"]
+        assert d.port("pi").mediatype == MediaType.parse("multipart/mixed")
+
+    def test_default_attributes(self):
+        script = parse_script("streamlet x{ port{ in a : text/*; } }")
+        d = script.streamlet("x")
+        assert d.kind is ast.StreamletKind.STATELESS
+        assert d.library == ""
+
+    def test_stateful(self):
+        script = parse_script(
+            'streamlet x{ port{ in a : text/*; } attribute{ type = STATEFUL; } }'
+        )
+        assert script.streamlet("x").kind is ast.StreamletKind.STATEFUL
+
+    def test_extension_attributes(self):
+        script = parse_script(
+            'streamlet x{ port{ in a : text/*; } '
+            'attribute{ excludes = "y, z"; requires = "w"; after = "v"; } }'
+        )
+        d = script.streamlet("x")
+        assert d.excludes == ("y", "z")
+        assert d.requires == ("w",)
+        assert d.after == ("v",)
+
+    def test_bad_type_attr(self):
+        with pytest.raises(MclParseError):
+            parse_script("streamlet x{ port{ in a : text/*; } attribute{ type = WEIRD; } }")
+
+    def test_unknown_attr(self):
+        with pytest.raises(MclParseError):
+            parse_script("streamlet x{ port{ in a : text/*; } attribute{ color = red; } }")
+
+    def test_duplicate_port(self):
+        with pytest.raises(MclParseError):
+            parse_script("streamlet x{ port{ in a : text/*; out a : text/*; } }")
+
+    def test_empty_port_block(self):
+        with pytest.raises(MclParseError):
+            parse_script("streamlet x{ port{ } }")
+
+    def test_bad_direction(self):
+        with pytest.raises(MclParseError):
+            parse_script("streamlet x{ port{ inout a : text/*; } }")
+
+    def test_wildcard_port_type(self):
+        script = parse_script("streamlet x{ port{ in a : */*; out b : text; } }")
+        d = script.streamlet("x")
+        assert d.port("a").mediatype == MediaType.parse("*/*")
+        assert d.port("b").mediatype == MediaType.parse("text/*")
+
+
+class TestChannelDef:
+    def test_parse(self):
+        d = parse_script(CHANNEL).channel("largeBufferChan")
+        assert d.sync is ast.ChannelSync.ASYNC
+        assert d.category is ast.ChannelCategory.BK
+        assert d.buffer_kb == 1024
+
+    def test_defaults(self):
+        d = parse_script(
+            "channel c{ port{ in a : */*; out b : */*; } }"
+        ).channel("c")
+        assert d.sync is ast.ChannelSync.ASYNC
+        assert d.category is ast.ChannelCategory.BK
+        assert d.buffer_kb == 100
+
+    def test_sync_needs_zero_buffer(self):
+        with pytest.raises(MclParseError):
+            parse_script(
+                "channel c{ port{ in a : */*; out b : */*; } "
+                "attribute{ type = SYNC; buffer = 10; } }"
+            )
+
+    def test_sync_zero_buffer_ok(self):
+        d = parse_script(
+            "channel c{ port{ in a : */*; out b : */*; } "
+            "attribute{ type = SYNC; buffer = 0; } }"
+        ).channel("c")
+        assert d.sync is ast.ChannelSync.SYNC
+
+    def test_two_in_ports_rejected(self):
+        with pytest.raises(MclParseError):
+            parse_script("channel c{ port{ in a : */*; in b : */*; } }")
+
+    def test_all_categories(self):
+        for cat in ["S", "BB", "BK", "KB", "KK"]:
+            d = parse_script(
+                f"channel c{{ port{{ in a : */*; out b : */*; }} "
+                f"attribute{{ category = {cat}; }} }}"
+            ).channel("c")
+            assert d.category.value == cat
+
+    def test_bad_category(self):
+        with pytest.raises(MclParseError):
+            parse_script(
+                "channel c{ port{ in a : */*; out b : */*; } attribute{ category = XX; } }"
+            )
+
+
+class TestStreamDef:
+    def test_parse(self):
+        stream = parse_script(STREAM).stream("streamApp")
+        assert stream is not None
+        decls = [s for s in stream.body if isinstance(s, ast.NewInstances)]
+        assert decls[0] == ast.NewInstances("streamlet", ("s1",), "switch")
+        assert decls[2] == ast.NewInstances("channel", ("c1", "c2"), "largeBufferChan")
+
+    def test_connect_with_channel(self):
+        stream = parse_script(STREAM).stream("streamApp")
+        connects = [s for s in stream.body if isinstance(s, ast.Connect)]
+        assert connects[0] == ast.Connect(
+            ast.PortRef("s1", "po1"), ast.PortRef("s2", "pi"), "c1"
+        )
+        assert connects[1].channel is None
+
+    def test_when_block(self):
+        stream = parse_script(STREAM).stream("streamApp")
+        whens = [s for s in stream.body if isinstance(s, ast.When)]
+        assert len(whens) == 1
+        assert whens[0].event == "LOW_ENERGY"
+        assert isinstance(whens[0].actions[0], ast.Connect)
+
+    def test_main_stream(self):
+        script = parse_script("main stream m{ connect (a.o, b.i); } stream n{ }")
+        assert script.main_stream().name == "m"
+
+    def test_single_stream_is_default_main(self):
+        script = parse_script("stream only{ }")
+        assert script.main_stream().name == "only"
+
+    def test_two_streams_no_main(self):
+        script = parse_script("stream a{ } stream b{ }")
+        assert script.main_stream() is None
+
+    def test_multiple_mains_rejected(self):
+        with pytest.raises(MclParseError):
+            parse_script("main stream a{ } main stream b{ }")
+
+    def test_new_channel_with_space_spelling(self):
+        # Figure 4-8 writes "new channel (largeBufferChan)"
+        stream = parse_script(
+            "stream s{ channel c1 = new channel (largeBufferChan); }"
+        ).stream("s")
+        assert stream.body[0] == ast.NewInstances("channel", ("c1",), "largeBufferChan")
+
+    def test_mismatched_constructor(self):
+        with pytest.raises(MclParseError):
+            parse_script("stream s{ streamlet a = new-channel (x); }")
+
+    def test_disconnect(self):
+        stream = parse_script("stream s{ disconnect (a.o, b.i); }").stream("s")
+        assert stream.body[0] == ast.Disconnect(ast.PortRef("a", "o"), ast.PortRef("b", "i"))
+
+    def test_disconnectall(self):
+        stream = parse_script("stream s{ disconnectall (a); }").stream("s")
+        assert stream.body[0] == ast.DisconnectAll("a")
+
+    def test_insert_replace_remove(self):
+        stream = parse_script(
+            "stream s{ when (LOW_BANDWIDTH) { insert (a.o, b.i, c); replace (c, d); "
+            "remove-streamlet (d); remove-channel (ch); } }"
+        ).stream("s")
+        actions = stream.body[0].actions
+        assert actions[0] == ast.Insert(ast.PortRef("a", "o"), ast.PortRef("b", "i"), "c")
+        assert actions[1] == ast.Replace("c", "d")
+        assert actions[2] == ast.RemoveInstance("streamlet", "d")
+        assert actions[3] == ast.RemoveInstance("channel", "ch")
+
+    def test_nested_when_rejected(self):
+        with pytest.raises(MclParseError):
+            parse_script("stream s{ when (END) { when (PAUSE) { } } }")
+
+    def test_duplicate_instance_names_in_decl(self):
+        with pytest.raises(MclParseError):
+            parse_script("stream s{ streamlet a, a = new-streamlet (x); }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MclParseError):
+            parse_script("stream s{ connect (a.o, b.i) }")
+
+    def test_error_reports_line(self):
+        with pytest.raises(MclParseError) as exc:
+            parse_script("stream s{\n  bogus (a.o);\n}")
+        assert exc.value.line == 2
+
+
+class TestFullExample:
+    def test_thesis_section_4_3(self):
+        # the composition script of Figure 4-8, abridged types
+        source = SWITCH + CHANNEL + STREAM
+        script = parse_script(source)
+        assert len(script.streamlets) == 1
+        assert len(script.channels) == 1
+        assert len(script.streams) == 1

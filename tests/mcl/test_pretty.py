@@ -1,0 +1,161 @@
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcl import astnodes as ast
+from repro.mcl.parser import parse_script
+from repro.mcl.pretty import format_script
+from repro.mime.mediatype import MediaType
+
+# ---------------------------------------------------------------------------
+# AST strategies
+# ---------------------------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s
+    not in {
+        "streamlet", "channel", "stream", "main", "port", "attribute",
+        "in", "out", "when", "connect", "disconnect", "disconnectall",
+        "insert", "remove", "replace", "new",
+    }
+)
+
+_mediatype = st.sampled_from(
+    [MediaType.parse(t) for t in
+     ["text/plain", "text/richtext", "text/*", "image/gif", "image/*",
+      "*/*", "multipart/mixed", "application/octet-stream"]]
+)
+
+_port = st.builds(
+    ast.PortDecl,
+    direction=st.sampled_from(list(ast.PortDirection)),
+    name=_ident,
+    mediatype=_mediatype,
+)
+
+
+def _unique_ports(ports):
+    seen = set()
+    out = []
+    for p in ports:
+        if p.name not in seen:
+            seen.add(p.name)
+            out.append(p)
+    return tuple(out)
+
+
+_streamlet_def = st.builds(
+    ast.StreamletDef,
+    name=_ident,
+    ports=st.lists(_port, min_size=1, max_size=4).map(_unique_ports),
+    kind=st.sampled_from(list(ast.StreamletKind)),
+    library=st.sampled_from(["", "general/x", "mcl/box"]),
+    description=st.sampled_from(["", "a description, with punctuation."]),
+    excludes=st.lists(_ident, max_size=2, unique=True).map(tuple),
+    requires=st.lists(_ident, max_size=2, unique=True).map(tuple),
+    after=st.lists(_ident, max_size=2, unique=True).map(tuple),
+)
+
+_channel_def = st.builds(
+    lambda name, it, ot, sync, category, buffer_kb: ast.ChannelDef(
+        name=name,
+        in_port=ast.PortDecl(ast.PortDirection.IN, "cin", it),
+        out_port=ast.PortDecl(ast.PortDirection.OUT, "cout", ot),
+        sync=sync,
+        category=category,
+        buffer_kb=0 if sync is ast.ChannelSync.SYNC else buffer_kb,
+    ),
+    name=_ident,
+    it=_mediatype,
+    ot=_mediatype,
+    sync=st.sampled_from(list(ast.ChannelSync)),
+    category=st.sampled_from(list(ast.ChannelCategory)),
+    buffer_kb=st.integers(min_value=1, max_value=4096),
+)
+
+_portref = st.builds(ast.PortRef, instance=_ident, port=_ident)
+
+_action = st.one_of(
+    st.builds(ast.Connect, source=_portref, sink=_portref,
+              channel=st.one_of(st.none(), _ident)),
+    st.builds(ast.Disconnect, source=_portref, sink=_portref),
+    st.builds(ast.DisconnectAll, instance=_ident),
+    st.builds(ast.Insert, source=_portref, sink=_portref, instance=_ident),
+    st.builds(ast.Replace, old=_ident, new=_ident),
+    st.builds(ast.RemoveInstance,
+              kind=st.sampled_from(["streamlet", "channel", "extract"]),
+              name=_ident),
+    st.builds(ast.NewInstances, kind=st.sampled_from(["streamlet", "channel"]),
+              names=st.lists(_ident, min_size=1, max_size=3, unique=True).map(tuple),
+              definition=_ident),
+)
+
+_statement = st.one_of(
+    _action,
+    st.builds(ast.When,
+              event=st.sampled_from(["LOW_BANDWIDTH", "LOW_ENERGY", "END", "PAUSE"]),
+              actions=st.lists(_action, max_size=3).map(tuple)),
+)
+
+_stream_def = st.builds(
+    ast.StreamDef,
+    name=_ident,
+    body=st.lists(_statement, max_size=6).map(tuple),
+    is_main=st.just(False),
+)
+
+
+def _unique_names(defs):
+    seen = set()
+    out = []
+    for d in defs:
+        if d.name not in seen:
+            seen.add(d.name)
+            out.append(d)
+    return tuple(out)
+
+
+_script = st.builds(
+    ast.Script,
+    streamlets=st.lists(_streamlet_def, max_size=3).map(_unique_names),
+    channels=st.lists(_channel_def, max_size=2).map(_unique_names),
+    streams=st.lists(_stream_def, max_size=2).map(_unique_names),
+)
+
+
+# ---------------------------------------------------------------------------
+# tests
+# ---------------------------------------------------------------------------
+
+
+class TestFormatKnown:
+    def test_streamlet_block(self):
+        script = parse_script(
+            'streamlet s{ port{ in pi : text/*; out po : text/plain; } '
+            'attribute{ type = STATEFUL; library = "x/y"; } }'
+        )
+        text = format_script(script)
+        assert "streamlet s {" in text
+        assert "in pi : text/*;" in text
+        assert "type = STATEFUL;" in text
+        assert 'library = "x/y";' in text
+
+    def test_when_block_nesting(self):
+        script = parse_script(
+            "stream s{ when (END) { disconnectall (a); } }"
+        )
+        text = format_script(script)
+        assert "  when (END) {" in text
+        assert "    disconnectall (a);" in text
+
+    def test_empty_script(self):
+        assert format_script(ast.Script()) == ""
+
+    def test_main_keyword_preserved(self):
+        script = parse_script("main stream m{ }")
+        assert format_script(script).startswith("main stream m {")
+
+
+@settings(deadline=None, max_examples=200)
+@given(_script)
+def test_roundtrip_property(script):
+    assert parse_script(format_script(script)) == script

@@ -1,0 +1,135 @@
+import pytest
+
+from repro.errors import HeaderError
+from repro.mime.headers import CONTENT_SESSION, CONTENT_TYPE, PEER_STACK, HeaderMap
+from repro.mime.mediatype import TEXT_PLAIN
+
+
+class TestBasicMapping:
+    def test_set_get(self):
+        h = HeaderMap()
+        h.set("Content-Type", "text/plain")
+        assert h.get("Content-Type") == "text/plain"
+
+    def test_case_insensitive(self):
+        h = HeaderMap()
+        h.set("Content-Type", "text/plain")
+        assert h.get("content-type") == "text/plain"
+        assert "CONTENT-TYPE" in h
+
+    def test_set_replaces(self):
+        h = HeaderMap()
+        h.set("X", "1")
+        h.set("x", "2")
+        assert h.get("X") == "2"
+        assert len(h) == 1
+
+    def test_get_default(self):
+        assert HeaderMap().get("Missing", "d") == "d"
+
+    def test_require_missing_raises(self):
+        with pytest.raises(HeaderError):
+            HeaderMap().require("Nope")
+
+    def test_remove(self):
+        h = HeaderMap({"A": "1"})
+        assert h.remove("a")
+        assert not h.remove("a")
+        assert len(h) == 0
+
+    def test_init_dict(self):
+        h = HeaderMap({"A": "1", "B": "2"})
+        assert h.get("a") == "1" and h.get("b") == "2"
+
+    def test_illegal_name_rejected(self):
+        h = HeaderMap()
+        for bad in ["", "Bad:Name", "Bad\nName"]:
+            with pytest.raises(HeaderError):
+                h.set(bad, "v")
+
+    def test_newline_in_value_rejected(self):
+        with pytest.raises(HeaderError):
+            HeaderMap().set("A", "x\ny")
+
+    def test_copy_is_independent(self):
+        h = HeaderMap({"A": "1"})
+        c = h.copy()
+        c.set("A", "2")
+        assert h.get("A") == "1"
+
+    def test_equality_ignores_display_case(self):
+        a = HeaderMap({"Content-Type": "x"})
+        b = HeaderMap({"content-type": "x"})
+        assert a == b
+
+
+class TestTypedAccessors:
+    def test_content_type_roundtrip(self):
+        h = HeaderMap()
+        h.content_type = TEXT_PLAIN
+        assert h.content_type == TEXT_PLAIN
+        assert h.get(CONTENT_TYPE) == "text/plain"
+
+    def test_content_type_missing(self):
+        assert HeaderMap().content_type is None
+
+    def test_session(self):
+        h = HeaderMap()
+        h.session = "sess-9"
+        assert h.session == "sess-9"
+        assert h.get(CONTENT_SESSION) == "sess-9"
+
+
+class TestPeerStack:
+    def test_push_pop_lifo(self):
+        h = HeaderMap()
+        h.push_peer("compressor")
+        h.push_peer("encryptor")
+        assert h.pop_peer() == "encryptor"
+        assert h.pop_peer() == "compressor"
+        assert h.pop_peer() is None
+
+    def test_stack_listing(self):
+        h = HeaderMap()
+        h.push_peer("a")
+        h.push_peer("b")
+        assert h.peer_stack() == ["a", "b"]
+
+    def test_empty_stack(self):
+        assert HeaderMap().peer_stack() == []
+
+    def test_pop_removes_header_when_empty(self):
+        h = HeaderMap()
+        h.push_peer("only")
+        h.pop_peer()
+        assert PEER_STACK not in h
+
+    def test_illegal_peer_id(self):
+        h = HeaderMap()
+        for bad in ["", "a,b", "  "]:
+            with pytest.raises(HeaderError):
+                h.push_peer(bad)
+
+
+class TestWireFormat:
+    def test_format_parse_roundtrip(self):
+        h = HeaderMap()
+        h.set("Content-Type", "text/plain; charset=utf-8")
+        h.set("Content-Session", "sess-1")
+        h.push_peer("decomp")
+        parsed = HeaderMap.parse(h.format())
+        assert parsed == h
+
+    def test_parse_skips_blank_lines(self):
+        parsed = HeaderMap.parse("A: 1\n\nB: 2\n")
+        assert parsed.get("A") == "1" and parsed.get("B") == "2"
+
+    def test_parse_missing_colon_raises(self):
+        with pytest.raises(HeaderError):
+            HeaderMap.parse("NoColonHere")
+
+    def test_format_order_preserved(self):
+        h = HeaderMap()
+        h.set("Z", "1")
+        h.set("A", "2")
+        assert h.format().splitlines() == ["Z: 1", "A: 2"]

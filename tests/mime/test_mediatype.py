@@ -1,0 +1,122 @@
+import pytest
+
+from repro.errors import MediaTypeParseError
+from repro.mime.mediatype import (
+    ANY,
+    IMAGE,
+    IMAGE_GIF,
+    TEXT,
+    TEXT_PLAIN,
+    TEXT_RICHTEXT,
+    MediaType,
+)
+
+
+class TestParse:
+    def test_simple(self):
+        mt = MediaType.parse("text/plain")
+        assert mt.maintype == "text"
+        assert mt.subtype == "plain"
+        assert mt.params == {}
+
+    def test_case_insensitive(self):
+        assert MediaType.parse("TEXT/Plain") == TEXT_PLAIN
+
+    def test_whitespace_tolerated(self):
+        assert MediaType.parse("  text/plain  ") == TEXT_PLAIN
+
+    def test_bare_name_becomes_wildcard(self):
+        assert MediaType.parse("text") == TEXT
+
+    def test_full_wildcard(self):
+        assert MediaType.parse("*/*") == ANY
+
+    def test_subtype_wildcard(self):
+        assert MediaType.parse("image/*") == IMAGE
+
+    def test_params(self):
+        mt = MediaType.parse("text/plain; charset=utf-8")
+        assert mt.param("charset") == "utf-8"
+
+    def test_quoted_param(self):
+        mt = MediaType.parse('text/plain; name="hello world"')
+        assert mt.param("name") == "hello world"
+
+    def test_multiple_params(self):
+        mt = MediaType.parse("multipart/mixed; boundary=xyz; charset=ascii")
+        assert mt.param("boundary") == "xyz"
+        assert mt.param("charset") == "ascii"
+
+    def test_param_names_case_insensitive(self):
+        assert MediaType.parse("text/plain; Charset=utf-8").param("charset") == "utf-8"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "a/b/c", "/plain", "text/", "te xt/plain", "*/plain",
+         "text/plain; =x", "text/plain; charset", "text/pl@in"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(MediaTypeParseError):
+            MediaType.parse(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(MediaTypeParseError):
+            MediaType.parse(None)  # type: ignore[arg-type]
+
+
+class TestFormatting:
+    def test_str_roundtrip(self):
+        for text in ["text/plain", "image/*", "*/*", "text/plain; charset=utf-8"]:
+            assert MediaType.parse(str(MediaType.parse(text))) == MediaType.parse(text)
+
+    def test_essence_strips_params(self):
+        assert MediaType.parse("text/plain; charset=utf-8").essence == "text/plain"
+
+    def test_without_params(self):
+        assert MediaType.parse("text/plain; a=b").without_params() == TEXT_PLAIN
+
+    def test_with_params(self):
+        mt = TEXT_PLAIN.with_params(charset="ascii")
+        assert mt.param("charset") == "ascii"
+        assert mt.essence == "text/plain"
+
+
+class TestMatching:
+    def test_exact(self):
+        assert TEXT_PLAIN.matches(TEXT_PLAIN)
+
+    def test_subtype_wildcard(self):
+        assert TEXT_PLAIN.matches(TEXT)
+        assert TEXT_RICHTEXT.matches(TEXT)
+
+    def test_full_wildcard(self):
+        assert IMAGE_GIF.matches(ANY)
+        assert TEXT.matches(ANY)
+
+    def test_wildcard_does_not_match_concrete(self):
+        assert not TEXT.matches(TEXT_PLAIN)
+        assert not ANY.matches(TEXT)
+
+    def test_cross_type_no_match(self):
+        assert not IMAGE_GIF.matches(TEXT)
+
+    def test_param_constraint(self):
+        pattern = MediaType.parse("text/plain; charset=utf-8")
+        assert MediaType.parse("text/plain; charset=utf-8; x=1").matches(pattern)
+        assert not TEXT_PLAIN.matches(pattern)
+        assert not MediaType.parse("text/plain; charset=ascii").matches(pattern)
+
+
+class TestEqualityHash:
+    def test_param_order_irrelevant(self):
+        a = MediaType.parse("text/plain; a=1; b=2")
+        b = MediaType.parse("text/plain; b=2; a=1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_other_type(self):
+        assert TEXT_PLAIN != "text/plain"
+
+    def test_sortable(self):
+        types = [TEXT_PLAIN, ANY, IMAGE_GIF]
+        assert sorted(types)[0] == ANY

@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.errors import MimeError
+from repro.mime.mediatype import IMAGE_GIF, MULTIPART_MIXED, TEXT_PLAIN
+from repro.mime.message import MimeMessage, clone_payload, payload_size
+
+
+class TestConstruction:
+    def test_string_content_type(self):
+        msg = MimeMessage("text/plain", b"hi")
+        assert msg.content_type == TEXT_PLAIN
+
+    def test_session_kwarg(self):
+        msg = MimeMessage("text/plain", b"", session="sess-3")
+        assert msg.session == "sess-3"
+
+    def test_bad_payload_rejected_eagerly(self):
+        with pytest.raises(MimeError):
+            MimeMessage("text/plain", object())
+
+
+class TestPayloadSize:
+    def test_none(self):
+        assert payload_size(None) == 0
+
+    def test_bytes(self):
+        assert payload_size(b"abcd") == 4
+
+    def test_str_utf8(self):
+        assert payload_size("héllo") == len("héllo".encode()) == 6
+
+    def test_ndarray(self):
+        arr = np.zeros((4, 4), dtype=np.uint8)
+        assert payload_size(arr) == 16
+
+    def test_unsupported(self):
+        with pytest.raises(MimeError):
+            payload_size(3.14)
+
+
+class TestSizes:
+    def test_body_size(self):
+        assert MimeMessage("text/plain", b"12345").body_size() == 5
+
+    def test_total_size_includes_headers(self):
+        msg = MimeMessage("text/plain", b"12345")
+        assert msg.total_size() == msg.header_size() + 2 + 5
+
+    def test_stamp_length(self):
+        msg = MimeMessage("text/plain", b"123")
+        msg.stamp_length()
+        assert msg.headers.get("Content-Length") == "3"
+
+
+class TestMutation:
+    def test_set_body_retypes(self):
+        msg = MimeMessage("image/gif", b"gifdata")
+        msg.set_body(b"jpegdata", "image/jpeg")
+        assert msg.content_type.essence == "image/jpeg"
+        assert msg.body == b"jpegdata"
+
+    def test_set_body_keeps_type(self):
+        msg = MimeMessage("text/plain", b"a")
+        msg.set_body(b"bb")
+        assert msg.content_type == TEXT_PLAIN
+
+    def test_set_body_validates(self):
+        msg = MimeMessage("text/plain", b"")
+        with pytest.raises(MimeError):
+            msg.set_body({"not": "supported"})
+
+
+class TestClone:
+    def test_clone_headers_independent(self):
+        msg = MimeMessage("text/plain", b"x", session="s1")
+        copy = msg.clone()
+        copy.headers.session = "s2"
+        assert msg.session == "s1"
+
+    def test_clone_ndarray_independent(self):
+        arr = np.ones(8, dtype=np.uint8)
+        msg = MimeMessage("image/gif", arr)
+        copy = msg.clone()
+        copy.body[0] = 0
+        assert msg.body[0] == 1
+
+    def test_clone_bytes_shared_ok(self):
+        msg = MimeMessage("text/plain", b"imm")
+        assert msg.clone().body == b"imm"
+
+    def test_clone_payload_bytearray(self):
+        ba = bytearray(b"ab")
+        copy = clone_payload(ba)
+        copy[0] = 0
+        assert ba == b"ab"
+
+    def test_clone_payload_memoryview(self):
+        assert clone_payload(memoryview(b"xy")) == b"xy"
+
+
+class TestMultipart:
+    def test_build(self):
+        parts = [MimeMessage("text/plain", b"t"), MimeMessage("image/gif", b"i")]
+        msg = MimeMessage.multipart(parts, session="s")
+        assert msg.content_type == MULTIPART_MIXED
+        assert msg.is_multipart
+        assert len(msg.parts) == 2
+
+    def test_size_sums_parts(self):
+        parts = [MimeMessage("text/plain", b"abc"), MimeMessage("image/gif", b"defg")]
+        msg = MimeMessage.multipart(parts)
+        assert msg.body_size() == sum(p.total_size() for p in parts)
+
+    def test_parts_on_scalar_raises(self):
+        with pytest.raises(MimeError):
+            MimeMessage("text/plain", b"x").parts
+
+    def test_non_message_part_rejected(self):
+        with pytest.raises(MimeError):
+            MimeMessage.multipart([b"raw"])  # type: ignore[list-item]
+
+    def test_clone_deep_copies_parts(self):
+        inner = MimeMessage("image/gif", np.zeros(4, dtype=np.uint8))
+        msg = MimeMessage.multipart([inner])
+        copy = msg.clone()
+        copy.parts[0].body[0] = 9
+        assert inner.body[0] == 0

@@ -1,0 +1,96 @@
+import pytest
+
+from repro.errors import TypeHierarchyError
+from repro.mime.registry import TypeRegistry, default_registry
+
+
+@pytest.fixture
+def reg():
+    return default_registry()
+
+
+class TestStructuralSubtyping:
+    def test_reflexive(self, reg):
+        assert reg.is_subtype("text/plain", "text/plain")
+
+    def test_wildcard_supertype(self, reg):
+        assert reg.is_subtype("text/richtext", "text/*")
+        assert reg.is_subtype("text/richtext", "*/*")
+
+    def test_wildcard_not_subtype_of_concrete(self, reg):
+        assert not reg.is_subtype("text/*", "text/plain")
+
+    def test_cross_type(self, reg):
+        assert not reg.is_subtype("image/gif", "text/*")
+
+    def test_bare_name_is_wildcard(self, reg):
+        # the thesis compatibility example: text/richtext <= text
+        assert reg.is_subtype("text/richtext", "text")
+
+
+class TestDeclaredSubtyping:
+    def test_direct_edge(self, reg):
+        assert reg.is_subtype("text/richtext", "text/plain")
+
+    def test_transitive(self, reg):
+        # html <= richtext <= plain in the default hierarchy
+        assert reg.is_subtype("text/html", "text/plain")
+
+    def test_not_symmetric(self, reg):
+        assert not reg.is_subtype("text/plain", "text/richtext")
+
+    def test_cycle_rejected(self):
+        r = TypeRegistry()
+        r.register_subtype("a/b", "a/c")
+        r.register_subtype("a/c", "a/d")
+        with pytest.raises(TypeHierarchyError):
+            r.register_subtype("a/d", "a/b")
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(TypeHierarchyError):
+            TypeRegistry().register_subtype("a/b", "a/b")
+
+    def test_declared_edge_to_wildcard_of_other_type(self):
+        # e.g. application/postscript convertible-to text/* is NOT implied;
+        # but can be declared.
+        r = TypeRegistry()
+        assert not r.is_subtype("application/postscript", "text/*")
+        r.register_subtype("application/postscript", "text/*")
+        assert r.is_subtype("application/postscript", "text/*")
+
+
+class TestCompatibility:
+    def test_thesis_example(self, reg):
+        # PostScript-to-Text output (text/richtext) feeding Text Compressor
+        # input (text) is valid -- section 4.4.1.
+        assert reg.compatible("text/richtext", "text")
+
+    def test_incompatible(self, reg):
+        assert not reg.compatible("image/gif", "text")
+
+    def test_any_sink_accepts_all(self, reg):
+        assert reg.compatible("image/jpeg", "*/*")
+
+
+class TestRegistry:
+    def test_register_idempotent(self):
+        r = TypeRegistry()
+        r.register("a/b")
+        r.register("a/b")
+        assert "a/b" in r.known_types()
+
+    def test_register_strips_params(self):
+        r = TypeRegistry()
+        mt = r.register("text/plain; charset=utf-8")
+        assert mt.essence == "text/plain"
+        assert "text/plain" in r.known_types()
+
+    def test_common_supertypes(self, reg):
+        common = reg.common_supertypes("text/html", "text/richtext")
+        assert "text/richtext" in common
+        assert "text/plain" in common
+        assert "text/*" in common
+        assert "*/*" in common
+
+    def test_common_supertypes_disjoint(self, reg):
+        assert reg.common_supertypes("image/gif", "text/plain") == {"*/*"}

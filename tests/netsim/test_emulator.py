@@ -1,0 +1,98 @@
+"""Unit tests for the end-to-end emulator and the direct-transfer baseline."""
+
+import pytest
+
+from repro.apps import WEB_ACCELERATION_MCL, build_server
+from repro.client.client import MobiGateClient
+from repro.errors import NetSimError
+from repro.mime.message import MimeMessage
+from repro.netsim.emulator import DirectTransfer, EndToEndEmulator
+from repro.netsim.link import WirelessLink
+from repro.util.clock import VirtualClock
+from repro.workloads.content import synthetic_text_message
+
+
+def make_emulator(bandwidth=1_000_000, *, loss=0.0, charge=True, delay=0.0):
+    clock = VirtualClock()
+    server = build_server(clock=clock)
+    stream = server.deploy_script(WEB_ACCELERATION_MCL)
+    link = WirelessLink(
+        bandwidth, propagation_delay=delay, loss_rate=loss, clock=clock, seed=5
+    )
+    client = MobiGateClient()
+    return EndToEndEmulator(stream, link, client, charge_processing_time=charge), client
+
+
+class TestEndToEndEmulator:
+    def test_requires_virtual_clock(self):
+        server = build_server()
+        stream = server.deploy_script(WEB_ACCELERATION_MCL)
+        wall_link = WirelessLink(1000)  # defaults to its own VirtualClock
+        from repro.util.clock import WallClock
+
+        wall_link.clock = WallClock()  # type: ignore[assignment]
+        with pytest.raises(NetSimError):
+            EndToEndEmulator(stream, wall_link, MobiGateClient())
+
+    def test_report_accounting_consistent(self):
+        emulator, _client = make_emulator()
+        workload = [synthetic_text_message(2048, seed=i) for i in range(4)]
+        report = emulator.run(workload)
+        assert report.messages_sent == 4
+        assert report.messages_delivered == 4
+        assert report.app_messages == 4
+        assert report.bytes_on_link > 0
+        assert report.elapsed > 0
+        assert report.losses == 0
+
+    def test_processing_time_charged_to_clock(self):
+        emulator, _ = make_emulator(charge=True)
+        report = emulator.run([synthetic_text_message(1024, seed=1)])
+        assert report.processing_time > 0
+        # elapsed covers at least transmission + charged processing
+        assert report.elapsed >= report.processing_time
+
+    def test_processing_charge_can_be_disabled(self):
+        emulator, _ = make_emulator(bandwidth=10_000_000, charge=False)
+        message = synthetic_text_message(1000, seed=2)
+        report = emulator.run([message])
+        # elapsed is purely transmission: size/bandwidth, tiny but > 0
+        assert 0 < report.elapsed < 0.1
+        assert report.processing_time > 0  # still measured, just not charged
+
+    def test_lossy_link_counted(self):
+        emulator, client = make_emulator(loss=0.6)
+        workload = [synthetic_text_message(512, seed=i) for i in range(20)]
+        report = emulator.run(workload)
+        assert report.losses > 0
+        assert report.messages_delivered == 20 - report.losses
+        assert len(client.take_delivered()) == report.app_messages
+
+    def test_propagation_delay_in_elapsed(self):
+        fast, _ = make_emulator(delay=0.0, charge=False)
+        slow, _ = make_emulator(delay=0.5, charge=False)
+        msg = lambda: [synthetic_text_message(512, seed=9)]  # noqa: E731
+        assert slow.run(msg()).elapsed > fast.run(msg()).elapsed + 0.4
+
+
+class TestDirectTransfer:
+    def test_identity_delivery(self):
+        link = WirelessLink(8000, clock=VirtualClock())
+        messages = [MimeMessage("text/plain", b"x" * 100) for _ in range(3)]
+        report = DirectTransfer(link).run(messages)
+        assert report.messages_delivered == 3
+        assert report.bytes_on_link == report.bytes_offered_app
+        assert report.reduction_ratio == 1.0
+
+    def test_elapsed_matches_serialization(self):
+        link = WirelessLink(8000, clock=VirtualClock())  # 1000 B/s
+        message = MimeMessage("text/plain", b"y" * 1000)
+        size = message.total_size()
+        report = DirectTransfer(link).run([message])
+        assert report.elapsed == pytest.approx(size / 1000.0)
+
+    def test_goodput_zero_cases(self):
+        link = WirelessLink(8000, clock=VirtualClock())
+        report = DirectTransfer(link).run([])
+        assert report.goodput_bps == 0.0
+        assert report.throughput_bps == 0.0

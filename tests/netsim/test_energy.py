@@ -1,0 +1,83 @@
+import pytest
+
+from repro.errors import NetSimError
+from repro.netsim.energy import RadioEnergyModel
+
+
+@pytest.fixture
+def model():
+    return RadioEnergyModel(
+        wakeup_j=0.01, rx_j_per_byte=1e-6, active_w=1.0, linger_s=0.1
+    )
+
+
+class TestValidation:
+    def test_negative_parameter(self):
+        with pytest.raises(NetSimError):
+            RadioEnergyModel(wakeup_j=-1)
+
+    def test_bad_arrival(self, model):
+        with pytest.raises(NetSimError):
+            model.consumed([(-1.0, 10)])
+        with pytest.raises(NetSimError):
+            model.consumed([(1.0, -10)])
+
+
+class TestAccounting:
+    def test_empty_schedule(self, model):
+        report = model.consumed([])
+        assert report.wakeups == 0
+        assert report.joules == 0.0
+        assert report.joules_per_byte == 0.0
+
+    def test_single_arrival(self, model):
+        report = model.consumed([(5.0, 1000)])
+        assert report.wakeups == 1
+        assert report.rx_bytes == 1000
+        assert report.awake_seconds == pytest.approx(0.1)
+        assert report.joules == pytest.approx(0.01 + 1000e-6 + 0.1)
+
+    def test_spread_arrivals_each_wake(self, model):
+        report = model.consumed([(0.0, 100), (10.0, 100), (20.0, 100)])
+        assert report.wakeups == 3
+        assert report.awake_seconds == pytest.approx(0.3)
+
+    def test_clustered_arrivals_one_wakeup(self, model):
+        report = model.consumed([(0.0, 100), (0.05, 100), (0.09, 100)])
+        assert report.wakeups == 1
+        # linger extends to 0.09 + 0.1
+        assert report.awake_seconds == pytest.approx(0.19)
+
+    def test_unsorted_input_handled(self, model):
+        a = model.consumed([(10.0, 1), (0.0, 1)])
+        b = model.consumed([(0.0, 1), (10.0, 1)])
+        assert a == b
+
+    def test_bundling_saves_energy(self, model):
+        # the §4.3 power-saving premise: same bytes, fewer bursts
+        spread = model.consumed([(float(i), 500) for i in range(8)])
+        bundled = model.consumed([(0.0, 4000)])
+        assert bundled.rx_bytes == spread.rx_bytes
+        assert bundled.wakeups < spread.wakeups
+        assert bundled.joules < spread.joules
+
+
+class TestEmulatorIntegration:
+    def test_arrival_schedule_recorded(self):
+        from repro.apps import WEB_ACCELERATION_MCL, build_server
+        from repro.client.client import MobiGateClient
+        from repro.netsim.emulator import EndToEndEmulator
+        from repro.netsim.link import WirelessLink
+        from repro.util.clock import VirtualClock
+        from repro.workloads.content import synthetic_text_message
+
+        clock = VirtualClock()
+        server = build_server(clock=clock)
+        stream = server.deploy_script(WEB_ACCELERATION_MCL)
+        link = WirelessLink(1_000_000, clock=clock)
+        emulator = EndToEndEmulator(stream, link, MobiGateClient())
+        report = emulator.run([synthetic_text_message(1024, seed=i) for i in range(3)])
+        assert len(report.arrivals) == 3
+        times = [t for t, _ in report.arrivals]
+        assert times == sorted(times)
+        assert sum(size for _, size in report.arrivals) == report.bytes_on_link

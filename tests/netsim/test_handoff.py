@@ -1,0 +1,129 @@
+import pytest
+
+from repro.errors import NetSimError
+from repro.events import EventCategory
+from repro.netsim.handoff import HandoffManager
+from repro.netsim.link import WirelessLink
+from repro.runtime.events import EventManager
+from repro.util.clock import VirtualClock, WallClock
+
+
+class Recorder:
+    def __init__(self, name="app"):
+        self.name = name
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append(event.event_id)
+
+
+@pytest.fixture
+def setup():
+    clock = VirtualClock()
+    events = EventManager()
+    recorder = Recorder()
+    events.subscribe(EventCategory.NETWORK_VARIATION, recorder)
+    manager = HandoffManager(events, low_threshold_bps=100_000)
+    manager.add_link("wavelan", WirelessLink(1_000_000, clock=clock))
+    manager.add_link("gsm", WirelessLink(20_000, clock=clock))
+    return clock, manager, recorder
+
+
+class TestRegistry:
+    def test_first_link_becomes_active(self, setup):
+        _clock, manager, _recorder = setup
+        assert manager.active_name == "wavelan"
+        assert manager.bandwidth_bps == 1_000_000
+
+    def test_duplicate_name_rejected(self, setup):
+        _clock, manager, _ = setup
+        with pytest.raises(NetSimError):
+            manager.add_link("gsm", WirelessLink(1, clock=manager.clock))
+
+    def test_wall_clock_link_rejected(self, setup):
+        _clock, manager, _ = setup
+        link = WirelessLink(1000)
+        link.clock = WallClock()  # type: ignore[assignment]
+        with pytest.raises(NetSimError):
+            manager.add_link("bad", link)
+
+    def test_foreign_clock_rejected(self, setup):
+        _clock, manager, _ = setup
+        with pytest.raises(NetSimError):
+            manager.add_link("other", WirelessLink(1000, clock=VirtualClock()))
+
+    def test_unknown_interface(self, setup):
+        _clock, manager, _ = setup
+        with pytest.raises(NetSimError):
+            manager.switch_to("bluetooth")
+
+    def test_empty_manager(self):
+        manager = HandoffManager(EventManager())
+        with pytest.raises(NetSimError):
+            manager.active_name
+        with pytest.raises(NetSimError):
+            manager.clock
+
+    def test_bad_threshold(self):
+        with pytest.raises(NetSimError):
+            HandoffManager(EventManager(), low_threshold_bps=0)
+
+
+class TestHandoff:
+    def test_downgrade_raises_low(self, setup):
+        _clock, manager, recorder = setup
+        event = manager.switch_to("gsm")
+        assert event == "LOW_BANDWIDTH"
+        assert recorder.seen == ["LOW_BANDWIDTH"]
+        assert manager.active_name == "gsm"
+
+    def test_upgrade_raises_high(self, setup):
+        _clock, manager, recorder = setup
+        manager.switch_to("gsm")
+        event = manager.switch_to("wavelan")
+        assert event == "HIGH_BANDWIDTH"
+        assert recorder.seen == ["LOW_BANDWIDTH", "HIGH_BANDWIDTH"]
+
+    def test_same_class_handoff_silent(self, setup):
+        clock, manager, recorder = setup
+        manager.add_link("wifi2", WirelessLink(500_000, clock=clock))
+        event = manager.switch_to("wifi2")  # still above the threshold
+        assert event is None
+        assert recorder.seen == []
+
+    def test_switch_to_self_is_noop(self, setup):
+        _clock, manager, recorder = setup
+        assert manager.switch_to("wavelan") is None
+        assert manager.handoffs == []
+
+    def test_handoff_log(self, setup):
+        clock, manager, _ = setup
+        clock.advance(3.0)
+        manager.switch_to("gsm")
+        assert manager.handoffs == [(3.0, "gsm", "wavelan")]
+
+    def test_transmit_uses_active(self, setup):
+        _clock, manager, _ = setup
+        fast = manager.transmit(1000)
+        manager.switch_to("gsm")
+        slow = manager.transmit(1000)
+        assert (slow.arrival - slow.start) > (fast.arrival - fast.start)
+
+
+class TestHandoffDrivesAdaptation:
+    def test_stream_reconfigures_on_handoff(self):
+        """The full §8.2.1 scenario: a handoff event re-adapts the stream."""
+        from repro.apps import WEB_ACCELERATION_MCL, build_server
+
+        clock = VirtualClock()
+        server = build_server(clock=clock)
+        stream = server.deploy_script(WEB_ACCELERATION_MCL)
+        manager = HandoffManager(server.events, low_threshold_bps=100_000)
+        manager.add_link("wavelan", WirelessLink(1_000_000, clock=clock))
+        manager.add_link("gsm", WirelessLink(20_000, clock=clock))
+
+        assert not stream.node("tc").inputs  # compressor dormant
+        manager.switch_to("gsm")
+        assert stream.node("tc").inputs      # inserted by LOW_BANDWIDTH
+        manager.switch_to("wavelan")
+        assert not stream.node("tc").inputs  # extracted by HIGH_BANDWIDTH

@@ -1,0 +1,101 @@
+import pytest
+
+from repro.errors import NetSimError
+from repro.netsim.link import WirelessLink
+from repro.util.clock import VirtualClock
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(NetSimError):
+            WirelessLink(0)
+        with pytest.raises(NetSimError):
+            WirelessLink(-5)
+
+    def test_bad_delay(self):
+        with pytest.raises(NetSimError):
+            WirelessLink(1000, propagation_delay=-0.1)
+
+    def test_bad_loss(self):
+        with pytest.raises(NetSimError):
+            WirelessLink(1000, loss_rate=1.0)
+
+    def test_negative_size(self):
+        with pytest.raises(NetSimError):
+            WirelessLink(1000).transmit(-1)
+
+
+class TestTransmission:
+    def test_serialization_time(self):
+        link = WirelessLink(8000)  # 1000 bytes/s
+        assert link.transmission_time(500) == pytest.approx(0.5)
+
+    def test_arrival_includes_delay(self):
+        link = WirelessLink(8000, propagation_delay=0.05)
+        result = link.transmit(500)
+        assert result.arrival == pytest.approx(0.55)
+
+    def test_back_to_back_serializes(self):
+        link = WirelessLink(8000)
+        first = link.transmit(1000)   # busy until t=1
+        second = link.transmit(1000)  # starts at 1, done at 2
+        assert first.arrival == pytest.approx(1.0)
+        assert second.start == pytest.approx(1.0)
+        assert second.arrival == pytest.approx(2.0)
+
+    def test_idle_gap_respected(self):
+        clock = VirtualClock()
+        link = WirelessLink(8000, clock=clock)
+        link.transmit(1000)
+        clock.advance(5.0)
+        result = link.transmit(1000)
+        assert result.start == pytest.approx(5.0)
+
+    def test_explicit_start_time(self):
+        link = WirelessLink(8000)
+        result = link.transmit(800, at=2.0)
+        assert result.start == pytest.approx(2.0)
+
+    def test_bandwidth_change_affects_later_sends(self):
+        link = WirelessLink(8000)
+        link.set_bandwidth(16000)
+        assert link.transmission_time(1000) == pytest.approx(0.5)
+
+
+class TestLoss:
+    def test_no_loss_by_default(self):
+        link = WirelessLink(1_000_000)
+        results = [link.transmit(100) for _ in range(200)]
+        assert all(not r.lost for r in results)
+
+    def test_loss_rate_approximate(self):
+        link = WirelessLink(1_000_000, loss_rate=0.3, seed=42)
+        results = [link.transmit(100) for _ in range(2000)]
+        lost = sum(r.lost for r in results)
+        assert 0.25 < lost / 2000 < 0.35
+        assert link.losses == lost
+
+    def test_loss_reproducible(self):
+        a = WirelessLink(1_000_000, loss_rate=0.5, seed=7)
+        b = WirelessLink(1_000_000, loss_rate=0.5, seed=7)
+        pattern_a = [a.transmit(10).lost for _ in range(100)]
+        pattern_b = [b.transmit(10).lost for _ in range(100)]
+        assert pattern_a == pattern_b
+
+    def test_lost_bytes_not_delivered(self):
+        link = WirelessLink(1_000_000, loss_rate=0.5, seed=1)
+        for _ in range(100):
+            link.transmit(10)
+        assert link.bytes_delivered < link.bytes_offered
+
+
+class TestAccounting:
+    def test_utilization(self):
+        clock = VirtualClock()
+        link = WirelessLink(8000, clock=clock)
+        link.transmit(1000)  # 1s busy
+        clock.advance_to(2.0)
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_utilization_empty(self):
+        assert WirelessLink(8000).utilization() == 0.0

@@ -1,0 +1,122 @@
+import pytest
+
+from repro.errors import NetSimError
+from repro.events import EventCategory
+from repro.netsim.link import WirelessLink
+from repro.netsim.monitor import ContextMonitor
+from repro.netsim.traces import BandwidthTrace
+from repro.runtime.events import EventManager
+from repro.util.clock import VirtualClock
+
+
+class TestBandwidthTrace:
+    def test_constant(self):
+        trace = BandwidthTrace.constant(1e6)
+        assert trace.value_at(0) == 1e6
+        assert trace.value_at(1e9) == 1e6
+
+    def test_step(self):
+        trace = BandwidthTrace.step(1e6, 5e4, at=10.0)
+        assert trace.value_at(9.99) == 1e6
+        assert trace.value_at(10.0) == 5e4
+
+    def test_fade_recovers(self):
+        trace = BandwidthTrace.fade(1e6, 5e4, start=5.0, duration=3.0)
+        assert trace.value_at(4.9) == 1e6
+        assert trace.value_at(6.0) == 5e4
+        assert trace.value_at(8.0) == 1e6
+
+    def test_random_walk_bounded_and_reproducible(self):
+        kwargs = dict(start_bps=5e5, minimum_bps=1e4, maximum_bps=2e6,
+                      interval=1.0, steps=50, seed=3)
+        a = BandwidthTrace.random_walk(**kwargs)
+        b = BandwidthTrace.random_walk(**kwargs)
+        assert a.steps() == b.steps()
+        assert all(1e4 <= bw <= 2e6 for _, bw in a.steps())
+
+    def test_validation(self):
+        with pytest.raises(NetSimError):
+            BandwidthTrace([])
+        with pytest.raises(NetSimError):
+            BandwidthTrace([(1.0, 1e6)])  # must start at 0
+        with pytest.raises(NetSimError):
+            BandwidthTrace([(0.0, 1e6), (0.0, 2e6)])  # not increasing
+        with pytest.raises(NetSimError):
+            BandwidthTrace([(0.0, -5)])
+        with pytest.raises(NetSimError):
+            BandwidthTrace.constant(1e6).value_at(-1)
+
+    def test_change_points(self):
+        trace = BandwidthTrace.fade(1e6, 5e4, start=2.0, duration=1.0)
+        assert trace.change_points() == [2.0, 3.0]
+
+
+class Recorder:
+    def __init__(self, name="app"):
+        self.name = name
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append(event.event_id)
+
+
+class TestContextMonitor:
+    def make(self, trace, threshold=100_000.0, hysteresis=0.05):
+        clock = VirtualClock()
+        link = WirelessLink(trace.value_at(0), clock=clock)
+        events = EventManager()
+        recorder = Recorder()
+        events.subscribe(EventCategory.NETWORK_VARIATION, recorder)
+        monitor = ContextMonitor(
+            link, events, low_threshold_bps=threshold, hysteresis=hysteresis,
+            trace=trace,
+        )
+        return clock, link, monitor, recorder
+
+    def test_low_edge_fires_once(self):
+        trace = BandwidthTrace.step(1e6, 5e4, at=5.0)
+        clock, link, monitor, recorder = self.make(trace)
+        for t in [0.0, 2.0, 5.0, 6.0, 7.0]:
+            clock.advance_to(t)
+            monitor.check()
+        assert recorder.seen == ["LOW_BANDWIDTH"]
+        assert link.bandwidth_bps == 5e4
+
+    def test_recovery_fires_high(self):
+        trace = BandwidthTrace.fade(1e6, 5e4, start=2.0, duration=2.0)
+        clock, _link, monitor, recorder = self.make(trace)
+        for t in [0.0, 2.5, 5.0]:
+            clock.advance_to(t)
+            monitor.check()
+        assert recorder.seen == ["LOW_BANDWIDTH", "HIGH_BANDWIDTH"]
+
+    def test_hysteresis_blocks_thrash(self):
+        # hover just under the threshold inside the hysteresis band
+        trace = BandwidthTrace.step(1e6, 98_000, at=1.0)
+        clock, _link, monitor, recorder = self.make(trace, hysteresis=0.05)
+        for t in [0.0, 1.5, 2.0, 3.0]:
+            clock.advance_to(t)
+            monitor.check()
+        assert recorder.seen == []  # 98k is within 5% of 100k
+
+    def test_starts_low_if_initial_bandwidth_low(self):
+        trace = BandwidthTrace.constant(5e4)
+        _clock, _link, monitor, recorder = self.make(trace)
+        assert monitor.in_low_state
+        monitor.check()
+        assert recorder.seen == []  # no edge: it was low from the start
+
+    def test_raised_log(self):
+        trace = BandwidthTrace.step(1e6, 5e4, at=1.0)
+        clock, _link, monitor, _ = self.make(trace)
+        clock.advance_to(2.0)
+        monitor.check()
+        assert monitor.raised == [(2.0, "LOW_BANDWIDTH")]
+
+    def test_validation(self):
+        link = WirelessLink(1e6)
+        events = EventManager()
+        with pytest.raises(NetSimError):
+            ContextMonitor(link, events, low_threshold_bps=0)
+        with pytest.raises(NetSimError):
+            ContextMonitor(link, events, low_threshold_bps=1e5, hysteresis=1.5)

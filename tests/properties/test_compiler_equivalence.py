@@ -1,0 +1,69 @@
+"""Front-end coherence: formatting a script never changes its meaning.
+
+For generated *valid* compositions, ``compile(format(parse(src)))`` must
+produce the same configuration table as ``compile(src)`` — the pretty
+printer, parser, and compiler agree on semantics, not just syntax.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcl.compiler import compile_script
+from repro.mcl.parser import parse_script
+from repro.mcl.pretty import format_script
+
+DEFS = """
+streamlet stage{
+  port{ in pi : text/*; out po : text/plain; }
+}
+streamlet fork{
+  port{ in pi : text/*; out po1 : text/plain; out po2 : text/plain; }
+}
+streamlet join{
+  port{ in pi1 : text/*; in pi2 : text/*; out po : text/plain; }
+}
+"""
+
+
+@st.composite
+def valid_stream(draw):
+    """A random valid body: a chain with optional fork/join diamond."""
+    chain_len = draw(st.integers(min_value=1, max_value=5))
+    lines = []
+    names = [f"s{i}" for i in range(chain_len)]
+    lines.append(f"  streamlet {', '.join(names)} = new-streamlet (stage);")
+    for a, b in zip(names, names[1:]):
+        lines.append(f"  connect ({a}.po, {b}.pi);")
+    if draw(st.booleans()):
+        lines.append("  streamlet f = new-streamlet (fork);")
+        lines.append("  streamlet j = new-streamlet (join);")
+        lines.append(f"  connect ({names[-1]}.po, f.pi);")
+        lines.append("  connect (f.po1, j.pi1);")
+        lines.append("  connect (f.po2, j.pi2);")
+    if draw(st.booleans()):
+        lines.append("  streamlet dorm = new-streamlet (stage);")
+        event = draw(st.sampled_from(["LOW_BANDWIDTH", "LOW_ENERGY"]))
+        lines.append(f"  when ({event}){{")
+        lines.append(f"    insert (s0.po, s1.pi, dorm);" if chain_len > 1 else
+                     "    disconnectall (s0);")
+        lines.append("  }")
+    return DEFS + "main stream gen{\n" + "\n".join(lines) + "\n}"
+
+
+def _table_fingerprint(table):
+    return (
+        sorted((name, d.name) for name, d in table.instances.items()),
+        sorted((str(l.source), str(l.sink), str(l.mediatype)) for l in table.links),
+        sorted(table.handlers),
+        tuple(str(r) for r in table.exposed_in),
+        tuple(str(r) for r in table.exposed_out),
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(valid_stream())
+def test_format_preserves_compilation(source):
+    original = compile_script(source).main_table()
+    reformatted = format_script(parse_script(source))
+    again = compile_script(reformatted).main_table()
+    assert _table_fingerprint(original) == _table_fingerprint(again)

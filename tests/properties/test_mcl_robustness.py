@@ -1,0 +1,61 @@
+"""Robustness: the MCL front end fails only with MclError, never crashes.
+
+Fuzzing the lexer/parser/compiler with arbitrary text and with
+structured-but-scrambled scripts; whatever happens, the only acceptable
+exceptions are the library's own.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MclError, MobiGateError
+from repro.mcl.compiler import compile_script
+from repro.mcl.lexer import tokenize
+from repro.mcl.parser import parse_script
+
+
+@settings(deadline=None, max_examples=300)
+@given(st.text(max_size=300))
+def test_lexer_total(text):
+    try:
+        tokens = tokenize(text)
+    except MclError:
+        return
+    assert tokens[-1].kind.name == "EOF"
+
+
+@settings(deadline=None, max_examples=300)
+@given(st.text(max_size=300))
+def test_parser_total_on_arbitrary_text(text):
+    try:
+        parse_script(text)
+    except MclError:
+        pass
+
+
+_FRAGMENTS = [
+    "streamlet", "channel", "stream", "main", "when", "connect", "disconnect",
+    "insert", "remove", "replace", "new-streamlet", "new-channel",
+    "{", "}", "(", ")", ";", ",", ".", ":", "=", "*", "/",
+    "s1", "po", "pi", "text", "plain", "image", "LOW_BANDWIDTH",
+    '"lib/x"', "100", "port", "attribute", "in", "out", "type", "STATELESS",
+]
+
+
+@settings(deadline=None, max_examples=300)
+@given(st.lists(st.sampled_from(_FRAGMENTS), max_size=60))
+def test_parser_total_on_token_soup(fragments):
+    try:
+        parse_script(" ".join(fragments))
+    except MclError:
+        pass
+
+
+@settings(deadline=None, max_examples=150)
+@given(st.lists(st.sampled_from(_FRAGMENTS), max_size=40))
+def test_compiler_total_on_token_soup(fragments):
+    source = " ".join(fragments)
+    try:
+        compile_script(source)
+    except MobiGateError:
+        pass  # MclError or a semantic error — both are the contract

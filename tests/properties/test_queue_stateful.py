@@ -1,0 +1,96 @@
+"""Model-based (stateful) testing of MessageQueue against a pure model.
+
+Hypothesis drives random operation sequences — post, fetch, drain, close —
+and after every step the real queue must agree with a trivially correct
+list-based model on contents, byte accounting, and error behaviour.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import QueueClosedError
+from repro.runtime.message_queue import MessageQueue
+
+CAPACITY = 500
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """Random walk over queue operations with a reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.queue = MessageQueue(CAPACITY)
+        self.model: list[tuple[str, int]] = []
+        self.closed = False
+        self.counter = 0
+
+    # -- operations ------------------------------------------------------------
+
+    @rule(size=st.integers(min_value=1, max_value=200))
+    def post(self, size):
+        msg_id = f"m{self.counter}"
+        self.counter += 1
+        model_bytes = sum(s for _, s in self.model)
+        expect_admit = not self.model or model_bytes + size <= CAPACITY
+        if self.closed:
+            with pytest.raises(QueueClosedError):
+                self.queue.post_message(msg_id, size)
+            return
+        admitted = self.queue.post_message(msg_id, size)
+        assert admitted == expect_admit
+        if admitted:
+            self.model.append((msg_id, size))
+
+    @rule()
+    def fetch(self):
+        if self.closed and not self.model:
+            with pytest.raises(QueueClosedError):
+                self.queue.fetch_message()
+            return
+        got = self.queue.fetch_message()
+        if self.model:
+            expected_id, _ = self.model.pop(0)
+            assert got == expected_id
+        else:
+            assert got is None
+
+    @rule()
+    def drain(self):
+        if self.closed:
+            return
+        drained = self.queue.drain()
+        assert drained == [msg_id for msg_id, _ in self.model]
+        self.model.clear()
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def close(self):
+        self.queue.close()
+        self.closed = True
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.queue) == len(self.model)
+
+    @invariant()
+    def bytes_agree(self):
+        assert self.queue.pending_bytes == sum(s for _, s in self.model)
+
+    @invariant()
+    def emptiness_agrees(self):
+        assert self.queue.is_empty() == (not self.model)
+
+
+TestQueueStateful = QueueMachine.TestCase
+TestQueueStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

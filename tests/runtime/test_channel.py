@@ -1,0 +1,152 @@
+import pytest
+
+from repro.errors import ChannelError
+from repro.mcl import astnodes as ast
+from repro.runtime.channel import Channel
+
+
+def make_def(sync="ASYNC", category="BK", buffer_kb=1):
+    return ast.ChannelDef(
+        name="c",
+        in_port=ast.PortDecl(ast.PortDirection.IN, "cin", _any()),
+        out_port=ast.PortDecl(ast.PortDirection.OUT, "cout", _any()),
+        sync=ast.ChannelSync(sync),
+        category=ast.ChannelCategory(category),
+        buffer_kb=buffer_kb,
+    )
+
+
+def _any():
+    from repro.mime.mediatype import ANY
+
+    return ANY
+
+
+def wired(sync="ASYNC", category="BK", buffer_kb=1):
+    ch = Channel("c0", make_def(sync, category, buffer_kb))
+    ch.attach_source(ast.PortRef("a", "po"))
+    ch.attach_sink(ast.PortRef("b", "pi"))
+    return ch
+
+
+class TestWiring:
+    def test_attach(self):
+        ch = wired()
+        assert ch.source == ast.PortRef("a", "po")
+        assert ch.sink == ast.PortRef("b", "pi")
+        assert ch.queue.producer_count == 1
+        assert ch.queue.consumer_count == 1
+
+    def test_double_attach_rejected(self):
+        ch = wired()
+        with pytest.raises(ChannelError):
+            ch.attach_source(ast.PortRef("x", "po"))
+        with pytest.raises(ChannelError):
+            ch.attach_sink(ast.PortRef("x", "pi"))
+
+    def test_detach_without_attach(self):
+        ch = Channel("c", make_def())
+        with pytest.raises(ChannelError):
+            ch.detach_source()
+        with pytest.raises(ChannelError):
+            ch.detach_sink()
+
+
+class TestTransfer:
+    def test_post_fetch(self):
+        ch = wired()
+        ch.post("m1", 10)
+        assert ch.fetch() == "m1"
+
+    def test_capacity_from_buffer_kb(self):
+        ch = wired(buffer_kb=1)  # 1024 bytes
+        assert ch.post("a", 800)
+        assert not ch.post("b", 800)
+
+    def test_sync_is_rendezvous(self):
+        ch = wired(sync="SYNC", buffer_kb=0)
+        assert ch.is_sync
+        assert ch.post("a", 5)
+        assert not ch.post("b", 5)
+        ch.fetch()
+        assert ch.post("b", 5)
+
+
+class TestCategories:
+    def test_bk_detach_source_keeps_pending(self):
+        ch = wired(category="BK")
+        ch.post("m", 1)
+        dropped = ch.detach_source()
+        assert dropped == []
+        assert ch.sink is not None
+        assert ch.fetch() == "m"
+
+    def test_bk_detach_sink_breaks_both(self):
+        ch = wired(category="BK")
+        ch.post("m", 1)
+        dropped = ch.detach_sink()
+        assert dropped == ["m"]
+        assert ch.source is None and ch.sink is None
+
+    def test_kb_detach_sink_keeps_source(self):
+        ch = wired(category="KB")
+        dropped = ch.detach_sink()
+        assert dropped == []
+        assert ch.source is not None
+
+    def test_kb_detach_source_breaks_both(self):
+        ch = wired(category="KB")
+        ch.post("m", 1)
+        dropped = ch.detach_source()
+        assert dropped == ["m"]
+        assert ch.sink is None
+
+    def test_bb_breaks_both_ways(self):
+        for detach in ("detach_source", "detach_sink"):
+            ch = wired(category="BB")
+            ch.post("m", 1)
+            dropped = getattr(ch, detach)()
+            assert dropped == ["m"]
+            assert ch.source is None and ch.sink is None
+
+    def test_kk_cannot_detach(self):
+        ch = wired(category="KK")
+        with pytest.raises(ChannelError):
+            ch.detach_source()
+        with pytest.raises(ChannelError):
+            ch.detach_sink()
+
+    def test_s_never_buffers(self):
+        ch = wired(category="S")
+        # S forces a rendezvous slot even when declared ASYNC
+        assert ch.post("a", 5)
+        assert not ch.post("b", 5)
+
+    def test_s_detach_with_pending_rejected(self):
+        ch = wired(category="S")
+        ch.post("a", 5)
+        with pytest.raises(ChannelError):
+            ch.detach_source()
+
+    def test_s_detach_empty_ok(self):
+        ch = wired(category="S")
+        assert ch.detach_source() == []
+
+
+class TestReattach:
+    def test_reattach_source_keeps_pending(self):
+        ch = wired(category="BB")  # even BB: reattach bypasses category
+        ch.post("m", 1)
+        ch.reattach_source(ast.PortRef("new", "po"))
+        assert ch.source == ast.PortRef("new", "po")
+        assert ch.fetch() == "m"
+
+    def test_reattach_sink(self):
+        ch = wired()
+        ch.reattach_sink(ast.PortRef("new", "pi"))
+        assert ch.sink == ast.PortRef("new", "pi")
+
+    def test_reattach_onto_empty_end(self):
+        ch = Channel("c", make_def())
+        ch.reattach_source(ast.PortRef("a", "po"))
+        assert ch.queue.producer_count == 1

@@ -1,0 +1,216 @@
+"""Tests for the Coordination Manager and the server facade."""
+
+import pytest
+
+from repro.apps import build_server
+from repro.errors import CompositionError, MobiGateError, OpenCircuitError
+from repro.events import EventCategory
+from repro.mime.message import MimeMessage
+from repro.runtime.scheduler import InlineScheduler
+from repro.runtime.server import MobiGateServer
+from repro.runtime.streamlet import Streamlet
+
+DEFS = """
+streamlet up{
+  port{ in pi : text/*; out po : text/plain; }
+}
+"""
+
+PIPE = DEFS + """
+main stream pipe{
+  streamlet a, b = new-streamlet (up);
+  connect (a.po, b.pi);
+  when (LOW_BANDWIDTH){ disconnect (a.po, b.pi); }
+}
+"""
+
+
+class Upper(Streamlet):
+    def process(self, port, message, ctx):
+        message.set_body(message.body.upper())
+        return [("po", message)]
+
+
+class Faulty(Streamlet):
+    def process(self, port, message, ctx):
+        raise ValueError("kaboom")
+
+
+def make_server(factory=Upper):
+    server = build_server()
+    from repro.mcl.parser import parse_script
+
+    for d in parse_script(DEFS).streamlets:
+        server.directory.advertise(d, factory)
+    return server
+
+
+class TestCoordinationManager:
+    def test_deploy_assigns_unique_sessions(self):
+        # section 4.4.3: each stream instance gets its own session id
+        source = DEFS + (
+            "stream one{ streamlet a = new-streamlet (up); }"
+            "stream two{ streamlet b = new-streamlet (up); }"
+        )
+        server = make_server()
+        s1 = server.deploy_script(source, stream="one")
+        s2 = server.deploy_script(source, stream="two")
+        assert s1.session is not None
+        assert s1.session != s2.session
+
+    def test_duplicate_deploy_rejected(self):
+        server = make_server()
+        table = server.compile(PIPE).main_table()
+        server.deploy_table(table)
+        with pytest.raises(CompositionError):
+            server.deploy_table(table)
+
+    def test_undeploy_allows_redeploy(self):
+        server = make_server()
+        stream = server.deploy_script(PIPE)
+        server.undeploy(stream.name)
+        assert stream.ended
+        server.deploy_script(PIPE)  # same name fine after undeploy
+
+    def test_undeploy_unknown(self):
+        with pytest.raises(CompositionError):
+            make_server().undeploy("ghost")
+
+    def test_subscription_matches_handlers(self):
+        server = make_server()
+        server.deploy_script(PIPE)
+        assert server.events.subscriber_count(EventCategory.NETWORK_VARIATION) == 1
+        assert server.events.subscriber_count(EventCategory.HARDWARE_VARIATION) == 0
+
+    def test_undeploy_unsubscribes(self):
+        server = make_server()
+        stream = server.deploy_script(PIPE)
+        server.undeploy(stream.name)
+        assert server.events.subscriber_count(EventCategory.NETWORK_VARIATION) == 0
+
+    def test_stream_lookup(self):
+        server = make_server()
+        stream = server.deploy_script(PIPE)
+        assert server.coordination.stream("pipe") is stream
+        assert server.coordination.deployed() == ["pipe"]
+        assert len(server.coordination) == 1
+
+
+class TestServerFacade:
+    def test_deploy_named_stream(self):
+        source = DEFS + "stream one{ streamlet a = new-streamlet (up); }" \
+                        "stream two{ streamlet b = new-streamlet (up); }"
+        server = make_server()
+        stream = server.deploy_script(source, stream="two")
+        assert stream.name == "two"
+
+    def test_deploy_unknown_stream_name(self):
+        server = make_server()
+        with pytest.raises(MobiGateError):
+            server.deploy_script(PIPE, stream="nope")
+
+    def test_verification_gate(self):
+        # a composition that drops messages: up feeding nothing, with an
+        # explicitly terminal-less chain; exposed ports make this legal by
+        # default, so force the strict view through a terminal-less cycle
+        source = DEFS + """
+main stream looped{
+  streamlet a, b = new-streamlet (up);
+  connect (a.po, b.pi);
+  connect (b.po, a.pi);
+}
+"""
+        server = make_server()
+        from repro.errors import FeedbackLoopError
+
+        with pytest.raises(FeedbackLoopError):
+            server.deploy_script(source)
+
+    def test_verification_can_be_disabled(self):
+        source = DEFS + """
+main stream looped{
+  streamlet a, b = new-streamlet (up);
+  connect (a.po, b.pi);
+  connect (b.po, a.pi);
+}
+"""
+        server = build_server(verify_semantics=False)
+        from repro.mcl.parser import parse_script
+
+        for d in parse_script(DEFS).streamlets:
+            server.directory.advertise(d, Upper)
+        stream = server.deploy_script(source)  # deploys despite the loop
+        assert stream.started
+
+
+class TestFaultContainment:
+    def test_faulty_streamlet_drops_message_and_raises_event(self):
+        server = make_server(Faulty)
+        stream = server.deploy_script(PIPE)
+        scheduler = InlineScheduler(stream)
+
+        faults = []
+
+        class FaultWatcher:
+            name = "watcher"
+
+            def on_event(self, event):
+                faults.append(event)
+
+        server.events.subscribe(EventCategory.SOFTWARE_VARIATION, FaultWatcher())
+
+        stream.post(MimeMessage("text/plain", b"boom"))
+        scheduler.pump()
+        assert stream.collect() == []
+        assert stream.stats.processing_failures == 1
+        assert len(stream.pool) == 0  # message released, not leaked
+        # STREAMLET_FAULT raised, scoped to the faulting stream...
+        # (our watcher has a different name, so the scoped event skipped it;
+        #  verify via the manager's counters instead)
+        assert server.events.filtered >= 1
+
+    def test_stream_survives_faults(self):
+        server = make_server(Faulty)
+        stream = server.deploy_script(PIPE)
+        scheduler = InlineScheduler(stream)
+        for i in range(5):
+            stream.post(MimeMessage("text/plain", f"m{i}".encode()))
+        scheduler.pump()
+        assert stream.stats.processing_failures == 5
+        assert not stream.ended  # still alive and schedulable
+
+
+class TestControlInterface:
+    def test_set_param_affects_processing(self):
+        """§8.2.1: the coordinator tunes streamlet behaviour via parameters."""
+        server = build_server()
+        stream = server.deploy_script("""
+main stream tunable{
+  streamlet ds = new-streamlet (img_down_sample);
+}
+""")
+        scheduler = InlineScheduler(stream)
+        from repro.codecs.imagefmt import decode_gif
+        from repro.workloads.content import synthetic_image_message
+
+        stream.set_param("ds", "factor", 4)
+        assert stream.get_param("ds", "factor") == 4
+        stream.post(synthetic_image_message(64, 64, seed=1))
+        scheduler.pump()
+        [out] = stream.collect()
+        assert decode_gif(out.body).width == 16  # 64 / 4
+
+    def test_get_param_default(self):
+        server = build_server()
+        stream = server.deploy_script(
+            "main stream t{ streamlet r = new-streamlet (redirector); }"
+        )
+        assert stream.get_param("r", "missing", "fallback") == "fallback"
+
+    def test_unknown_instance(self):
+        server = build_server()
+        stream = server.deploy_script(
+            "main stream t{ streamlet r = new-streamlet (redirector); }"
+        )
+        with pytest.raises(CompositionError):
+            stream.set_param("ghost", "k", 1)

@@ -1,0 +1,128 @@
+import pytest
+
+from repro.errors import EventError
+from repro.events import (
+    DEFAULT_CATALOG,
+    PREDEFINED_EVENTS,
+    ContextEvent,
+    EventCatalog,
+    EventCategory,
+)
+from repro.runtime.events import EventManager
+
+
+class Recorder:
+    def __init__(self, name):
+        self.name = name
+        self.seen = []
+
+    def on_event(self, event):
+        self.seen.append(event)
+
+
+class TestCatalog:
+    def test_table_6_1_taxonomy(self):
+        """Table 6-1: four categories with the thesis's named events."""
+        assert set(EventCategory) == {
+            EventCategory.SYSTEM_COMMAND,
+            EventCategory.NETWORK_VARIATION,
+            EventCategory.HARDWARE_VARIATION,
+            EventCategory.SOFTWARE_VARIATION,
+        }
+        assert PREDEFINED_EVENTS["PAUSE"] is EventCategory.SYSTEM_COMMAND
+        assert PREDEFINED_EVENTS["RESUME"] is EventCategory.SYSTEM_COMMAND
+        assert PREDEFINED_EVENTS["END"] is EventCategory.SYSTEM_COMMAND
+        assert PREDEFINED_EVENTS["LOW_BANDWIDTH"] is EventCategory.NETWORK_VARIATION
+        assert PREDEFINED_EVENTS["LOW_ENERGY"] is EventCategory.HARDWARE_VARIATION
+        assert PREDEFINED_EVENTS["LOW_GRAYS"] is EventCategory.HARDWARE_VARIATION
+
+    def test_low_gray_alias(self):
+        # Figure 4-8 writes LOW_GRAY; Table 6-1 says LOW_GRAYS
+        assert DEFAULT_CATALOG.canonical("LOW_GRAY") == "LOW_GRAYS"
+        assert "LOW_GRAY" in DEFAULT_CATALOG
+
+    def test_case_insensitive(self):
+        assert "low_bandwidth" in DEFAULT_CATALOG
+
+    def test_unknown_event(self):
+        assert "UNHEARD_OF" not in DEFAULT_CATALOG
+        with pytest.raises(EventError):
+            DEFAULT_CATALOG.category_of("UNHEARD_OF")
+
+    def test_register_custom(self):
+        catalog = EventCatalog()
+        catalog.register("ROAMING", EventCategory.NETWORK_VARIATION)
+        assert catalog.category_of("ROAMING") is EventCategory.NETWORK_VARIATION
+
+    def test_register_conflicting_category_rejected(self):
+        catalog = EventCatalog()
+        with pytest.raises(EventError):
+            catalog.register("PAUSE", EventCategory.NETWORK_VARIATION)
+
+    def test_register_same_category_idempotent(self):
+        catalog = EventCatalog()
+        catalog.register("PAUSE", EventCategory.SYSTEM_COMMAND)
+
+    def test_illegal_name(self):
+        with pytest.raises(EventError):
+            EventCatalog().register("BAD NAME!", EventCategory.SYSTEM_COMMAND)
+
+    def test_make_event(self):
+        evt = DEFAULT_CATALOG.make("low_gray", source="app1")
+        assert evt == ContextEvent("LOW_GRAYS", EventCategory.HARDWARE_VARIATION, "app1")
+
+
+class TestEventManager:
+    def test_multicast_to_category(self):
+        mgr = EventManager()
+        net = Recorder("net-app")
+        hw = Recorder("hw-app")
+        mgr.subscribe(EventCategory.NETWORK_VARIATION, net)
+        mgr.subscribe(EventCategory.HARDWARE_VARIATION, hw)
+        delivered = mgr.raise_event("LOW_BANDWIDTH")
+        assert delivered == 1
+        assert len(net.seen) == 1
+        assert hw.seen == []
+
+    def test_scoped_event_filters_by_source(self):
+        mgr = EventManager()
+        a, b = Recorder("a"), Recorder("b")
+        mgr.subscribe(EventCategory.SYSTEM_COMMAND, a)
+        mgr.subscribe(EventCategory.SYSTEM_COMMAND, b)
+        mgr.raise_event("END", source="a")
+        assert len(a.seen) == 1
+        assert b.seen == []
+        assert mgr.filtered == 1
+
+    def test_broadcast_reaches_all(self):
+        mgr = EventManager()
+        subs = [Recorder(f"s{i}") for i in range(3)]
+        for s in subs:
+            mgr.subscribe(EventCategory.SYSTEM_COMMAND, s)
+        assert mgr.raise_event("PAUSE") == 3
+
+    def test_double_subscribe_rejected(self):
+        mgr = EventManager()
+        r = Recorder("r")
+        mgr.subscribe(EventCategory.SYSTEM_COMMAND, r)
+        with pytest.raises(EventError):
+            mgr.subscribe(EventCategory.SYSTEM_COMMAND, r)
+
+    def test_unsubscribe(self):
+        mgr = EventManager()
+        r = Recorder("r")
+        mgr.subscribe(EventCategory.SYSTEM_COMMAND, r)
+        mgr.unsubscribe(EventCategory.SYSTEM_COMMAND, r)
+        assert mgr.raise_event("END") == 0
+        with pytest.raises(EventError):
+            mgr.unsubscribe(EventCategory.SYSTEM_COMMAND, r)
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(EventError):
+            EventManager().raise_event("NOT_AN_EVENT")
+
+    def test_subscriber_count(self):
+        mgr = EventManager()
+        assert mgr.subscriber_count(EventCategory.NETWORK_VARIATION) == 0
+        mgr.subscribe(EventCategory.NETWORK_VARIATION, Recorder("x"))
+        assert mgr.subscriber_count(EventCategory.NETWORK_VARIATION) == 1

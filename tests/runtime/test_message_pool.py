@@ -1,0 +1,93 @@
+import pytest
+
+from repro.errors import MessagePoolError
+from repro.mime.message import MimeMessage
+from repro.runtime.message_pool import MessagePool, PassMode
+
+
+def msg(body=b"payload"):
+    return MimeMessage("text/plain", body)
+
+
+class TestReferenceMode:
+    def test_admit_checkout_same_object(self):
+        pool = MessagePool(PassMode.REFERENCE)
+        m = msg()
+        mid = pool.admit(m)
+        assert pool.checkout(mid) is m
+
+    def test_no_copies_counted(self):
+        pool = MessagePool(PassMode.REFERENCE)
+        mid = pool.admit(msg())
+        pool.checkout(mid)
+        pool.checkout(mid)
+        assert pool.copies == 0
+
+    def test_release_returns_message(self):
+        pool = MessagePool()
+        m = msg()
+        mid = pool.admit(m)
+        assert pool.release(mid) is m
+        assert mid not in pool
+
+    def test_double_release_raises(self):
+        pool = MessagePool()
+        mid = pool.admit(msg())
+        pool.release(mid)
+        with pytest.raises(MessagePoolError):
+            pool.release(mid)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(MessagePoolError):
+            MessagePool().checkout("ghost")
+
+    def test_rebind(self):
+        pool = MessagePool()
+        mid = pool.admit(msg(b"old"))
+        replacement = msg(b"new")
+        pool.rebind(mid, replacement)
+        assert pool.checkout(mid) is replacement
+
+    def test_rebind_unknown_raises(self):
+        with pytest.raises(MessagePoolError):
+            MessagePool().rebind("ghost", msg())
+
+    def test_len_and_counters(self):
+        pool = MessagePool()
+        ids = [pool.admit(msg()) for _ in range(3)]
+        assert len(pool) == 3
+        pool.release(ids[0])
+        assert len(pool) == 2
+        assert pool.admitted == 3
+        assert pool.released == 1
+
+
+class TestValueMode:
+    def test_checkout_copies(self):
+        pool = MessagePool(PassMode.VALUE)
+        m = msg()
+        mid = pool.admit(m)
+        copy = pool.checkout(mid)
+        assert copy is not m
+        assert pool.copies == 1
+
+    def test_copy_becomes_canonical(self):
+        # downstream hops must see upstream transformations
+        pool = MessagePool(PassMode.VALUE)
+        mid = pool.admit(msg(b"v1"))
+        first = pool.checkout(mid)
+        first.set_body(b"v2")
+        second = pool.checkout(mid)
+        assert second.body == b"v2"
+
+    def test_peek_never_copies(self):
+        pool = MessagePool(PassMode.VALUE)
+        mid = pool.admit(msg())
+        pool.peek(mid)
+        assert pool.copies == 0
+
+    def test_size_of(self):
+        pool = MessagePool(PassMode.VALUE)
+        m = msg(b"12345")
+        mid = pool.admit(m)
+        assert pool.size_of(mid) == m.total_size()

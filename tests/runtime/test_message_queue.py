@@ -1,0 +1,174 @@
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueClosedError
+from repro.runtime.message_queue import MessageQueue
+
+
+class TestBasics:
+    def test_fifo(self):
+        q = MessageQueue(1000)
+        q.post_message("a", 10)
+        q.post_message("b", 10)
+        assert q.fetch_message() == "a"
+        assert q.fetch_message() == "b"
+
+    def test_empty_fetch_none(self):
+        assert MessageQueue(100).fetch_message() is None
+
+    def test_len_and_bytes(self):
+        q = MessageQueue(1000)
+        q.post_message("a", 100)
+        q.post_message("b", 200)
+        assert len(q) == 2
+        assert q.pending_bytes == 300
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueue(-1)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueue(10, drop_timeout=-1)
+
+
+class TestCapacity:
+    def test_full_drops(self):
+        q = MessageQueue(100)
+        assert q.post_message("a", 80)
+        assert not q.post_message("b", 80)  # would exceed
+        assert q.dropped == 1
+
+    def test_empty_queue_admits_oversized(self):
+        q = MessageQueue(10)
+        assert q.post_message("big", 1000)
+
+    def test_zero_capacity_is_rendezvous(self):
+        q = MessageQueue(0)
+        assert q.post_message("a", 5)
+        assert not q.post_message("b", 5)
+        q.fetch_message()
+        assert q.post_message("b", 5)
+
+    def test_drop_timeout_waits_for_room(self):
+        q = MessageQueue(10, drop_timeout=1.0)
+        q.post_message("a", 10)
+
+        def consume_later():
+            import time
+
+            time.sleep(0.05)
+            q.fetch_message()
+
+        t = threading.Thread(target=consume_later)
+        t.start()
+        assert q.post_message("b", 10)  # succeeds once consumer drains
+        t.join()
+
+    def test_drop_timeout_expires(self):
+        q = MessageQueue(10, drop_timeout=0.01)
+        q.post_message("a", 10)
+        assert not q.post_message("b", 10)
+
+
+class TestAttachment:
+    def test_producer_consumer_counts(self):
+        q = MessageQueue(100)
+        q.incr_producers()
+        q.incr_consumers()
+        assert q.producer_count == 1
+        assert q.consumer_count == 1
+        q.decr_producers()
+        q.decr_consumers()
+        assert q.producer_count == 0
+
+    def test_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueue(1).decr_producers()
+        with pytest.raises(ValueError):
+            MessageQueue(1).decr_consumers()
+
+
+class TestCloseAndDrain:
+    def test_post_after_close_raises(self):
+        q = MessageQueue(100)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.post_message("a", 1)
+
+    def test_fetch_drains_then_raises(self):
+        q = MessageQueue(100)
+        q.post_message("a", 1)
+        q.close()
+        assert q.fetch_message() == "a"
+        with pytest.raises(QueueClosedError):
+            q.fetch_message()
+
+    def test_blocking_fetch_released_by_close(self):
+        q = MessageQueue(100)
+        result = {}
+
+        def blocked():
+            try:
+                q.fetch_message(timeout=None)
+            except QueueClosedError:
+                result["closed"] = True
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        q.close()
+        t.join(timeout=2)
+        assert result.get("closed")
+
+    def test_drain(self):
+        q = MessageQueue(1000)
+        q.post_message("a", 1)
+        q.post_message("b", 1)
+        assert q.drain() == ["a", "b"]
+        assert q.is_empty()
+        assert q.pending_bytes == 0
+
+
+class TestConcurrency:
+    def test_producer_consumer_threads(self):
+        q = MessageQueue(10_000)
+        n = 500
+        received = []
+
+        def producer():
+            for i in range(n):
+                while not q.post_message(f"m{i}", 10):
+                    pass
+
+        def consumer():
+            while len(received) < n:
+                msg = q.fetch_message(timeout=0.1)
+                if msg is not None:
+                    received.append(msg)
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert received == [f"m{i}" for i in range(n)]
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.integers(min_value=1, max_value=50), max_size=40))
+def test_order_preserved_property(sizes):
+    q = MessageQueue(10**9)
+    posted = []
+    for i, size in enumerate(sizes):
+        q.post_message(f"m{i}", size)
+        posted.append(f"m{i}")
+    fetched = []
+    while True:
+        msg = q.fetch_message()
+        if msg is None:
+            break
+        fetched.append(msg)
+    assert fetched == posted

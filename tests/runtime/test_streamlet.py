@@ -1,0 +1,89 @@
+import pytest
+
+from repro.errors import LifecycleError
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import ANY
+from repro.mime.message import MimeMessage
+from repro.runtime.streamlet import (
+    ForwardingStreamlet,
+    Streamlet,
+    StreamletContext,
+    StreamletState,
+)
+
+
+def make_def(name="stage", kind=ast.StreamletKind.STATELESS, n_out=1):
+    ports = [ast.PortDecl(ast.PortDirection.IN, "pi", ANY)]
+    for index in range(n_out):
+        ports.append(ast.PortDecl(ast.PortDirection.OUT, f"po{index}" if n_out > 1 else "po", ANY))
+    return ast.StreamletDef(name=name, ports=tuple(ports), kind=kind)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        s = Streamlet("s1", make_def())
+        assert s.state is StreamletState.CREATED
+
+    def test_activate_pause_resume_end(self):
+        s = Streamlet("s1", make_def())
+        s.activate()
+        assert s.is_active
+        s.pause()
+        assert s.state is StreamletState.PAUSED
+        s.activate()
+        s.end()
+        assert s.state is StreamletState.ENDED
+
+    def test_illegal_transitions(self):
+        s = Streamlet("s1", make_def())
+        with pytest.raises(LifecycleError):
+            s.pause()  # created -> paused not allowed
+        s.activate()
+        with pytest.raises(LifecycleError):
+            s.activate()
+        s.end()
+        with pytest.raises(LifecycleError):
+            s.activate()
+
+    def test_end_from_any_live_state(self):
+        for prep in [lambda s: None, lambda s: s.activate(),
+                     lambda s: (s.activate(), s.pause())]:
+            s = Streamlet("s1", make_def())
+            prep(s)
+            s.end()
+            assert s.state is StreamletState.ENDED
+
+
+class TestProcess:
+    def test_default_forwards(self):
+        s = Streamlet("s1", make_def())
+        m = MimeMessage("text/plain", b"x")
+        out = s.process("pi", m, StreamletContext("s1"))
+        assert out == [("po", m)]
+
+    def test_default_requires_single_output(self):
+        s = Streamlet("s1", make_def(n_out=2))
+        with pytest.raises(NotImplementedError):
+            s.process("pi", MimeMessage("text/plain", b""), StreamletContext("s1"))
+
+    def test_forwarding_streamlet_stamps_length(self):
+        s = ForwardingStreamlet("r1", make_def())
+        m = MimeMessage("text/plain", b"12345")
+        [(port, out)] = s.process("pi", m, StreamletContext("r1"))
+        assert port == "po"
+        assert out.headers.get("Content-Length") == "5"
+
+
+class TestPoolingSupport:
+    def test_is_stateless(self):
+        assert Streamlet("s", make_def(kind=ast.StreamletKind.STATELESS)).is_stateless
+        assert not Streamlet("s", make_def(kind=ast.StreamletKind.STATEFUL)).is_stateless
+
+    def test_rebind_resets(self):
+        s = Streamlet("old", make_def())
+        s.activate()
+        s.processed = 7
+        s.rebind("new")
+        assert s.instance_id == "new"
+        assert s.state is StreamletState.CREATED
+        assert s.processed == 0

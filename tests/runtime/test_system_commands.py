@@ -1,0 +1,99 @@
+"""Built-in System Command behaviour (Table 6-1: PAUSE / RESUME / END)."""
+
+import pytest
+
+from repro.apps import build_server
+from repro.mime.message import MimeMessage
+from repro.runtime.scheduler import InlineScheduler
+from repro.runtime.streamlet import StreamletState
+
+SOURCE = """
+main stream sys{
+  streamlet c = new-streamlet (text_compress);
+  streamlet e = new-streamlet (encryptor);
+  connect (c.po, e.pi);
+}
+"""
+
+
+@pytest.fixture
+def deployed():
+    server = build_server()
+    stream = server.deploy_script(SOURCE)
+    return server, stream, InlineScheduler(stream)
+
+
+class TestPauseResume:
+    def test_pause_suspends_processing(self, deployed):
+        server, stream, scheduler = deployed
+        server.events.raise_event("PAUSE")
+        assert all(
+            stream.node(n).streamlet.state is StreamletState.PAUSED
+            for n in stream.instance_names()
+        )
+        stream.post(MimeMessage("text/plain", b"held"))
+        scheduler.pump()
+        assert stream.collect() == []  # nothing processed while paused
+
+    def test_resume_drains_backlog(self, deployed):
+        server, stream, scheduler = deployed
+        server.events.raise_event("PAUSE")
+        stream.post(MimeMessage("text/plain", b"queued while paused"))
+        scheduler.pump()
+        server.events.raise_event("RESUME")
+        scheduler.pump()
+        assert len(stream.collect()) == 1  # no message lost across the pause
+
+    def test_resume_only_touches_paused(self, deployed):
+        server, stream, _ = deployed
+        stream.node("c").streamlet.pause()
+        stream.node("c").streamlet.activate()
+        server.events.raise_event("RESUME")  # all active: no-op, no error
+
+
+class TestEnd:
+    def test_end_tears_down(self, deployed):
+        server, stream, _ = deployed
+        server.events.raise_event("END")
+        assert stream.ended
+        assert all(
+            stream.node(n).streamlet.state is StreamletState.ENDED
+            for n in stream.instance_names()
+        )
+
+    def test_scoped_end_spares_other_streams(self):
+        server = build_server()
+        a = server.deploy_script(SOURCE.replace("sys", "a"), stream="a")
+        b = server.deploy_script(SOURCE.replace("sys", "b"), stream="b")
+        server.events.raise_event("END", source="a")
+        assert a.ended
+        assert not b.ended
+
+
+class TestSubscription:
+    def test_every_stream_gets_system_commands(self, deployed):
+        # no when-handlers in SOURCE, yet PAUSE reaches the stream
+        server, stream, _ = deployed
+        from repro.events import EventCategory
+
+        assert server.events.subscriber_count(EventCategory.SYSTEM_COMMAND) == 1
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_from_docstring(self):
+        from repro import InlineScheduler, MimeMessage, build_server
+
+        server = build_server()
+        stream = server.deploy_script(SOURCE)
+        scheduler = InlineScheduler(stream)
+        stream.post(MimeMessage("text/plain", b"hello " * 100))
+        scheduler.pump()
+        [wire] = stream.collect()
+        assert wire.headers.peer_stack() == ["text_decompress", "decryptor"]

@@ -1,0 +1,315 @@
+import pytest
+
+from repro.errors import (
+    DependencyError,
+    FeedbackLoopError,
+    MutualExclusionError,
+    OpenCircuitError,
+    PreorderError,
+)
+from repro.mcl.compiler import compile_script
+from repro.semantics import analyze, verify
+from repro.semantics.analyzer import ViolationKind
+
+DEFS = """
+streamlet stage{
+  port{ in pi : */*; out po : */*; }
+}
+streamlet sink{
+  port{ in pi : */*; }
+}
+streamlet source{
+  port{ out po : */*; }
+}
+streamlet splitter{
+  port{ in pi : */*; out po1 : */*; out po2 : */*; }
+}
+streamlet encryptor{
+  port{ in pi : */*; out po : */*; }
+  attribute{ requires = "decryptor_reg"; }
+}
+streamlet decryptor_reg{
+  port{ in pi : */*; out po : */*; }
+}
+streamlet compressor{
+  port{ in pi : */*; out po : */*; }
+  attribute{ after = "encryptor"; }
+}
+streamlet colorize{
+  port{ in pi : */*; out po : */*; }
+  attribute{ excludes = "grayscale"; }
+}
+streamlet grayscale{
+  port{ in pi : */*; out po : */*; }
+}
+"""
+
+
+def table_of(body: str):
+    return compile_script(DEFS + f"stream s{{ {body} }}").tables["s"]
+
+
+GOOD = (
+    "streamlet src = new-streamlet (source);"
+    "streamlet mid = new-streamlet (stage);"
+    "streamlet end = new-streamlet (sink);"
+    "connect (src.po, mid.pi);"
+    "connect (mid.po, end.pi);"
+)
+
+
+class TestFeedbackLoops:
+    def test_clean(self):
+        report = analyze(table_of(GOOD))
+        assert not report.of_kind(ViolationKind.FEEDBACK_LOOP)
+
+    def test_thesis_5_3_example(self):
+        # the section 5.3 case: s1 -> s2 -> s3 -> s1
+        table = table_of(
+            "streamlet s1, s2, s3 = new-streamlet (stage);"
+            "connect (s1.po, s2.pi);"
+            "connect (s2.po, s3.pi);"
+            "connect (s3.po, s1.pi);"
+        )
+        report = analyze(table)
+        loops = report.of_kind(ViolationKind.FEEDBACK_LOOP)
+        assert len(loops) == 1
+        assert "feedback loop" in loops[0].message
+        with pytest.raises(FeedbackLoopError):
+            verify(table)
+
+
+class TestOpenCircuit:
+    def test_dangling_chain_end(self):
+        # thesis-style closed analysis: a dangling non-terminal output is
+        # an open circuit (section 5.2.2)
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet mid = new-streamlet (stage);"
+            "connect (src.po, mid.pi);"
+        )
+        report = analyze(table, exposed_ports_bound=False)
+        msgs = [v.message for v in report.of_kind(ViolationKind.OPEN_CIRCUIT)]
+        assert any("mid" in m and "no outgoing" in m for m in msgs)
+
+    def test_deployment_view_treats_exposed_as_egress(self):
+        # default view: exposed ports get real egress channels at deploy
+        # time, so the same composition is consistent
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet mid = new-streamlet (stage);"
+            "connect (src.po, mid.pi);"
+        )
+        assert not analyze(table).of_kind(ViolationKind.OPEN_CIRCUIT)
+
+    def test_terminal_definition_exempt(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet mid = new-streamlet (stage);"
+            "connect (src.po, mid.pi);"
+        )
+        report = analyze(
+            table, terminal_definitions={"stage"}, exposed_ports_bound=False
+        )
+        assert not report.of_kind(ViolationKind.OPEN_CIRCUIT)
+
+    def test_interface_sink_is_fine(self):
+        assert analyze(table_of(GOOD), exposed_ports_bound=False).consistent
+
+    def test_partially_wired_splitter(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet sp = new-streamlet (splitter);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, sp.pi);"
+            "connect (sp.po1, end.pi);"
+        )
+        report = analyze(table, exposed_ports_bound=False)
+        msgs = [v.message for v in report.of_kind(ViolationKind.OPEN_CIRCUIT)]
+        assert any("po2" in m for m in msgs)
+
+    def test_verify_raises(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet mid = new-streamlet (stage);"
+            "connect (src.po, mid.pi);"
+        )
+        with pytest.raises(OpenCircuitError):
+            verify(table, exposed_ports_bound=False)
+
+
+class TestMutualExclusion:
+    def test_excluded_on_same_path(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet c = new-streamlet (colorize);"
+            "streamlet g = new-streamlet (grayscale);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, c.pi);"
+            "connect (c.po, g.pi);"
+            "connect (g.po, end.pi);"
+        )
+        report = analyze(table)
+        assert report.of_kind(ViolationKind.MUTUAL_EXCLUSION)
+        with pytest.raises(MutualExclusionError):
+            verify(table)
+
+    def test_excluded_on_parallel_branches_ok(self):
+        table = table_of(
+            "streamlet src = new-streamlet (splitter);"
+            "streamlet c = new-streamlet (colorize);"
+            "streamlet g = new-streamlet (grayscale);"
+            "streamlet e1, e2 = new-streamlet (sink);"
+            "connect (src.po1, c.pi);"
+            "connect (src.po2, g.pi);"
+            "connect (c.po, e1.pi);"
+            "connect (g.po, e2.pi);"
+        )
+        report = analyze(table)
+        assert not report.of_kind(ViolationKind.MUTUAL_EXCLUSION)
+
+    def test_relation_symmetric(self):
+        # 'colorize excludes grayscale' also bans grayscale->colorize order
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet g = new-streamlet (grayscale);"
+            "streamlet c = new-streamlet (colorize);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, g.pi);"
+            "connect (g.po, c.pi);"
+            "connect (c.po, end.pi);"
+        )
+        assert analyze(table).of_kind(ViolationKind.MUTUAL_EXCLUSION)
+
+
+class TestDependency:
+    def test_missing_partner(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet e = new-streamlet (encryptor);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, e.pi);"
+            "connect (e.po, end.pi);"
+        )
+        report = analyze(table)
+        assert report.of_kind(ViolationKind.DEPENDENCY)
+        with pytest.raises(DependencyError):
+            verify(table)
+
+    def test_partner_present_on_path(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet e = new-streamlet (encryptor);"
+            "streamlet d = new-streamlet (decryptor_reg);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, e.pi);"
+            "connect (e.po, d.pi);"
+            "connect (d.po, end.pi);"
+        )
+        assert not analyze(table).of_kind(ViolationKind.DEPENDENCY)
+
+    def test_partner_on_disjoint_branch_flagged(self):
+        table = table_of(
+            "streamlet src = new-streamlet (splitter);"
+            "streamlet e = new-streamlet (encryptor);"
+            "streamlet d = new-streamlet (decryptor_reg);"
+            "streamlet e1, e2 = new-streamlet (sink);"
+            "connect (src.po1, e.pi);"
+            "connect (src.po2, d.pi);"
+            "connect (e.po, e1.pi);"
+            "connect (d.po, e2.pi);"
+        )
+        msgs = [v.message for v in analyze(table).of_kind(ViolationKind.DEPENDENCY)]
+        assert any("shares a path" in m for m in msgs)
+
+
+class TestPreorder:
+    def test_wrong_order_flagged(self):
+        # compression before encryption -- the thesis's canonical mistake
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet comp = new-streamlet (compressor);"
+            "streamlet enc = new-streamlet (encryptor);"
+            "streamlet d = new-streamlet (decryptor_reg);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, comp.pi);"
+            "connect (comp.po, enc.pi);"
+            "connect (enc.po, d.pi);"
+            "connect (d.po, end.pi);"
+        )
+        report = analyze(table)
+        assert report.of_kind(ViolationKind.PREORDER)
+        with pytest.raises(PreorderError):
+            verify(table)
+
+    def test_right_order_ok(self):
+        table = table_of(
+            "streamlet src = new-streamlet (source);"
+            "streamlet enc = new-streamlet (encryptor);"
+            "streamlet d = new-streamlet (decryptor_reg);"
+            "streamlet comp = new-streamlet (compressor);"
+            "streamlet end = new-streamlet (sink);"
+            "connect (src.po, enc.pi);"
+            "connect (enc.po, d.pi);"
+            "connect (d.po, comp.pi);"
+            "connect (comp.po, end.pi);"
+        )
+        assert not analyze(table).of_kind(ViolationKind.PREORDER)
+
+    def test_unrelated_branches_ok(self):
+        table = table_of(
+            "streamlet src = new-streamlet (splitter);"
+            "streamlet comp = new-streamlet (compressor);"
+            "streamlet enc = new-streamlet (encryptor);"
+            "streamlet d = new-streamlet (decryptor_reg);"
+            "streamlet e1, e2 = new-streamlet (sink);"
+            "connect (src.po1, comp.pi);"
+            "connect (src.po2, enc.pi);"
+            "connect (comp.po, e1.pi);"
+            "connect (enc.po, d.pi);"
+            "connect (d.po, e2.pi);"
+        )
+        assert not analyze(table).of_kind(ViolationKind.PREORDER)
+
+
+class TestCompositeInterface:
+    def test_matches_table_exposure(self):
+        from repro.semantics.analyses import composite_interface
+
+        table = table_of(GOOD)
+        inner_in, inner_out = composite_interface(table)
+        assert inner_in == table.exposed_in
+        assert inner_out == table.exposed_out
+        # GOOD is source -> stage -> sink: fully internal, nothing exposed
+        assert inner_in == () and inner_out == ()
+
+    def test_open_ends_exposed(self):
+        from repro.semantics.analyses import composite_interface
+
+        table = table_of(
+            "streamlet a, b = new-streamlet (stage);"
+            "connect (a.po, b.pi);"
+        )
+        inner_in, inner_out = composite_interface(table)
+        assert [str(r) for r in inner_in] == ["a.pi"]
+        assert [str(r) for r in inner_out] == ["b.po"]
+
+
+class TestReport:
+    def test_consistent_summary(self):
+        report = analyze(table_of(GOOD))
+        assert report.consistent
+        assert "consistent" in report.summary()
+
+    def test_violation_summary_lists_all(self):
+        table = table_of(
+            "streamlet s1, s2 = new-streamlet (stage);"
+            "connect (s1.po, s2.pi);"
+            "connect (s2.po, s1.pi);"
+        )
+        report = analyze(table)
+        assert not report.consistent
+        assert "feedback-loop" in report.summary()
+
+    def test_verify_clean_is_silent(self):
+        verify(table_of(GOOD))

@@ -1,0 +1,163 @@
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcl.compiler import compile_script
+from repro.semantics.graph import StreamGraph
+
+DEFS = """
+streamlet stage{
+  port{ in pi : */*; out po : */*; }
+}
+"""
+
+
+def graph_of(body: str) -> StreamGraph:
+    table = compile_script(DEFS + f"stream s{{ {body} }}").tables["s"]
+    return StreamGraph.from_table(table)
+
+
+PIPELINE = (
+    "streamlet a, b, c = new-streamlet (stage);"
+    "connect (a.po, b.pi);"
+    "connect (b.po, c.pi);"
+)
+
+LOOP = (
+    "streamlet a, b, c = new-streamlet (stage);"
+    "connect (a.po, b.pi);"
+    "connect (b.po, c.pi);"
+    "connect (c.po, a.pi);"
+)
+
+
+class TestConstruction:
+    def test_from_table(self):
+        g = graph_of(PIPELINE)
+        assert g.nodes == {"a", "b", "c"}
+        assert g.edges() == {("a", "b"), ("b", "c")}
+
+    def test_dormant_excluded(self):
+        g = graph_of(PIPELINE + "streamlet spare = new-streamlet (stage);")
+        assert "spare" not in g.nodes
+
+    def test_definition_mapping(self):
+        g = graph_of(PIPELINE)
+        assert g.definition_of("a") == "stage"
+        assert g.instances_of("stage") == {"a", "b", "c"}
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            StreamGraph(["a"], [("a", "ghost")])
+
+
+class TestStructure:
+    def test_sources_sinks(self):
+        g = graph_of(PIPELINE)
+        assert g.sources() == {"a"}
+        assert g.sinks() == {"c"}
+
+    def test_successors_predecessors(self):
+        g = graph_of(PIPELINE)
+        assert g.successors("a") == {"b"}
+        assert g.predecessors("c") == {"b"}
+        assert g.successors("c") == frozenset()
+
+
+class TestReachability:
+    def test_transitive(self):
+        g = graph_of(PIPELINE)
+        assert g.reachable_from("a") == {"b", "c"}
+        assert g.connects("a", "c")
+        assert not g.connects("c", "a")
+
+    def test_common_path_symmetric(self):
+        g = graph_of(PIPELINE)
+        assert g.on_common_path("a", "c")
+        assert g.on_common_path("c", "a")
+
+    def test_no_common_path_on_branches(self):
+        # two children of one parent are not on a common path
+        g = StreamGraph(["p", "x", "y"], [("p", "x"), ("p", "y")])
+        assert not g.on_common_path("x", "y")
+
+    def test_cycle_includes_self(self):
+        g = graph_of(LOOP)
+        assert "a" in g.reachable_from("a")
+
+
+class TestCycles:
+    def test_pipeline_acyclic(self):
+        g = graph_of(PIPELINE)
+        assert g.is_acyclic()
+        assert g.find_cycle() is None
+
+    def test_loop_detected(self):
+        g = graph_of(LOOP)
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_self_loop(self):
+        g = graph_of(
+            "streamlet a = new-streamlet (stage); connect (a.po, a.pi);"
+        )
+        cycle = g.find_cycle()
+        assert cycle == ["a", "a"]
+
+    def test_topological_order(self):
+        order = graph_of(PIPELINE).topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_cyclic_raises(self):
+        with pytest.raises(ValueError):
+            graph_of(LOOP).topological_order()
+
+
+# -- property: cycle detection agrees with networkx --------------------------------
+
+
+@st.composite
+def random_digraph(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    nodes = [f"n{i}" for i in range(n)]
+    possible = [(a, b) for a in nodes for b in nodes]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=25, unique=True))
+    return nodes, edges
+
+
+@settings(deadline=None, max_examples=200)
+@given(random_digraph())
+def test_cycle_detection_matches_networkx(data):
+    nodes, edges = data
+    ours = StreamGraph(nodes, edges)
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(nodes)
+    theirs.add_edges_from(edges)
+    assert ours.is_acyclic() == nx.is_directed_acyclic_graph(theirs)
+    cycle = ours.find_cycle()
+    if cycle is not None:
+        # the reported cycle must actually exist edge by edge
+        assert cycle[0] == cycle[-1]
+        for src, dst in zip(cycle, cycle[1:]):
+            assert (src, dst) in ours.edges()
+
+
+@settings(deadline=None, max_examples=100)
+@given(random_digraph())
+def test_reachability_matches_networkx(data):
+    nodes, edges = data
+    ours = StreamGraph(nodes, edges)
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(nodes)
+    theirs.add_edges_from(edges)
+    for node in nodes:
+        # strict transitive successors: union over direct successors of
+        # ({s} ∪ descendants(s)) — includes `node` itself only on a cycle
+        expected: set[str] = set()
+        for succ in theirs.successors(node):
+            expected.add(succ)
+            expected |= set(nx.descendants(theirs, succ))
+        assert set(ours.reachable_from(node)) == expected

@@ -1,0 +1,121 @@
+"""Tests of the executable Z model (chapter 5 schemas)."""
+
+import pytest
+
+from repro.mcl.compiler import compile_script
+from repro.semantics.graph import StreamGraph
+from repro.semantics.zmodel import ZChannel, ZStreamlet, ZViolation, model_of
+
+DEFS = """
+streamlet stage{
+  port{ in pi : text/*; out po : text/plain; }
+}
+streamlet src{
+  port{ out po : text/plain; }
+}
+streamlet dst{
+  port{ in pi : text/*; }
+}
+"""
+
+
+def table_of(body):
+    return compile_script(DEFS + f"stream s{{ {body} }}").tables["s"]
+
+
+PIPELINE = (
+    "streamlet a = new-streamlet (src);"
+    "streamlet m = new-streamlet (stage);"
+    "streamlet z = new-streamlet (dst);"
+    "connect (a.po, m.pi);"
+    "connect (m.po, z.pi);"
+)
+
+LOOP = (
+    "streamlet x, y = new-streamlet (stage);"
+    "connect (x.po, y.pi);"
+    "connect (y.po, x.pi);"
+)
+
+
+class TestSchemaPredicates:
+    def test_streamlet_valid(self):
+        s = ZStreamlet("s", frozenset({"pi"}), frozenset({"po"}),
+                       {"pi": "text/*", "po": "text/plain"})
+        s.check()
+
+    def test_inputs_outputs_disjoint(self):
+        s = ZStreamlet("s", frozenset({"p"}), frozenset({"p"}), {"p": "text/*"})
+        with pytest.raises(ZViolation, match="inputs"):
+            s.check()
+
+    def test_every_port_typed(self):
+        s = ZStreamlet("s", frozenset({"pi"}), frozenset({"po"}), {"pi": "text/*"})
+        with pytest.raises(ZViolation, match="port-type"):
+            s.check()
+
+    def test_channel_sink_ne_source(self):
+        c = ZChannel("c", ("a", "po"), ("a", "po"), "*/*")
+        with pytest.raises(ZViolation, match="sink = source"):
+            c.check()
+
+    def test_self_message_via_distinct_ports_legal(self):
+        # a loop a.po -> a.pi is a *graph* cycle but schema-legal
+        ZChannel("c", ("a", "po"), ("a", "pi"), "*/*").check()
+
+
+class TestModelExtraction:
+    def test_compiled_table_is_well_formed(self):
+        model = model_of(table_of(PIPELINE))
+        model.check()  # every schema predicate holds on compiler output
+
+    def test_streamlets_and_channels_extracted(self):
+        model = model_of(table_of(PIPELINE))
+        assert set(model.streamlets) == {"a", "m", "z"}
+        assert len(model.channels) == 2
+
+    def test_dormant_excluded(self):
+        model = model_of(table_of(PIPELINE + "streamlet d = new-streamlet (stage);"))
+        assert "d" not in model.streamlets
+
+    def test_connect_relation(self):
+        model = model_of(table_of(PIPELINE))
+        assert model.connect() == {("a", "m"), ("m", "z")}
+
+    def test_connect_plus_closure(self):
+        model = model_of(table_of(PIPELINE))
+        assert model.connect_plus() == {("a", "m"), ("m", "z"), ("a", "z")}
+
+
+class TestSection53Derivation:
+    def test_acyclic_pipeline(self):
+        assert model_of(table_of(PIPELINE)).is_acyclic()
+
+    def test_loop_detected_via_identity_intersection(self):
+        model = model_of(table_of(LOOP))
+        # the thesis's derivation: (x,x),(y,y) ∈ connect+ ⇒ id ∩ connect+ ≠ ∅
+        plus = model.connect_plus()
+        assert ("x", "x") in plus and ("y", "y") in plus
+        assert not model.is_acyclic()
+
+    def test_agrees_with_stream_graph(self):
+        for body in (PIPELINE, LOOP):
+            table = table_of(body)
+            assert model_of(table).is_acyclic() == StreamGraph.from_table(table).is_acyclic()
+
+
+class TestZText:
+    def test_renders_schemas(self):
+        model = model_of(table_of(PIPELINE))
+        text = model.to_z_text()
+        assert text.startswith("Stream s ≙ [")
+        assert "Streamlet ≙ [ id: a;" in text
+        assert "Channel ≙ [" in text
+
+    def test_wiring_violation_detected(self):
+        model = model_of(table_of(PIPELINE))
+        # corrupt the model: retype a sink so compatibility fails
+        bad = ZChannel("cX", ("a", "po"), ("z", "nonexistent"), "*/*")
+        model.channels["cX"] = bad
+        with pytest.raises(ZViolation, match="not an input"):
+            model.check()

@@ -1,0 +1,200 @@
+"""Tests for the aggregation and customization service entities (§1.2.1)."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.mime.mediatype import TEXT_PLAIN
+from repro.mime.message import MimeMessage
+from repro.runtime.streamlet import StreamletContext
+from repro.streamlets.aggregate import AGGREGATE_COUNT, AGGREGATOR_DEF, Aggregator
+from repro.streamlets.compress import CONTENT_ENCODING, TEXT_COMPRESS_DEF, TextCompress
+from repro.streamlets.customize import (
+    CUSTOMIZER_DEF,
+    FACTOR_HEADER,
+    NO_COMPRESS_HEADER,
+    QUALITY_HEADER,
+    USER_HEADER,
+    Customizer,
+    PreferencesDB,
+    UserPreferences,
+)
+from repro.streamlets.image_ops import GIF2JPEG_DEF, Gif2Jpeg
+from repro.workloads.content import synthetic_image_message, synthetic_text_message
+
+
+def ctx(**params):
+    return StreamletContext("inst", params=params)
+
+
+class TestAggregator:
+    def test_window_collation(self):
+        agg = Aggregator("a", AGGREGATOR_DEF)
+        outs = []
+        for i in range(7):
+            outs.extend(agg.process("pi1", MimeMessage(TEXT_PLAIN, f"m{i}".encode()),
+                                    ctx(window=3)))
+        assert len(outs) == 2  # two full windows; one message pending
+        [(_, first), (_, second)] = outs
+        assert first.headers.get(AGGREGATE_COUNT) == "3"
+        assert [p.body for p in first.parts] == [b"m0", b"m1", b"m2"]
+        assert agg.pending == 1
+
+    def test_multi_port_sources(self):
+        agg = Aggregator("a", AGGREGATOR_DEF)
+        agg.process("pi1", MimeMessage(TEXT_PLAIN, b"src1"), ctx(window=2))
+        [(_, digest)] = agg.process("pi2", MimeMessage(TEXT_PLAIN, b"src2"), ctx(window=2))
+        assert [p.body for p in digest.parts] == [b"src1", b"src2"]
+
+    def test_window_one_passthrough(self):
+        agg = Aggregator("a", AGGREGATOR_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"solo")
+        assert agg.process("pi1", msg, ctx(window=1)) == [("po", msg)]
+
+    def test_flush_partial(self):
+        agg = Aggregator("a", AGGREGATOR_DEF)
+        agg.process("pi1", MimeMessage(TEXT_PLAIN, b"x"), ctx(window=5))
+        [(_, digest)] = agg.flush()
+        assert len(digest.parts) == 1
+        assert agg.flush() == []
+
+    def test_reset(self):
+        agg = Aggregator("a", AGGREGATOR_DEF)
+        agg.process("pi1", MimeMessage(TEXT_PLAIN, b"x"), ctx(window=5))
+        agg.reset()
+        assert agg.pending == 0
+
+
+class TestPreferencesDB:
+    def test_default_for_unknown_user(self):
+        db = PreferencesDB()
+        prefs = db.get("stranger")
+        assert prefs.compress_text is True
+        assert prefs.quality is None
+
+    def test_put_get(self):
+        db = PreferencesDB()
+        db.put("alice", UserPreferences(quality=30))
+        assert db.get("alice").quality == 30
+        assert db.known_users() == {"alice"}
+
+    def test_custom_default(self):
+        db = PreferencesDB(default=UserPreferences(quality=80))
+        assert db.get(None).quality == 80
+
+    def test_forget(self):
+        db = PreferencesDB()
+        db.put("bob", UserPreferences())
+        assert db.forget("bob")
+        assert not db.forget("bob")
+
+    def test_validation(self):
+        with pytest.raises(RuntimeFault):
+            PreferencesDB().put("x", UserPreferences(quality=0))
+        with pytest.raises(RuntimeFault):
+            PreferencesDB().put("x", UserPreferences(downsample_factor=0))
+
+
+class TestCustomizer:
+    def make(self, **prefs_kwargs):
+        db = PreferencesDB()
+        db.put("alice", UserPreferences(**prefs_kwargs))
+        return Customizer("c", CUSTOMIZER_DEF), db
+
+    def test_annotates_known_user(self):
+        customizer, db = self.make(quality=25, downsample_factor=4, compress_text=False)
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        msg.headers.set(USER_HEADER, "alice")
+        [(_, out)] = customizer.process("pi", msg, ctx(prefs=db))
+        assert out.headers.get(QUALITY_HEADER) == "25"
+        assert out.headers.get(FACTOR_HEADER) == "4"
+        assert out.headers.get(NO_COMPRESS_HEADER) == "1"
+
+    def test_unknown_user_gets_default(self):
+        customizer, db = self.make(quality=25)
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        msg.headers.set(USER_HEADER, "nobody")
+        [(_, out)] = customizer.process("pi", msg, ctx(prefs=db))
+        assert QUALITY_HEADER not in out.headers
+
+    def test_no_db_is_noop(self):
+        customizer = Customizer("c", CUSTOMIZER_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        [(_, out)] = customizer.process("pi", msg, ctx())
+        assert QUALITY_HEADER not in out.headers
+
+    def test_extras_applied(self):
+        customizer, db = self.make(extras={"X-Theme": "dark"})
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        msg.headers.set(USER_HEADER, "alice")
+        [(_, out)] = customizer.process("pi", msg, ctx(prefs=db))
+        assert out.headers.get("X-Theme") == "dark"
+
+
+class TestHeaderOverrides:
+    def test_quality_header_overrides_param(self):
+        streamlet = Gif2Jpeg("j", GIF2JPEG_DEF)
+        low = synthetic_image_message(96, 64, seed=1)
+        low.headers.set(QUALITY_HEADER, "10")
+        hi = synthetic_image_message(96, 64, seed=1)
+        hi.headers.set(QUALITY_HEADER, "90")
+        [(_, low_out)] = streamlet.process("pi", low, ctx(quality=60))
+        [(_, hi_out)] = streamlet.process("pi", hi, ctx(quality=60))
+        assert low_out.body_size() < hi_out.body_size()
+
+    def test_no_compress_header_respected(self):
+        compressor = TextCompress("c", TEXT_COMPRESS_DEF)
+        msg = synthetic_text_message(2048, seed=2)
+        original = msg.body
+        msg.headers.set(NO_COMPRESS_HEADER, "1")
+        [(_, out)] = compressor.process("pi", msg, ctx())
+        assert out.body == original
+        assert CONTENT_ENCODING not in out.headers
+
+
+class TestEndToEndCustomization:
+    def test_two_users_two_qualities(self):
+        """TranSend-style: per-user profiles drive per-message distillation."""
+        from repro.apps import build_server
+        from repro.runtime.scheduler import InlineScheduler
+
+        # the generic customizer is typed */* -> */*, which MCL rightly
+        # refuses to feed into a typed image/* input; advertise an
+        # image-typed definition bound to the same implementation
+        from repro.mcl import astnodes as ast
+        from repro.mime.mediatype import IMAGE
+
+        source = """
+main stream personalised{
+  streamlet cz = new-streamlet (img_customizer);
+  streamlet g2j = new-streamlet (gif2jpeg);
+  connect (cz.po, g2j.pi);
+}
+"""
+        server = build_server()
+        server.directory.advertise(
+            ast.StreamletDef(
+                name="img_customizer",
+                ports=(
+                    ast.PortDecl(ast.PortDirection.IN, "pi", IMAGE),
+                    ast.PortDecl(ast.PortDirection.OUT, "po", IMAGE),
+                ),
+                kind=ast.StreamletKind.STATEFUL,
+            ),
+            Customizer,
+        )
+        stream = server.deploy_script(source)
+        db = PreferencesDB()
+        db.put("pda-user", UserPreferences(quality=10))
+        db.put("laptop-user", UserPreferences(quality=90))
+        stream.set_param("cz", "prefs", db)
+        scheduler = InlineScheduler(stream)
+
+        sizes = {}
+        for user in ("pda-user", "laptop-user"):
+            msg = synthetic_image_message(128, 96, seed=5)
+            msg.headers.set(USER_HEADER, user)
+            stream.post(msg)
+            scheduler.pump()
+            [out] = stream.collect()
+            sizes[user] = out.body_size()
+        assert sizes["pda-user"] < sizes["laptop-user"] / 2

@@ -1,0 +1,366 @@
+"""Unit tests for each built-in service streamlet, in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.imagefmt import ImageRaster, decode_gif, decode_jpeg, encode_gif
+from repro.codecs.textcodec import TextCodec
+from repro.errors import CodecError, RuntimeFault
+from repro.mime.mediatype import IMAGE_GIF, IMAGE_JPEG, TEXT_PLAIN
+from repro.mime.message import MimeMessage
+from repro.runtime.streamlet import StreamletContext
+from repro.streamlets import (
+    CACHE_DEF,
+    COMMUNICATOR_DEF,
+    ENCRYPTOR_DEF,
+    GIF2JPEG_DEF,
+    IMG_DOWN_SAMPLE_DEF,
+    MAP_TO_16_GRAYS_DEF,
+    MERGE_DEF,
+    POSTSCRIPT2TEXT_DEF,
+    POWER_SAVING_DEF,
+    SWITCH_DEF,
+    TEXT_COMPRESS_DEF,
+    CacheStreamlet,
+    Communicator,
+    ContentSwitch,
+    Encryptor,
+    Gif2Jpeg,
+    ImageDownSample,
+    MapTo16Grays,
+    Merge,
+    Postscript2Text,
+    PowerSaving,
+    TextCompress,
+)
+from repro.streamlets.cache import CACHE_HEADER, RESOURCE_HEADER, ClientCacheStore
+from repro.streamlets.compress import CONTENT_ENCODING, decompress_message
+from repro.streamlets.crypto import NONCE_HEADER, decrypt_message
+from repro.streamlets.power import unbundle_message
+from repro.streamlets.switch import COUNT_HEADER, GROUP_HEADER
+from repro.workloads.content import (
+    synthetic_image_message,
+    synthetic_ps_message,
+    synthetic_text_message,
+    web_page_message,
+)
+
+
+def ctx(**params):
+    return StreamletContext("test-inst", params=params)
+
+
+class TestSwitch:
+    def test_splits_multipart_by_type(self):
+        switch = ContentSwitch("s", SWITCH_DEF)
+        page = web_page_message(n_images=2, text_bytes=512, seed=1)
+        emissions = switch.process("pi", page, ctx())
+        ports = [port for port, _ in emissions]
+        assert ports.count("po_img") == 2
+        assert ports.count("po_txt") == 1
+
+    def test_parts_tagged_for_merge(self):
+        switch = ContentSwitch("s", SWITCH_DEF)
+        page = web_page_message(n_images=1, text_bytes=256, seed=2)
+        emissions = switch.process("pi", page, ctx())
+        groups = {m.headers.get(GROUP_HEADER) for _, m in emissions}
+        assert len(groups) == 1
+        assert all(m.headers.get(COUNT_HEADER) == "2" for _, m in emissions)
+
+    def test_single_message_routed_whole(self):
+        switch = ContentSwitch("s", SWITCH_DEF)
+        msg = synthetic_text_message(128, seed=3)
+        [(port, out)] = switch.process("pi", msg, ctx())
+        assert port == "po_txt"
+        assert out is msg
+
+    def test_postscript_routed(self):
+        switch = ContentSwitch("s", SWITCH_DEF)
+        [(port, _)] = switch.process("pi", synthetic_ps_message(2, seed=1), ctx())
+        assert port == "po_ps"
+
+    def test_unroutable_dropped(self):
+        switch = ContentSwitch("s", SWITCH_DEF)
+        msg = MimeMessage("video/mpeg", b"xxxx")
+        assert switch.process("pi", msg, ctx()) == []
+
+
+class TestMerge:
+    def test_rejoins_group(self):
+        switch = ContentSwitch("s", SWITCH_DEF)
+        merge = Merge("m", MERGE_DEF)
+        page = web_page_message(n_images=1, text_bytes=128, seed=4)
+        n_parts = len(page.parts)
+        emissions = switch.process("pi", page, ctx())
+        outs = []
+        for index, (_, part) in enumerate(emissions):
+            outs.extend(merge.process(f"pi{(index % 2) + 1}", part, ctx()))
+        assert len(outs) == 1
+        [(port, merged)] = outs
+        assert port == "po"
+        assert merged.is_multipart
+        assert len(merged.parts) == n_parts
+        assert merge.pending_groups == 0
+
+    def test_untagged_passthrough(self):
+        merge = Merge("m", MERGE_DEF)
+        msg = synthetic_text_message(64, seed=5)
+        assert merge.process("pi1", msg, ctx()) == [("po", msg)]
+
+    def test_incomplete_group_held(self):
+        merge = Merge("m", MERGE_DEF)
+        msg = synthetic_text_message(64, seed=6)
+        msg.headers.set(GROUP_HEADER, "g1")
+        msg.headers.set(COUNT_HEADER, "2")
+        assert merge.process("pi1", msg, ctx()) == []
+        assert merge.pending_groups == 1
+
+    def test_missing_count_rejected(self):
+        merge = Merge("m", MERGE_DEF)
+        msg = synthetic_text_message(64, seed=7)
+        msg.headers.set(GROUP_HEADER, "g1")
+        with pytest.raises(RuntimeFault):
+            merge.process("pi1", msg, ctx())
+
+    def test_reset_clears_state(self):
+        merge = Merge("m", MERGE_DEF)
+        msg = synthetic_text_message(64, seed=8)
+        msg.headers.set(GROUP_HEADER, "g1")
+        msg.headers.set(COUNT_HEADER, "2")
+        merge.process("pi1", msg, ctx())
+        merge.reset()
+        assert merge.pending_groups == 0
+
+
+class TestImageOps:
+    def test_down_sample_shrinks(self):
+        streamlet = ImageDownSample("d", IMG_DOWN_SAMPLE_DEF)
+        msg = synthetic_image_message(128, 96, seed=9)
+        before = msg.body_size()
+        [(_, out)] = streamlet.process("pi", msg, ctx(factor=2))
+        decoded = decode_gif(out.body)
+        assert (decoded.width, decoded.height) == (64, 48)
+        assert out.body_size() < before
+
+    def test_down_sample_default_factor(self):
+        streamlet = ImageDownSample("d", IMG_DOWN_SAMPLE_DEF)
+        msg = synthetic_image_message(64, 64, seed=10)
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        assert decode_gif(out.body).width == 32
+
+    def test_map_to_16_grays(self):
+        streamlet = MapTo16Grays("g", MAP_TO_16_GRAYS_DEF)
+        msg = synthetic_image_message(64, 48, seed=11)
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        decoded = decode_gif(out.body)
+        # grayscale after 3-3-2 palette roundtrip: channels nearly equal
+        px = decoded.pixels.astype(int)
+        assert np.abs(px[:, :, 0] - px[:, :, 1]).max() <= 36
+
+    def test_gif2jpeg_converts_and_shrinks(self):
+        streamlet = Gif2Jpeg("j", GIF2JPEG_DEF)
+        msg = synthetic_image_message(128, 96, seed=12)
+        before = msg.body_size()
+        [(_, out)] = streamlet.process("pi", msg, ctx(quality=50))
+        assert out.content_type == IMAGE_JPEG
+        assert out.body_size() < before
+        decoded = decode_jpeg(out.body)
+        assert (decoded.width, decoded.height) == (128, 96)
+
+    def test_raster_payload_supported(self):
+        streamlet = ImageDownSample("d", IMG_DOWN_SAMPLE_DEF)
+        raster = ImageRaster.synthetic(32, 32, seed=13)
+        msg = MimeMessage(IMAGE_GIF, raster)
+        [(_, out)] = streamlet.process("pi", msg, ctx(factor=2))
+        assert isinstance(out.body, ImageRaster)
+        assert out.body.width == 16
+
+    def test_undecodable_payload_rejected(self):
+        streamlet = Gif2Jpeg("j", GIF2JPEG_DEF)
+        msg = MimeMessage(IMAGE_GIF, b"not an image")
+        with pytest.raises(CodecError):
+            streamlet.process("pi", msg, ctx())
+
+
+class TestPostscript2Text:
+    def test_extracts_text(self):
+        streamlet = Postscript2Text("p", POSTSCRIPT2TEXT_DEF)
+        msg = synthetic_ps_message(3, seed=14)
+        before = msg.body_size()
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        assert out.content_type.essence == "text/richtext"
+        assert out.body_size() < before
+        assert isinstance(out.body, bytes)
+
+    def test_accepts_wire_form(self):
+        streamlet = Postscript2Text("p", POSTSCRIPT2TEXT_DEF)
+        msg = MimeMessage("application/postscript", b"show hello\npage")
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        assert out.body == b"hello"
+
+    def test_bad_payload(self):
+        streamlet = Postscript2Text("p", POSTSCRIPT2TEXT_DEF)
+        msg = MimeMessage("application/postscript", np.zeros(4, dtype=np.uint8))
+        with pytest.raises(CodecError):
+            streamlet.process("pi", msg, ctx())
+
+
+class TestTextCompress:
+    def test_roundtrip_via_peer(self):
+        streamlet = TextCompress("c", TEXT_COMPRESS_DEF)
+        original = synthetic_text_message(4096, seed=15)
+        payload = original.body
+        [(_, out)] = streamlet.process("pi", original, ctx())
+        assert out.headers.get(CONTENT_ENCODING) == "mobigate-lzh"
+        assert out.body_size() < len(payload)
+        decompress_message(out)
+        assert out.body == payload
+        assert CONTENT_ENCODING not in out.headers
+
+    def test_hits_paper_ratio_on_prose(self):
+        streamlet = TextCompress("c", TEXT_COMPRESS_DEF)
+        msg = synthetic_text_message(16 * 1024, seed=16)
+        before = msg.body_size()
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        # "reduce the data size by up to 75%"
+        assert out.body_size() <= before * 0.5
+
+    def test_double_compress_rejected(self):
+        streamlet = TextCompress("c", TEXT_COMPRESS_DEF)
+        msg = synthetic_text_message(512, seed=17)
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        with pytest.raises(CodecError):
+            streamlet.process("pi", out, ctx())
+
+    def test_peer_id(self):
+        assert TextCompress("c", TEXT_COMPRESS_DEF).peer_id == "text_decompress"
+
+
+class TestEncryptor:
+    def test_roundtrip_via_peer(self):
+        streamlet = Encryptor("e", ENCRYPTOR_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"top secret payload")
+        [(_, out)] = streamlet.process("pi", msg, ctx())
+        assert out.body != b"top secret payload"
+        assert NONCE_HEADER in out.headers
+        decrypt_message(out)
+        assert out.body == b"top secret payload"
+
+    def test_unique_nonces(self):
+        streamlet = Encryptor("e", ENCRYPTOR_DEF)
+        m1 = MimeMessage(TEXT_PLAIN, b"same")
+        m2 = MimeMessage(TEXT_PLAIN, b"same")
+        streamlet.process("pi", m1, ctx())
+        streamlet.process("pi", m2, ctx())
+        assert m1.headers.get(NONCE_HEADER) != m2.headers.get(NONCE_HEADER)
+        assert m1.body != m2.body
+
+    def test_custom_key(self):
+        streamlet = Encryptor("e", ENCRYPTOR_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"data")
+        streamlet.process("pi", msg, ctx(key=b"other-key"))
+        decrypt_message(msg, b"other-key")
+        assert msg.body == b"data"
+
+    def test_decrypt_without_nonce_rejected(self):
+        with pytest.raises(CodecError):
+            decrypt_message(MimeMessage(TEXT_PLAIN, b"x"))
+
+    def test_layered_encryption_nonces_stack(self):
+        # two encryption layers -> two stacked nonces, popped LIFO
+        streamlet = Encryptor("e", ENCRYPTOR_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"layered secret")
+        streamlet.process("pi", msg, ctx())
+        streamlet.process("pi", msg, ctx())
+        assert msg.headers.get(NONCE_HEADER).count(",") == 1
+        decrypt_message(msg)
+        assert "," not in msg.headers.get(NONCE_HEADER)
+        decrypt_message(msg)
+        assert msg.body == b"layered secret"
+        assert NONCE_HEADER not in msg.headers
+
+
+class TestCache:
+    def test_second_send_is_hit(self):
+        cache = CacheStreamlet("c", CACHE_DEF)
+        store = ClientCacheStore()
+        for expected in ["MISS", "HIT"]:
+            msg = MimeMessage(TEXT_PLAIN, b"static resource body")
+            msg.headers.set(RESOURCE_HEADER, "/logo")
+            [(_, out)] = cache.process("pi", msg, ctx())
+            assert out.headers.get(CACHE_HEADER) == expected
+            if expected == "HIT":
+                assert out.body_size() == 0
+            store.apply(out)
+            assert out.body == b"static resource body"
+
+    def test_changed_body_is_miss(self):
+        cache = CacheStreamlet("c", CACHE_DEF)
+        for body in [b"v1", b"v2"]:
+            msg = MimeMessage(TEXT_PLAIN, body)
+            msg.headers.set(RESOURCE_HEADER, "/page")
+            [(_, out)] = cache.process("pi", msg, ctx())
+            assert out.headers.get(CACHE_HEADER) == "MISS"
+        assert cache.misses == 2
+
+    def test_no_resource_header_passthrough(self):
+        cache = CacheStreamlet("c", CACHE_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        [(_, out)] = cache.process("pi", msg, ctx())
+        assert CACHE_HEADER not in out.headers
+
+    def test_cold_client_cache_hit_fails(self):
+        msg = MimeMessage(TEXT_PLAIN, b"")
+        msg.headers.set(RESOURCE_HEADER, "/x")
+        msg.headers.set(CACHE_HEADER, "HIT")
+        with pytest.raises(CodecError):
+            ClientCacheStore().apply(msg)
+
+
+class TestPowerSaving:
+    def test_bundles_and_unbundles(self):
+        streamlet = PowerSaving("p", POWER_SAVING_DEF)
+        messages = [MimeMessage(TEXT_PLAIN, f"m{i}".encode()) for i in range(4)]
+        emissions = []
+        for msg in messages:
+            emissions.extend(streamlet.process("pi", msg, ctx(bundle=4)))
+        assert len(emissions) == 1
+        [(_, bundle)] = emissions
+        parts = unbundle_message(bundle)
+        assert [p.body for p in parts] == [b"m0", b"m1", b"m2", b"m3"]
+
+    def test_partial_bundle_held_then_flushed(self):
+        streamlet = PowerSaving("p", POWER_SAVING_DEF)
+        streamlet.process("pi", MimeMessage(TEXT_PLAIN, b"a"), ctx(bundle=3))
+        assert streamlet.buffered == 1
+        [(_, bundle)] = streamlet.flush()
+        assert len(unbundle_message(bundle)) == 1
+        assert streamlet.buffered == 0
+
+    def test_bundle_size_one_is_passthrough(self):
+        streamlet = PowerSaving("p", POWER_SAVING_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"solo")
+        assert streamlet.process("pi", msg, ctx(bundle=1)) == [("po", msg)]
+
+    def test_unbundle_plain_message(self):
+        msg = MimeMessage(TEXT_PLAIN, b"plain")
+        assert unbundle_message(msg) == [msg]
+
+
+class TestCommunicator:
+    def test_transport_invoked(self):
+        sent = []
+        comm = Communicator("t", COMMUNICATOR_DEF)
+        msg = MimeMessage(TEXT_PLAIN, b"bye")
+        assert comm.process("pi1", msg, ctx(transport=sent.append)) == []
+        assert sent == [msg]
+        assert comm.sent == 1
+        assert comm.bytes_sent == msg.total_size()
+
+    def test_no_transport_counts_only(self):
+        comm = Communicator("t", COMMUNICATOR_DEF)
+        comm.process("pi2", MimeMessage(TEXT_PLAIN, b"x"), ctx())
+        assert comm.sent == 1
+
+    def test_terminal_definition(self):
+        assert COMMUNICATOR_DEF.outputs() == ()

@@ -1,0 +1,61 @@
+from repro.mcl.compiler import MclCompiler
+from repro.runtime.directory import StreamletDirectory
+from repro.streamlets import builtin_definitions, register_builtin_streamlets
+
+
+class TestRegistry:
+    def test_all_builtins_advertised(self):
+        directory = StreamletDirectory()
+        register_builtin_streamlets(directory)
+        expected = {
+            "redirector", "switch", "merge", "img_down_sample",
+            "map_to_16_grays", "gif2jpeg", "postscript2text",
+            "text_compress", "encryptor", "cache", "powerSaving",
+            "communicator", "aggregator", "customizer", "xml_streamer",
+        }
+        assert expected <= directory.names()
+
+    def test_idempotent(self):
+        directory = StreamletDirectory()
+        register_builtin_streamlets(directory)
+        register_builtin_streamlets(directory)  # must not raise
+
+    def test_definitions_match_names(self):
+        defs = builtin_definitions()
+        assert all(name == d.name for name, d in defs.items())
+
+    def test_mcl_can_compose_builtins(self):
+        """The section 4.3 distillation composition compiles end to end."""
+        directory = StreamletDirectory()
+        register_builtin_streamlets(directory)
+        compiler = MclCompiler(extra_streamlets=directory.definitions())
+        source = """
+stream distill{
+  streamlet s1 = new-streamlet (switch);
+  streamlet s2 = new-streamlet (img_down_sample);
+  streamlet s5 = new-streamlet (postscript2text);
+  streamlet s6 = new-streamlet (text_compress);
+  streamlet s7 = new-streamlet (merge);
+  connect (s1.po_img, s2.pi);
+  connect (s1.po_ps, s5.pi);
+  connect (s2.po, s7.pi1);
+  connect (s5.po, s6.pi);
+  connect (s6.po, s7.pi2);
+}
+"""
+        table = compiler.compile(source).tables["distill"]
+        assert len(table.links) == 5
+
+    def test_richtext_feeds_text_compressor(self):
+        """Section 4.4.1: text/richtext source into text sink is legal."""
+        directory = StreamletDirectory()
+        register_builtin_streamlets(directory)
+        compiler = MclCompiler(extra_streamlets=directory.definitions())
+        source = """
+stream tiny{
+  streamlet a = new-streamlet (postscript2text);
+  streamlet b = new-streamlet (text_compress);
+  connect (a.po, b.pi);
+}
+"""
+        assert compiler.compile(source).tables["tiny"].links

@@ -1,0 +1,152 @@
+"""Tests for the XML streaming service (streamer + client reassembly)."""
+
+import pytest
+
+from repro.codecs.sgml import Element, parse
+from repro.errors import CodecError
+from repro.mime.message import MimeMessage
+from repro.runtime.streamlet import StreamletContext
+from repro.streamlets.xmlstream import (
+    APPLICATION_XML,
+    SEQ_HEADER,
+    STREAM_HEADER,
+    XML_STREAMER_DEF,
+    XmlReassembly,
+    XmlStreamer,
+)
+
+
+def ctx(**params):
+    return StreamletContext("x", params=params)
+
+
+def sample_document(n_items=4):
+    doc = Element("catalog", {"version": "2", "lang": "en"})
+    for index in range(n_items):
+        doc.add(Element("item", {"id": str(index)}).add(f"item body {index}"))
+    return doc
+
+
+def as_message(document):
+    return MimeMessage(APPLICATION_XML, document.serialize().encode("utf-8"))
+
+
+class TestStreamer:
+    def test_splits_at_element_boundaries(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        emissions = streamer.process("pi", as_message(sample_document(4)), ctx())
+        assert len(emissions) == 4
+        for index, (port, fragment) in enumerate(emissions):
+            assert port == "po"
+            assert fragment.headers.get(SEQ_HEADER) == f"{index}/4"
+            assert fragment.headers.get(STREAM_HEADER) is not None
+
+    def test_fragments_share_stream_id(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        emissions = streamer.process("pi", as_message(sample_document(3)), ctx())
+        ids = {f.headers.get(STREAM_HEADER) for _, f in emissions}
+        assert len(ids) == 1
+
+    def test_distinct_documents_distinct_ids(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        a = streamer.process("pi", as_message(sample_document(2)), ctx())
+        b = streamer.process("pi", as_message(sample_document(2)), ctx())
+        assert a[0][1].headers.get(STREAM_HEADER) != b[0][1].headers.get(STREAM_HEADER)
+
+    def test_single_child_one_fragment(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        emissions = streamer.process("pi", as_message(sample_document(1)), ctx())
+        assert len(emissions) == 1
+
+    def test_element_payload_accepted(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        msg = MimeMessage(APPLICATION_XML, sample_document(2))
+        assert len(streamer.process("pi", msg, ctx())) == 2
+
+    def test_bad_payload_rejected(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        with pytest.raises(CodecError):
+            streamer.process("pi", MimeMessage(APPLICATION_XML, b"not xml <<"), ctx())
+
+
+class TestReassembly:
+    def roundtrip(self, document, *, order=None):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        emissions = streamer.process("pi", as_message(document), ctx())
+        fragments = [f for _, f in emissions]
+        if order is not None:
+            fragments = [fragments[i] for i in order]
+        assembly = XmlReassembly()
+        rebuilt = None
+        for fragment in fragments:
+            result = assembly.add(fragment)
+            if result is not None:
+                rebuilt = result
+        assert rebuilt is not None
+        assert assembly.pending_streams == 0
+        return parse(rebuilt.body.decode("utf-8"))
+
+    def test_in_order(self):
+        doc = sample_document(4)
+        assert self.roundtrip(doc) == doc
+
+    def test_out_of_order(self):
+        doc = sample_document(4)
+        assert self.roundtrip(doc, order=[2, 0, 3, 1]) == doc
+
+    def test_root_attributes_survive(self):
+        doc = sample_document(2)
+        rebuilt = self.roundtrip(doc)
+        assert rebuilt.attrs == {"version": "2", "lang": "en"}
+
+    def test_interleaved_streams(self):
+        streamer = XmlStreamer("x", XML_STREAMER_DEF)
+        doc_a, doc_b = sample_document(2), sample_document(3)
+        frags_a = [f for _, f in streamer.process("pi", as_message(doc_a), ctx())]
+        frags_b = [f for _, f in streamer.process("pi", as_message(doc_b), ctx())]
+        assembly = XmlReassembly()
+        outs = []
+        for fragment in [frags_a[0], frags_b[0], frags_b[1], frags_a[1], frags_b[2]]:
+            result = assembly.add(fragment)
+            if result is not None:
+                outs.append(parse(result.body.decode("utf-8")))
+        assert outs == [doc_a, doc_b]
+
+    def test_missing_header_rejected(self):
+        assembly = XmlReassembly()
+        with pytest.raises(CodecError):
+            assembly.add(MimeMessage(APPLICATION_XML, b"<x/>"))
+
+    def test_non_envelope_rejected(self):
+        assembly = XmlReassembly()
+        msg = MimeMessage(APPLICATION_XML, b"<notenvelope/>")
+        msg.headers.set(STREAM_HEADER, "s1")
+        with pytest.raises(CodecError):
+            assembly.add(msg)
+
+
+class TestThroughTheClient:
+    def test_full_pipeline_with_peer(self):
+        """Server streams; the client's peer rebuilds transparently."""
+        from repro.apps import build_server
+        from repro.client.client import MobiGateClient
+        from repro.runtime.scheduler import InlineScheduler
+
+        server = build_server()
+        stream = server.deploy_script("""
+main stream xmlpipe{
+  streamlet xs = new-streamlet (xml_streamer);
+}
+""")
+        scheduler = InlineScheduler(stream)
+        client = MobiGateClient()
+        doc = sample_document(5)
+        stream.post(as_message(doc))
+        scheduler.pump()
+        fragments = stream.collect()
+        assert len(fragments) == 5
+        delivered = []
+        for fragment in fragments:
+            delivered.extend(client.receive(fragment))
+        assert len(delivered) == 1  # fragments absorbed until complete
+        assert parse(delivered[0].body.decode("utf-8")) == doc

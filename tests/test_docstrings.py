@@ -1,0 +1,95 @@
+"""Documentation gate: every public item in ``repro`` carries a docstring.
+
+Walks the package, imports every module, and checks modules, public
+classes, public functions, and public methods defined in this codebase.
+Dataclass-generated members and dunder methods are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_EXEMPT_METHODS = {
+    # object protocol / generated members that need no prose
+    "__init__", "__post_init__",
+}
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_documented(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+def _public_classes(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) and obj.__module__ == module.__name__:
+            yield name, obj
+
+
+def _public_functions(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isfunction(obj) and obj.__module__ == module.__name__:
+            yield name, obj
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_documented(module):
+    undocumented = [
+        f"{module.__name__}.{name}"
+        for name, cls in _public_classes(module)
+        if not (cls.__doc__ and cls.__doc__.strip())
+    ]
+    assert not undocumented, f"classes lacking docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_functions_documented(module):
+    undocumented = [
+        f"{module.__name__}.{name}"
+        for name, fn in _public_functions(module)
+        if not (fn.__doc__ and fn.__doc__.strip())
+    ]
+    assert not undocumented, f"functions lacking docstrings: {undocumented}"
+
+
+def _inherits_doc(cls, name) -> bool:
+    """True when a base class documents the same method (override)."""
+    for base in cls.__mro__[1:]:
+        member = base.__dict__.get(name)
+        if member is not None and (getattr(member, "__doc__", None) or "").strip():
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    undocumented = []
+    for cls_name, cls in _public_classes(module):
+        for name, member in vars(cls).items():
+            if name.startswith("_") or name in _EXEMPT_METHODS:
+                continue
+            if not inspect.isfunction(member):
+                continue
+            doc = member.__doc__
+            if not (doc and doc.strip()) and not _inherits_doc(cls, name):
+                undocumented.append(f"{module.__name__}.{cls_name}.{name}")
+    assert not undocumented, f"methods lacking docstrings: {undocumented}"

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.util.clock import VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == 1.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_to_future(self):
+        clock = VirtualClock(1.0)
+        assert clock.advance_to(4.0) == 4.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(5.0)
+        assert clock.advance_to(2.0) == 5.0
+        assert clock.now() == 5.0
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_elapses(self):
+        clock = WallClock()
+        start = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - start >= 0.009
+
+    def test_sleep_zero_returns(self):
+        WallClock().sleep(0)  # must not raise or hang

@@ -1,0 +1,52 @@
+import threading
+
+import pytest
+
+from repro.util.ids import IdGenerator, session_id
+
+
+class TestIdGenerator:
+    def test_sequential(self):
+        gen = IdGenerator("msg")
+        assert gen.next() == "msg-0"
+        assert gen.next() == "msg-1"
+
+    def test_prefix_property(self):
+        assert IdGenerator("x").prefix == "x"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator("")
+
+    def test_independent_generators(self):
+        a, b = IdGenerator("a"), IdGenerator("b")
+        a.next()
+        assert b.next() == "b-0"
+
+    def test_iterable(self):
+        gen = IdGenerator("it")
+        it = iter(gen)
+        assert [next(it) for _ in range(3)] == ["it-0", "it-1", "it-2"]
+
+    def test_thread_safety_no_duplicates(self):
+        gen = IdGenerator("t")
+        results: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next() for _ in range(200)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == len(set(results)) == 1600
+
+
+def test_session_ids_unique():
+    ids = {session_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(s.startswith("sess-") for s in ids)

@@ -1,0 +1,84 @@
+import math
+import statistics
+
+import pytest
+
+from repro.util.stats import RunningStats, Timer, percentile
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(4.0)
+        assert s.mean == 4.0
+        assert s.minimum == s.maximum == 4.0
+        assert math.isnan(s.variance)
+
+    def test_matches_statistics_module(self):
+        data = [1.5, 2.0, -3.0, 8.25, 0.0, 4.5]
+        s = RunningStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(statistics.fmean(data))
+        assert s.variance == pytest.approx(statistics.variance(data))
+        assert s.stdev == pytest.approx(statistics.stdev(data))
+        assert s.minimum == min(data)
+        assert s.maximum == max(data)
+
+    def test_merge_equals_single_stream(self):
+        left, right, whole = RunningStats(), RunningStats(), RunningStats()
+        data_a, data_b = [1.0, 2.0, 3.0], [10.0, -5.0]
+        left.extend(data_a)
+        right.extend(data_b)
+        whole.extend(data_a + data_b)
+        merged = left.merge(right)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.variance == pytest.approx(whole.variance)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_with_empty(self):
+        s = RunningStats()
+        s.extend([1.0, 2.0])
+        merged = s.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        import time
+
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_extremes(self):
+        data = [1.0, 5.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0

@@ -1,0 +1,118 @@
+import pytest
+
+from repro.codecs.psdoc import PsDocument
+from repro.codecs.textcodec import TextCodec
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WebWorkload,
+    synthetic_image_message,
+    synthetic_ps_document,
+    synthetic_ps_message,
+    synthetic_text,
+    synthetic_text_message,
+    web_page_message,
+)
+
+
+class TestSyntheticText:
+    def test_size_approximate(self):
+        data = synthetic_text(4096, seed=1)
+        assert len(data) == 4096
+
+    def test_empty(self):
+        assert synthetic_text(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthetic_text(-1)
+
+    def test_deterministic(self):
+        assert synthetic_text(1000, seed=5) == synthetic_text(1000, seed=5)
+
+    def test_seed_varies(self):
+        assert synthetic_text(1000, seed=1) != synthetic_text(1000, seed=2)
+
+    def test_compressible_like_web_text(self):
+        data = synthetic_text(16 * 1024, seed=9)
+        ratio = len(TextCodec().compress(data)) / len(data)
+        assert ratio < 0.4  # the economics behind the Text Compressor
+
+
+class TestMessages:
+    def test_text_message(self):
+        msg = synthetic_text_message(512, seed=2)
+        assert msg.content_type.essence == "text/plain"
+        assert msg.body_size() == 512
+
+    def test_image_message_decodable(self):
+        from repro.codecs.imagefmt import decode_gif
+
+        msg = synthetic_image_message(64, 48, seed=3)
+        assert msg.content_type.essence == "image/gif"
+        raster = decode_gif(msg.body)
+        assert (raster.width, raster.height) == (64, 48)
+
+    def test_ps_document_and_message(self):
+        doc = synthetic_ps_document(paragraphs=4, seed=4)
+        assert isinstance(doc, PsDocument)
+        assert len(doc.to_text()) > 0
+        assert doc.text_fraction() < 1.0
+        msg = synthetic_ps_message(4, seed=4)
+        assert msg.content_type.essence == "application/postscript"
+
+    def test_ps_paragraphs_validated(self):
+        with pytest.raises(WorkloadError):
+            synthetic_ps_document(0)
+
+    def test_web_page_structure(self):
+        page = web_page_message(n_images=3, text_bytes=1024, seed=5)
+        assert page.is_multipart
+        types = [p.content_type.maintype for p in page.parts]
+        assert types.count("text") == 1
+        assert types.count("image") == 3
+
+    def test_web_page_no_images(self):
+        page = web_page_message(n_images=0, text_bytes=256, seed=6)
+        assert len(page.parts) == 1
+
+    def test_web_page_validation(self):
+        with pytest.raises(WorkloadError):
+            web_page_message(n_images=-1)
+
+
+class TestWebWorkload:
+    def test_count_and_mix(self):
+        workload = WebWorkload(image_fraction=0.5, seed=7)
+        messages = list(workload.messages(40))
+        assert len(messages) == 40
+        images = sum(1 for m in messages if m.content_type.maintype == "image")
+        assert 8 <= images <= 32  # loose binomial bounds
+
+    def test_deterministic(self):
+        a = [m.body for m in WebWorkload(seed=8).messages(10)]
+        b = [m.body for m in WebWorkload(seed=8).messages(10)]
+        assert a == b
+
+    def test_all_text(self):
+        messages = list(WebWorkload(image_fraction=0.0, seed=9).messages(10))
+        assert all(m.content_type.maintype == "text" for m in messages)
+
+    def test_all_images(self):
+        messages = list(WebWorkload(image_fraction=1.0, seed=10).messages(5))
+        assert all(m.content_type.maintype == "image" for m in messages)
+
+    def test_total_bytes(self):
+        workload = WebWorkload(seed=11)
+        assert workload.total_bytes(5) == sum(
+            m.total_size() for m in workload.messages(5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WebWorkload(image_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WebWorkload(text_bytes_range=(100, 50))
+        with pytest.raises(WorkloadError):
+            WebWorkload(image_size_range=(4, 2))
+        with pytest.raises(WorkloadError):
+            list(WebWorkload().messages(-1))
