@@ -2,9 +2,16 @@
 
 Usage::
 
-    python -m repro.bench            # everything (a few minutes)
-    python -m repro.bench fig7_2     # one artifact
-    python -m repro.bench --quick    # reduced sweeps for smoke runs
+    python -m repro.bench             # everything (a few minutes)
+    python -m repro.bench fig7_2      # one artifact
+    python -m repro.bench telemetry   # observer overhead (enabled vs no-op)
+    python -m repro.bench --quick     # reduced sweeps for smoke runs
+    python -m repro.bench --no-json   # skip the BENCH_*.json artifacts
+
+Besides the human-readable tables, each target writes a machine-readable
+``BENCH_<target>.json`` (strict JSON, one file per target) into
+``$REPRO_BENCH_DIR`` or the working directory — see
+``repro.bench.reporting.write_bench_json``.
 """
 
 from __future__ import annotations
@@ -21,22 +28,48 @@ from repro.bench.fig7_2 import run_fig7_2
 from repro.bench.fig7_3 import run_fig7_3
 from repro.bench.fig7_6 import run_fig7_6
 from repro.bench.fig7_7 import run_fig7_7
+from repro.bench.reporting import write_bench_json
+from repro.bench.telemetry_overhead import run_telemetry_overhead
+
+ALL_TARGETS = (
+    "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
+    "adaptivity", "telemetry",
+)
 
 
 def main(argv: list[str]) -> int:
+    """Run the selected bench targets; print tables and write JSON."""
     quick = "--quick" in argv
-    targets = [a for a in argv if not a.startswith("-")] or [
-        "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp", "adaptivity",
-    ]
+    json_out = "--no-json" not in argv
+    targets = [a for a in argv if not a.startswith("-")] or list(ALL_TARGETS)
+    unknown = sorted(set(targets) - set(ALL_TARGETS))
+    if unknown:
+        print(
+            f"unknown target(s): {', '.join(unknown)} "
+            f"(choose from: {', '.join(ALL_TARGETS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    def emit(target: str, payload: object) -> None:
+        if json_out:
+            path = write_bench_json(target, payload)
+            print(f"[bench] wrote {path}")
+
     if "fig7_2" in targets:
         result = run_fig7_2(repeats=5 if quick else 30)
         result.print()
+        emit("fig7_2", result)
     if "fig7_3" in targets:
         sizes = (10, 100, 400) if quick else (10, 50, 100, 200, 400, 800)
-        run_fig7_3(sizes, repeats=2 if quick else 5).print()
+        result = run_fig7_3(sizes, repeats=2 if quick else 5)
+        result.print()
+        emit("fig7_3", result)
     if "fig7_6" in targets:
         counts = (1, 10, 50) if quick else (1, 5, 10, 20, 50, 100)
-        run_fig7_6(counts, repeats=2 if quick else 5).print()
+        result = run_fig7_6(counts, repeats=2 if quick else 5)
+        result.print()
+        emit("fig7_6", result)
     if "fig7_7" in targets:
         bandwidths = (
             tuple(k * 1000.0 for k in (20, 100, 500, 2000)) if quick else None
@@ -47,11 +80,17 @@ def main(argv: list[str]) -> int:
         else:
             result = run_fig7_7(**kwargs)
         result.print()
+        emit("fig7_7", result)
     if "ablations" in targets:
-        run_pooling_ablation((5, 10) if quick else (5, 10, 20, 40)).print()
-        run_channel_ablation(2000 if quick else 10_000).print()
-        run_scheduler_ablation(n_messages=20 if quick else 100).print()
-        run_compile_ablation((5, 20, 50) if quick else (5, 20, 50, 100, 200)).print()
+        ablations = {
+            "pooling": run_pooling_ablation((5, 10) if quick else (5, 10, 20, 40)),
+            "channel": run_channel_ablation(2000 if quick else 10_000),
+            "scheduler": run_scheduler_ablation(n_messages=20 if quick else 100),
+            "compile": run_compile_ablation((5, 20, 50) if quick else (5, 20, 50, 100, 200)),
+        }
+        for ablation in ablations.values():
+            ablation.print()
+        emit("ablations", ablations)
     if "wtcp" in targets:
         from repro.bench.reporting import print_series
         from repro.netsim.wtcp import run_wtcp
@@ -71,10 +110,17 @@ def main(argv: list[str]) -> int:
             ["loss", "plain", "snoop", "split"],
             rows,
         )
+        emit("wtcp", {"headers": ["loss", "plain", "snoop", "split"], "rows": rows})
     if "adaptivity" in targets:
         from repro.bench.adaptivity import run_adaptivity
 
-        run_adaptivity(n_messages=20 if quick else 50).print()
+        result = run_adaptivity(n_messages=20 if quick else 50)
+        result.print()
+        emit("adaptivity", result)
+    if "telemetry" in targets:
+        result = run_telemetry_overhead(rounds=10 if quick else 40)
+        result.print()
+        emit("telemetry", result)
     return 0
 
 

@@ -99,8 +99,9 @@ def run_cell(
         server.events,
         low_threshold_bps=COMPRESSOR_THRESHOLD_BPS,
         fire_initial=True,  # a run that *starts* slow adapts immediately
+        telemetry=server.telemetry,
     )
-    client = MobiGateClient()
+    client = MobiGateClient(telemetry=server.telemetry)
     emulator = EndToEndEmulator(stream, link, client, monitor=monitor)
     workload = list(WebWorkload(seed=seed, image_fraction=image_fraction).messages(n_messages))
     mobigate = emulator.run(workload)

@@ -1,8 +1,21 @@
-"""Plain-text tables and series for experiment output."""
+"""Experiment output: plain-text tables plus machine-readable JSON.
+
+The tables are for eyeballs; :func:`write_bench_json` is for tooling — one
+``BENCH_<name>.json`` per run, strict JSON (non-finite floats become
+``null``), written to ``$REPRO_BENCH_DIR`` when set and the working
+directory otherwise, so CI can diff runs without scraping stdout.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import math
+import os
 from collections.abc import Sequence
+from pathlib import Path
+
+from repro.util.stats import RunningStats
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -30,3 +43,60 @@ def print_series(title: str, headers: Sequence[str], rows: Sequence[Sequence[obj
     """Print a titled fixed-width table."""
     print(f"\n== {title} ==")
     print(format_table(headers, rows))
+
+
+def jsonable(value: object) -> object:
+    """Coerce an arbitrary result object into strict-JSON-safe types.
+
+    Handles the shapes bench results are made of: dataclasses (including
+    nested ones), tuples/lists/sets, dicts, :class:`RunningStats`, numpy
+    scalars/arrays (anything with ``tolist``/``item``), and non-finite
+    floats (→ ``null``, since strict JSON has no NaN/Infinity).  Unknown
+    objects fall back to ``str()`` so a new result field can never make a
+    bench run crash at the write-out step.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, RunningStats):
+        return {
+            "count": value.count,
+            "mean": jsonable(value.mean),
+            "stdev": jsonable(value.stdev),
+            "min": jsonable(value.minimum),
+            "max": jsonable(value.maximum),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy arrays
+        return jsonable(value.tolist())
+    if hasattr(value, "item"):  # numpy scalars
+        return jsonable(value.item())
+    return str(value)
+
+
+def bench_output_dir() -> Path:
+    """Where bench JSON lands: ``$REPRO_BENCH_DIR`` or the working directory."""
+    return Path(os.environ.get("REPRO_BENCH_DIR") or ".")
+
+
+def write_bench_json(name: str, payload: object, directory: Path | str | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` goes through :func:`jsonable` first, so result dataclasses
+    can be passed as-is.
+    """
+    target = Path(directory) if directory is not None else bench_output_dir()
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    text = json.dumps(jsonable(payload), indent=2, sort_keys=True, allow_nan=False)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

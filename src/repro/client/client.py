@@ -13,19 +13,32 @@ from repro.client.client_pool import ClientStreamletPool
 from repro.client.distributor import MessageDistributor
 from repro.client.peers import PeerStreamlet
 from repro.mime.message import MimeMessage
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class MobiGateClient:
-    """The mobile-host side: receive, reverse-process, deliver."""
+    """The mobile-host side: receive, reverse-process, deliver.
+
+    Pass the server's :class:`~repro.telemetry.Telemetry` facade to join
+    client-side peer spans onto the traces the server started (the
+    ``Content-Trace`` header survives the wire) and to count received
+    messages/bytes in the same registry.
+    """
 
     def __init__(
         self,
         *,
         pool: ClientStreamletPool | None = None,
         on_deliver: Callable[[MimeMessage], None] | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.pool = pool if pool is not None else ClientStreamletPool()
-        self.distributor = MessageDistributor(self.pool)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.distributor = MessageDistributor(self.pool, telemetry=self.telemetry)
+        if self.telemetry.enabled:
+            self._msg_counter, self._byte_counter = self.telemetry.client_counters()
+        else:
+            self._msg_counter = self._byte_counter = None
         self._on_deliver = on_deliver
         self.delivered: list[MimeMessage] = []
         self.bytes_received = 0
@@ -36,7 +49,11 @@ class MobiGateClient:
 
     def receive(self, message: MimeMessage) -> list[MimeMessage]:
         """Process one message off the link; returns app-level messages."""
-        self.bytes_received += message.total_size()
+        size = message.total_size()
+        self.bytes_received += size
+        if self._msg_counter is not None:
+            self._msg_counter.inc()
+            self._byte_counter.inc(size)
         results = self.distributor.distribute(message)
         self.delivered.extend(results)
         if self._on_deliver is not None:

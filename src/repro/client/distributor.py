@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Callable
 
 from repro.client.client_pool import ClientStreamletPool
 from repro.errors import DistributorError
 from repro.mime.message import MimeMessage
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 Delivery = Callable[[MimeMessage], None]
 
@@ -28,8 +30,9 @@ Delivery = Callable[[MimeMessage], None]
 class MessageDistributor:
     """Reverse-process messages through their peer stacks."""
 
-    def __init__(self, pool: ClientStreamletPool):
+    def __init__(self, pool: ClientStreamletPool, *, telemetry: Telemetry | None = None):
         self._pool = pool
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._inbound: queue.Queue[MimeMessage | None] = queue.Queue()
         self._workers: list[threading.Thread] = []
         self._delivery: Delivery | None = None
@@ -49,13 +52,19 @@ class MessageDistributor:
         return out
 
     def _process(self, message: MimeMessage, out: list[MimeMessage]) -> None:
+        tm = self._telemetry
         while True:
             peer_id = message.headers.pop_peer()
             if peer_id is None:
                 out.append(message)
                 return
             peer = self._pool.acquire(peer_id)
-            results = peer.reverse(message)
+            if tm.enabled:
+                t0 = time.perf_counter()
+                results = peer.reverse(message)
+                tm.peer_hop(peer_id, message, results, time.perf_counter() - t0)
+            else:
+                results = peer.reverse(message)
             if len(results) == 1 and results[0] is message:
                 continue  # transformed in place; keep unwinding its stack
             for result in results:

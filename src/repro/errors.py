@@ -162,6 +162,15 @@ class DistributorError(ClientError):
 
 
 # ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class TelemetryError(MobiGateError):
+    """Invalid metric registration or use of the telemetry subsystem."""
+
+
+# ---------------------------------------------------------------------------
 # Codecs / network emulation
 # ---------------------------------------------------------------------------
 

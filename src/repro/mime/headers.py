@@ -9,6 +9,12 @@ The thesis uses two MIME-extension headers:
   order so transformations are undone inside-out.  We name it
   ``X-MobiGATE-Peers``.
 
+This reproduction adds one more extension field, ``Content-Trace``: the
+telemetry subsystem's trace context (``trace-id;parent-span-id``).  It
+rides the message through every hop and across the wire, so the client's
+peer spans join the same trace the server started (see
+``docs/observability.md``).
+
 Header names are case-insensitive; insertion order is preserved so
 ``format()`` round-trips.
 """
@@ -24,8 +30,10 @@ CONTENT_TYPE = "Content-Type"
 CONTENT_SESSION = "Content-Session"
 CONTENT_LENGTH = "Content-Length"
 PEER_STACK = "X-MobiGATE-Peers"
+CONTENT_TRACE = "Content-Trace"
 
 _PEER_SEPARATOR = ","
+_TRACE_SEPARATOR = ";"
 
 
 class HeaderMap:
@@ -117,6 +125,26 @@ class HeaderMap:
     @session.setter
     def session(self, value: str) -> None:
         self.set(CONTENT_SESSION, value)
+
+    # -- trace context (telemetry extension) ----------------------------------------
+
+    def set_trace(self, trace_id: str, parent_id: str | None = None) -> None:
+        """Record the telemetry trace context (``trace-id;parent-span``)."""
+        if not trace_id or _TRACE_SEPARATOR in trace_id:
+            raise HeaderError(f"illegal trace id {trace_id!r}")
+        if parent_id:
+            self.set(CONTENT_TRACE, f"{trace_id}{_TRACE_SEPARATOR}{parent_id}")
+        else:
+            self.set(CONTENT_TRACE, trace_id)
+
+    @property
+    def trace_context(self) -> tuple[str, str | None] | None:
+        """``(trace_id, parent_span_id)`` from ``Content-Trace``, or None."""
+        raw = self.get(CONTENT_TRACE)
+        if raw is None:
+            return None
+        trace_id, _, parent = raw.partition(_TRACE_SEPARATOR)
+        return trace_id, parent or None
 
     # -- peer streamlet stack (section 6.5) ---------------------------------------
 

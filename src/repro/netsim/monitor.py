@@ -17,10 +17,17 @@ from repro.errors import NetSimError
 from repro.netsim.link import WirelessLink
 from repro.netsim.traces import BandwidthTrace
 from repro.runtime.events import EventManager
+from repro.telemetry import Telemetry
 
 
 class ContextMonitor:
-    """Threshold watcher with edge-triggered events."""
+    """Threshold watcher with edge-triggered events.
+
+    With a :class:`~repro.telemetry.Telemetry` facade attached, every
+    check publishes the observed bandwidth to a per-link gauge and every
+    raised edge increments a per-link event counter, so an export taken
+    mid-run shows what the adaptation machinery is reacting to.
+    """
 
     def __init__(
         self,
@@ -32,6 +39,7 @@ class ContextMonitor:
         trace: BandwidthTrace | None = None,
         source: str | None = None,
         fire_initial: bool = False,
+        telemetry: Telemetry | None = None,
     ):
         if low_threshold_bps <= 0:
             raise NetSimError("threshold must be positive")
@@ -48,6 +56,17 @@ class ContextMonitor:
         #: raises LOW_BANDWIDTH on the first check (not just on an edge)
         self._fire_initial_pending = fire_initial
         self.raised: list[tuple[float, str]] = []
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        self._bw_gauge = (
+            self._telemetry.link_bandwidth_gauge(source or "wireless")
+            if self._telemetry is not None
+            else None
+        )
+
+    def _count_edge(self, event: str) -> None:
+        """Publish one raised edge to the per-link event counter."""
+        if self._telemetry is not None:
+            self._telemetry.link_event_counter(self._source or "wireless", event).inc()
 
     @property
     def in_low_state(self) -> bool:
@@ -59,20 +78,25 @@ class ContextMonitor:
         if self._trace is not None:
             self._link.set_bandwidth(self._trace.value_at(t))
         bandwidth = self._link.bandwidth_bps
+        if self._bw_gauge is not None:
+            self._bw_gauge.set(bandwidth)
         if self._fire_initial_pending:
             self._fire_initial_pending = False
             if self._in_low_state:
                 self._events.raise_event("LOW_BANDWIDTH", source=self._source)
                 self.raised.append((t, "LOW_BANDWIDTH"))
+                self._count_edge("LOW_BANDWIDTH")
                 return "LOW_BANDWIDTH"
         if not self._in_low_state and bandwidth < self._low * (1 - self._hysteresis):
             self._in_low_state = True
             self._events.raise_event("LOW_BANDWIDTH", source=self._source)
             self.raised.append((t, "LOW_BANDWIDTH"))
+            self._count_edge("LOW_BANDWIDTH")
             return "LOW_BANDWIDTH"
         if self._in_low_state and bandwidth >= self._low * (1 + self._hysteresis):
             self._in_low_state = False
             self._events.raise_event("HIGH_BANDWIDTH", source=self._source)
             self.raised.append((t, "HIGH_BANDWIDTH"))
+            self._count_edge("HIGH_BANDWIDTH")
             return "HIGH_BANDWIDTH"
         return None

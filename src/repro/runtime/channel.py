@@ -21,17 +21,38 @@ real blocking.
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
 from repro.errors import ChannelError
 from repro.mcl import astnodes as ast
 from repro.runtime.message_queue import MessageQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import NullStreamTelemetry, StreamTelemetry
 
 
 class Channel:
     """One producer-port → consumer-port carrier."""
 
-    def __init__(self, name: str, definition: ast.ChannelDef, *, drop_timeout: float = 0.0):
+    def __init__(
+        self,
+        name: str,
+        definition: ast.ChannelDef,
+        *,
+        drop_timeout: float = 0.0,
+        telemetry: "StreamTelemetry | NullStreamTelemetry | None" = None,
+    ):
         self.name = name
         self.definition = definition
+        # queue-wait observation: enabled streams bind their telemetry so
+        # post/fetch can sample how long ids sit in this queue
+        if telemetry is not None and telemetry.enabled:
+            self._tm = telemetry
+            self._wait_hist = telemetry.channel_wait_histogram(name)
+        else:
+            self._tm = None
+            self._wait_hist = None
         if definition.sync is ast.ChannelSync.SYNC or definition.category is ast.ChannelCategory.S:
             # zero-length buffer, realised as a single rendezvous slot; the
             # S category *guarantees* no pending units, so it gets the same
@@ -128,12 +149,29 @@ class Channel:
     # -- transfer ------------------------------------------------------------------
 
     def post(self, msg_id: str, size: int, *, timeout: float | None = None) -> bool:
-        """Enqueue a message id; False if dropped (Figure 6-9 policy)."""
-        return self.queue.post_message(msg_id, size, timeout=timeout)
+        """Enqueue a message id; False if dropped (Figure 6-9 policy).
+
+        Queue-wait sampling is inlined (no telemetry method call): only ids
+        the stream marked as traced get a timestamp, so untraced traffic
+        pays a single set lookup here.
+        """
+        posted = self.queue.post_message(msg_id, size, timeout=timeout)
+        if posted:
+            tm = self._tm
+            if tm is not None and msg_id in tm.traced_ids:
+                tm.enqueued[msg_id] = time.perf_counter()
+        return posted
 
     def fetch(self, timeout: float | None = 0.0) -> str | None:
         """Dequeue the oldest message id, or None."""
-        return self.queue.fetch_message(timeout)
+        msg_id = self.queue.fetch_message(timeout)
+        if msg_id is not None:
+            tm = self._tm
+            if tm is not None and tm.enqueued:
+                started = tm.enqueued.pop(msg_id, None)
+                if started is not None:
+                    self._wait_hist.observe(time.perf_counter() - started)
+        return msg_id
 
     def pending(self) -> int:
         """Messages currently queued."""

@@ -17,6 +17,7 @@ from repro.runtime.events import EventManager
 from repro.runtime.message_pool import MessagePool, PassMode
 from repro.runtime.stream import RuntimeStream
 from repro.runtime.streamlet_manager import StreamletManager
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.util.clock import Clock, WallClock
 from repro.util.ids import IdGenerator
 
@@ -24,14 +25,17 @@ from repro.util.ids import IdGenerator
 class _StreamSubscriber:
     """Adapter presenting a RuntimeStream to the Event Manager."""
 
-    def __init__(self, stream: RuntimeStream):
+    def __init__(self, stream: RuntimeStream, counter=None):
         self.stream = stream
+        self._counter = counter
 
     @property
     def name(self) -> str:
         return self.stream.name
 
     def on_event(self, event: ContextEvent) -> None:
+        if self._counter is not None:
+            self._counter.inc()
         self.stream.on_event(event)
 
 
@@ -47,6 +51,7 @@ class CoordinationManager:
         clock: Clock | None = None,
         pass_mode: PassMode = PassMode.REFERENCE,
         drop_timeout: float = 0.0,
+        telemetry: Telemetry | None = None,
     ):
         self._manager = manager
         self._events = events
@@ -54,6 +59,7 @@ class CoordinationManager:
         self._clock = clock if clock is not None else WallClock()
         self._pass_mode = pass_mode
         self._drop_timeout = drop_timeout
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._streams: dict[str, RuntimeStream] = {}
         self._subscriptions: dict[str, list[tuple[EventCategory, _StreamSubscriber]]] = {}
         self._sessions = IdGenerator("sess")
@@ -69,14 +75,20 @@ class CoordinationManager:
         """
         if table.stream_name in self._streams:
             raise CompositionError(f"stream {table.stream_name!r} already deployed")
+        pool_gauge = (
+            self._telemetry.pool_gauge(table.stream_name)
+            if self._telemetry.enabled
+            else None
+        )
         stream = RuntimeStream(
             table,
             self._manager,
-            pool=MessagePool(self._pass_mode),
+            pool=MessagePool(self._pass_mode, gauge=pool_gauge),
             registry=self._registry,
             clock=self._clock,
             session=self._sessions.next(),
             drop_timeout=self._drop_timeout,
+            telemetry=self._telemetry,
         )
         self._streams[stream.name] = stream
         self._subscribe_stream(stream)
@@ -97,7 +109,12 @@ class CoordinationManager:
         / END have built-in runtime behaviour (section 6.4) regardless of
         what the script declares.
         """
-        subscriber = _StreamSubscriber(stream)
+        counter = (
+            self._telemetry.event_counter(stream.name)
+            if self._telemetry.enabled
+            else None
+        )
+        subscriber = _StreamSubscriber(stream, counter)
         categories: set[EventCategory] = {EventCategory.SYSTEM_COMMAND}
         for event_name in stream.table.handlers:
             categories.add(self._events.catalog.category_of(event_name))

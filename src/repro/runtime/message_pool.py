@@ -27,13 +27,18 @@ class PassMode(Enum):
 
 
 class MessagePool:
-    """id → message store with attach/release accounting."""
+    """id → message store with attach/release accounting.
 
-    def __init__(self, mode: PassMode = PassMode.REFERENCE):
+    ``gauge`` (a :class:`repro.telemetry.Gauge`, optional) tracks the
+    resident-message count so exports show pool pressure live.
+    """
+
+    def __init__(self, mode: PassMode = PassMode.REFERENCE, *, gauge=None):
         self._mode = mode
         self._messages: dict[str, MimeMessage] = {}
         self._ids = IdGenerator("msg")
         self._lock = threading.Lock()
+        self._gauge = gauge
         # observability
         self.admitted = 0
         self.released = 0
@@ -49,6 +54,8 @@ class MessagePool:
         with self._lock:
             self._messages[msg_id] = message
             self.admitted += 1
+            if self._gauge is not None:
+                self._gauge.value = float(len(self._messages))
         return msg_id
 
     def checkout(self, msg_id: str) -> MimeMessage:
@@ -104,6 +111,8 @@ class MessagePool:
                     f"double release or unknown message id {msg_id!r}"
                 ) from None
             self.released += 1
+            if self._gauge is not None:
+                self._gauge.value = float(len(self._messages))
             return message
 
     def __len__(self) -> int:

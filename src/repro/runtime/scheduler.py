@@ -24,9 +24,14 @@ import threading
 import time
 
 from repro.errors import QueueClosedError
+from repro.mime.headers import CONTENT_TRACE
 from repro.runtime.channel import Channel
 from repro.runtime.stream import RuntimeStream, _Node
 from repro.runtime.streamlet import StreamletState
+
+#: canonical HeaderMap key for Content-Trace — probed directly against the
+#: header dict on the hot path, sparing a method call + lower() per hop
+_TRACE_KEY = CONTENT_TRACE.lower()
 
 
 #: a post that found its queue full while the topology lock was held;
@@ -57,11 +62,21 @@ def _process_message(
     stream: RuntimeStream, name: str, node: _Node, port: str, msg_id: str,
     stalled: list[_Stalled] | None = None,
 ) -> int:
+    tm = stream.tm
+    timed = tm.enabled
+    if timed:
+        t0 = time.perf_counter()
     message = stream.pool.checkout(msg_id)
     node.ctx.session = message.session
     try:
         emissions = node.streamlet.process(port, message, node.ctx)
     except Exception as exc:  # fault containment: one bad message must not
+        if timed:
+            duration = time.perf_counter() - t0
+            node.hop_hist.observe(duration)
+            entry = message.headers._fields.get(_TRACE_KEY)
+            if entry is not None:
+                tm.hop_span(name, entry[1], message, None, duration, failed=True)
         stream.pool.release(msg_id)  # take the stream down (section 3.3.5)
         stream.stats.processing_failures += 1
         if stream.failure_hook is not None:
@@ -69,6 +84,15 @@ def _process_message(
         return 1
     node.streamlet.processed += 1
     stream.stats.processed += 1
+    if timed:
+        # span before any post: once an emission is enqueued a concurrent
+        # consumer may read its headers, so the trace context (the parent
+        # advance) must be in place first
+        duration = time.perf_counter() - t0
+        node.hop_hist.observe(duration)
+        entry = message.headers._fields.get(_TRACE_KEY)
+        if entry is not None:
+            tm.hop_span(name, entry[1], message, emissions, duration)
     if not emissions:
         stream.pool.release(msg_id)  # absorbed (cache hit, filter, ...)
         return 1

@@ -29,11 +29,19 @@ from repro.runtime.message_pool import PassMode
 from repro.runtime.stream import RuntimeStream
 from repro.runtime.streamlet_manager import StreamletManager
 from repro.semantics import verify
+from repro.telemetry import Telemetry
 from repro.util.clock import Clock, WallClock
 
 
 class MobiGateServer:
-    """Everything in Figure 3-2, behind one object."""
+    """Everything in Figure 3-2, behind one object.
+
+    Telemetry is **default-on**: unless a facade is passed, a fresh
+    :class:`~repro.telemetry.Telemetry` (backed by the process-wide metric
+    registry) observes every stream the server deploys.  Pass
+    ``telemetry=NULL_TELEMETRY`` to run unobserved (the benchmark
+    baseline).
+    """
 
     def __init__(
         self,
@@ -46,12 +54,16 @@ class MobiGateServer:
         drop_timeout: float = 0.0,
         verify_semantics: bool = True,
         terminal_definitions: frozenset[str] | set[str] = frozenset(),
+        telemetry: Telemetry | None = None,
     ):
         self.registry = registry if registry is not None else default_registry()
         self.catalog = catalog if catalog is not None else DEFAULT_CATALOG
         self.clock = clock if clock is not None else WallClock()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.directory = StreamletDirectory()
-        self.manager = StreamletManager(self.directory, pooling=pooling)
+        self.manager = StreamletManager(
+            self.directory, pooling=pooling, telemetry=self.telemetry
+        )
         self.events = EventManager(self.catalog)
         self.coordination = CoordinationManager(
             self.manager,
@@ -60,6 +72,7 @@ class MobiGateServer:
             clock=self.clock,
             pass_mode=pass_mode,
             drop_timeout=drop_timeout,
+            telemetry=self.telemetry,
         )
         self._verify = verify_semantics
         self._terminals = frozenset(terminal_definitions)

@@ -38,6 +38,7 @@ from repro.runtime.channel import Channel
 from repro.runtime.message_pool import MessagePool, PassMode
 from repro.runtime.streamlet import Streamlet, StreamletContext, StreamletState
 from repro.runtime.streamlet_manager import StreamletManager
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.util.clock import Clock, WallClock
 
 _INGRESS = "__ingress__"
@@ -64,6 +65,8 @@ class _Node:
     ctx: StreamletContext
     inputs: dict[str, Channel] = field(default_factory=dict)
     outputs: dict[str, Channel] = field(default_factory=dict)
+    #: hop-latency histogram pre-bound at creation (None when telemetry off)
+    hop_hist: object | None = None
 
 
 @dataclass
@@ -111,6 +114,7 @@ class RuntimeStream:
         clock: Clock | None = None,
         session: str | None = None,
         drop_timeout: float = 0.0,
+        telemetry: Telemetry | None = None,
     ):
         self.table = table
         self.name = table.stream_name
@@ -121,6 +125,12 @@ class RuntimeStream:
         self.session = session
         self._drop_timeout = drop_timeout
         self.stats = StreamStats()
+        #: per-stream telemetry hooks; the schedulers and channels key off
+        #: ``tm.enabled`` so the null twin costs one attribute read
+        self.tm = (telemetry if telemetry is not None else NULL_TELEMETRY).bind_stream(
+            table.stream_name
+        )
+        self.tm.attach_stats(self.stats)
         self.topology_lock = threading.RLock()
 
         self._nodes: dict[str, _Node] = {}
@@ -148,13 +158,14 @@ class RuntimeStream:
             self._create_node(name, definition)
         for name, entry in self.table.channels.items():
             self._channels[name] = Channel(
-                name, entry.definition, drop_timeout=self._drop_timeout
+                name, entry.definition, drop_timeout=self._drop_timeout, telemetry=self.tm
             )
         for link in self.table.links:
             self._wire(link.source, link.sink, self._channels[link.channel])
         for index, ref in enumerate(self.table.exposed_in):
             channel = Channel(
-                f"__in{index}", _EDGE_CHANNEL_DEF, drop_timeout=self._drop_timeout
+                f"__in{index}", _EDGE_CHANNEL_DEF,
+                drop_timeout=self._drop_timeout, telemetry=self.tm,
             )
             channel.attach_source(ast.PortRef(_INGRESS, f"i{index}"))
             channel.attach_sink(ref)
@@ -162,7 +173,8 @@ class RuntimeStream:
             self.ingress[str(ref)] = channel
         for index, ref in enumerate(self.table.exposed_out):
             channel = Channel(
-                f"__out{index}", _EDGE_CHANNEL_DEF, drop_timeout=self._drop_timeout
+                f"__out{index}", _EDGE_CHANNEL_DEF,
+                drop_timeout=self._drop_timeout, telemetry=self.tm,
             )
             channel.attach_source(ref)
             channel.attach_sink(ast.PortRef(_EGRESS, f"o{index}"))
@@ -172,7 +184,12 @@ class RuntimeStream:
     def _create_node(self, name: str, definition: ast.StreamletDef) -> _Node:
         streamlet = self._manager.acquire(name, definition)
         ctx = StreamletContext(instance_id=name, session=self.session)
-        node = _Node(streamlet=streamlet, definition=definition, ctx=ctx)
+        node = _Node(
+            streamlet=streamlet,
+            definition=definition,
+            ctx=ctx,
+            hop_hist=self.tm.hop_histogram(name),
+        )
         self._nodes[name] = node
         self._order_dirty = True
         return node
@@ -367,7 +384,10 @@ class RuntimeStream:
             raise CompositionError(f"no ingress port {key!r} on stream {self.name}") from None
         if self.session is not None and message.session is None:
             message.headers.session = self.session
+        traced = self.tm.enabled and self.tm.admit(message)  # sampled trace
         msg_id = self.pool.admit(message)
+        if traced:
+            self.tm.mark_traced(msg_id)  # before post: channels probe this
         if channel.post(msg_id, message.total_size()):
             self.stats.messages_in += 1
         else:
@@ -378,12 +398,15 @@ class RuntimeStream:
     def collect(self) -> list[MimeMessage]:
         """Drain every egress channel; returns delivered messages in order."""
         out: list[MimeMessage] = []
+        tm = self.tm if self.tm.enabled else None
         for _ref, channel in self.egress:
             while True:
                 msg_id = channel.fetch(0.0)
                 if msg_id is None:
                     break
                 out.append(self.pool.release(msg_id))
+                if tm is not None:
+                    tm.forget(msg_id)
                 self.stats.messages_out += 1
         return out
 
@@ -408,12 +431,16 @@ class RuntimeStream:
         definition = self.table.channel_defs.get(definition_name)
         if definition is None:
             raise CompositionError(f"unknown channel definition {definition_name!r}")
-        self._channels[name] = Channel(name, definition, drop_timeout=self._drop_timeout)
+        self._channels[name] = Channel(
+            name, definition, drop_timeout=self._drop_timeout, telemetry=self.tm
+        )
 
     def _auto_channel(self) -> Channel:
         name = f"__rt_auto{self._auto_counter}"
         self._auto_counter += 1
-        channel = Channel(name, DEFAULT_CHANNEL_DEF, drop_timeout=self._drop_timeout)
+        channel = Channel(
+            name, DEFAULT_CHANNEL_DEF, drop_timeout=self._drop_timeout, telemetry=self.tm
+        )
         self._channels[name] = channel
         return channel
 
@@ -704,6 +731,8 @@ class RuntimeStream:
         for msg_id in msg_ids:
             if msg_id in self.pool:
                 self.pool.release(msg_id)
+            if self.tm.enabled:
+                self.tm.forget(msg_id)
             self.stats.queue_drops += 1
 
     # -- event-driven reconfiguration (section 6.4 / 7.4) ---------------------------------------------------
@@ -719,8 +748,11 @@ class RuntimeStream:
         timing: ReconfigTiming | None = None
         actions = self.table.handlers.get(event.event_id)
         if actions is not None:
+            span = self.tm.reconfig_begin(event.event_id) if self.tm.enabled else None
             with self.topology_lock:
                 timing = self._execute_actions(actions)
+            if span is not None:
+                self.tm.reconfig_end(span, event.event_id, timing)
             self.stats.events_handled += 1
             self.last_reconfig = timing
         if event.event_id == "PAUSE":

@@ -23,11 +23,15 @@ class StreamletManager:
         *,
         pooling: bool = True,
         max_idle_per_definition: int = 32,
+        telemetry=None,
     ):
         self._directory = directory
         self._pooling = pooling
         self._max_idle = max_idle_per_definition
         self._pools: dict[str, InstancePool] = {}
+        # acquire() is deploy-time, not per-message, so counting through
+        # the telemetry facade here is free
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
         self.created = 0
 
     @property
@@ -54,8 +58,17 @@ class StreamletManager:
     def acquire(self, instance_id: str, definition: ast.StreamletDef) -> Streamlet:
         """An executable instance for ``definition``, pooled if stateless."""
         if self._pooling and definition.kind is ast.StreamletKind.STATELESS:
-            return self._pool_for(definition).acquire(instance_id)
+            pool = self._pool_for(definition)
+            hits_before = pool.hits
+            instance = pool.acquire(instance_id)
+            if self._telemetry is not None:
+                self._telemetry.streamlet_acquired(
+                    definition.name, pooled=pool.hits > hits_before
+                )
+            return instance
         self.created += 1
+        if self._telemetry is not None:
+            self._telemetry.streamlet_acquired(definition.name, pooled=False)
         factory = self._directory.factory_for(definition)
         return factory(instance_id, definition)
 

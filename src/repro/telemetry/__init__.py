@@ -1,0 +1,520 @@
+"""``repro.telemetry`` — end-to-end observability for the streamlet plane.
+
+The ROADMAP's north star ("heavy traffic ... as fast as the hardware
+allows") demands the system *measure before optimising*; the thesis's own
+evaluation is entirely about per-streamlet overhead, pass-mode cost, and
+reconfiguration latency.  This package makes those quantities first-class
+runtime observables instead of outside-the-box bench timings:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, and log-bucket
+  histograms behind a :class:`MetricsRegistry` (lock-free reads, one lock
+  per metric family);
+* :mod:`repro.telemetry.trace` — per-message spans that follow a message
+  through every streamlet hop, across the wireless link (via the
+  ``Content-Trace`` MIME extension header), and through the client's peer
+  chain;
+* :mod:`repro.telemetry.export` — JSON snapshots and Prometheus text
+  format, plus the ``python -m repro.telemetry`` CLI.
+
+The runtime talks to all of it through the :class:`Telemetry` facade,
+injected into :class:`~repro.runtime.server.MobiGateServer` (default-on).
+:class:`NullTelemetry` is the selectable no-op twin: every hook short-
+circuits on a single ``enabled`` attribute test and allocates nothing, so
+benchmarks can quantify the observer overhead (see
+``repro.bench.telemetry_overhead``).
+
+Hot-path discipline (a streamlet hop costs ~14 µs, so the observer budget
+is ~1 µs): stream counters are *not* incremented per message — the plain
+``StreamStats`` integers the runtime already keeps are mirrored into
+registry counters at export time (:meth:`Telemetry.flush`); per-hop
+latency histograms are pre-bound per instance and always on; spans are
+taken every ``trace_sample_interval``-th message (the first is always
+taken, so every run yields one complete trace); channel-wait samples
+follow the *traced* messages — channels check the traced-id set inline,
+so an untraced enqueue costs one set lookup and nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import TYPE_CHECKING
+
+from repro.mime.headers import CONTENT_TRACE
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    exponential_buckets,
+    global_registry,
+)
+from repro.telemetry.trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mime.message import MimeMessage
+    from repro.runtime.stream import ReconfigTiming, StreamStats
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullStreamTelemetry",
+    "NullTelemetry",
+    "Span",
+    "StreamTelemetry",
+    "Telemetry",
+    "Tracer",
+    "exponential_buckets",
+    "global_registry",
+]
+
+_TRACE_SEPARATOR = ";"
+
+#: StreamStats field -> (metric leaf, help text); the export-time mirror
+_STAT_COUNTERS = (
+    ("messages_in", "Messages admitted by post()"),
+    ("messages_out", "Messages drained at egress"),
+    ("processed", "Streamlet process() completions"),
+    ("queue_drops", "Messages dropped on a full queue"),
+    ("open_circuit_drops", "Emissions aimed at an unconnected port"),
+    ("processing_failures", "Messages whose process() raised"),
+    ("events_handled", "Context events that ran a when-handler"),
+)
+
+
+class StreamTelemetry:
+    """Per-stream hot-path hooks, with metric children pre-bound.
+
+    Built by :meth:`Telemetry.bind_stream`; the runtime keeps one per
+    :class:`~repro.runtime.stream.RuntimeStream` and the schedulers guard
+    every call site with a single ``if tm.enabled`` test, so the no-op
+    twin costs one attribute read per message.
+    """
+
+    __slots__ = (
+        "stream",
+        "_tracer",
+        "_interval",
+        "_trace_ticker",
+        "traced_ids",
+        "enqueued",
+        "_stats",
+        "_counters",
+        "_hop_family",
+        "_wait_family",
+        "_reconfig_family",
+    )
+
+    enabled = True
+
+    def __init__(self, telemetry: "Telemetry", stream: str):
+        registry = telemetry.registry
+        self.stream = stream
+        self._tracer = telemetry.tracer
+        self._interval = telemetry.trace_sample_interval
+        self._trace_ticker = itertools.count()
+        #: ids of in-flight messages picked for tracing; channels probe this
+        #: inline on post so untraced traffic pays one set lookup
+        self.traced_ids: set[str] = set()
+        #: msg id -> enqueue perf_counter() for traced ids awaiting a fetch
+        self.enqueued: dict[str, float] = {}
+        self._stats: "StreamStats | None" = None
+        self._counters: list[tuple[str, Counter]] = [
+            (
+                field,
+                registry.counter(
+                    f"mobigate_stream_{field}_total", help, labels=("stream",)
+                ).labels(stream),  # type: ignore[misc]
+            )
+            for field, help in _STAT_COUNTERS
+        ]
+        self._hop_family = registry.histogram(
+            "mobigate_hop_seconds",
+            "Per-streamlet processing latency (checkout + process + trace)",
+            labels=("stream", "instance"),
+        )
+        self._wait_family = registry.histogram(
+            "mobigate_channel_wait_seconds",
+            "Time a message id waited in a channel queue (sampled)",
+            labels=("stream", "channel"),
+        )
+        self._reconfig_family = registry.histogram(
+            "mobigate_reconfig_seconds",
+            "End-to-end duration of one reconfiguration epoch (Eq 7-1)",
+            labels=("stream", "event"),
+        )
+
+    # -- export-time counter mirror ---------------------------------------------
+
+    def attach_stats(self, stats: "StreamStats") -> None:
+        """Adopt the stream's plain-integer stats as the counter source."""
+        self._stats = stats
+
+    def flush(self) -> None:
+        """Mirror the attached ``StreamStats`` into the registry counters.
+
+        Counters are owned by this mirror, so a plain store is safe; the
+        hot path never touches them (the runtime increments bare ints).
+        """
+        stats = self._stats
+        if stats is None:
+            return
+        for field, counter in self._counters:
+            counter.value = getattr(stats, field)
+
+    # -- ingress --------------------------------------------------------------
+
+    def admit(self, message: "MimeMessage") -> bool:
+        """Sample the message into a trace: set its ``Content-Trace`` header.
+
+        Returns True when the message was picked, so the stream can mark
+        its pool id as traced (:meth:`mark_traced`) once the id exists.
+        """
+        if next(self._trace_ticker) % self._interval:
+            return False
+        trace_id = self._tracer.new_trace_id()
+        span = self._tracer.start_span(
+            "ingress", trace_id=trace_id, attrs={"stream": self.stream}
+        )
+        self._tracer.end_span(span)
+        message.headers.set_trace(trace_id, span.span_id)
+        return True
+
+    def mark_traced(self, msg_id: str) -> None:
+        """Flag a pool id as traced so channels record its queue waits."""
+        if len(self.traced_ids) > 512:  # leak guard: ids missed by forget()
+            self.traced_ids.clear()
+        self.traced_ids.add(msg_id)
+
+    def forget(self, msg_id: str) -> None:
+        """Drop the traced flag and any pending enqueue timestamp for an id."""
+        self.traced_ids.discard(msg_id)
+        if self.enqueued:
+            self.enqueued.pop(msg_id, None)
+
+    # -- streamlet hops ----------------------------------------------------------
+
+    def hop_histogram(self, instance: str) -> Histogram:
+        """The hop-latency histogram for one instance (bind once per node)."""
+        return self._hop_family.labels(self.stream, instance)  # type: ignore[return-value]
+
+    def hop_span(
+        self,
+        instance: str,
+        raw: str,
+        message: "MimeMessage",
+        emissions: list | None,
+        duration: float,
+        failed: bool = False,
+    ) -> None:
+        """Record the span of one traced hop and advance the trace context.
+
+        ``raw`` is the message's ``Content-Trace`` value the scheduler
+        already read; the header's parent span is advanced to this hop on
+        the processed message and on any emission that kept the same
+        headers, so the next hop parents correctly — including hops on the
+        far side of the wire.
+        """
+        trace_id, _, parent = raw.partition(_TRACE_SEPARATOR)
+        span = self._tracer.start_span(
+            f"hop:{instance}",
+            trace_id=trace_id,
+            parent_id=parent or None,
+            start=time.perf_counter() - duration,
+            attrs={"instance": instance},
+        )
+        if failed:
+            span.attrs["failed"] = True
+        self._tracer.end_span(span)
+        updated = f"{trace_id}{_TRACE_SEPARATOR}{span.span_id}"
+        message.headers.set(CONTENT_TRACE, updated)
+        if emissions:
+            for _port, out in emissions:
+                if out is not message and out.headers.get(CONTENT_TRACE) == raw:
+                    out.headers.set(CONTENT_TRACE, updated)
+
+    # -- channel waits -----------------------------------------------------------
+
+    def channel_wait_histogram(self, channel_name: str) -> Histogram:
+        """The wait histogram bound to one channel of this stream.
+
+        Channels record waits *inline* (probing :attr:`traced_ids` on post
+        and :attr:`enqueued` on fetch) rather than through method calls —
+        see :meth:`~repro.runtime.channel.Channel.post`.
+        """
+        return self._wait_family.labels(self.stream, channel_name)  # type: ignore[return-value]
+
+    # -- reconfiguration epochs ------------------------------------------------------
+
+    def reconfig_begin(self, event_id: str) -> Span:
+        """Open the span bracketing one event-handler epoch."""
+        return self._tracer.start_span(
+            "reconfig",
+            trace_id=self._tracer.new_trace_id(),
+            attrs={"stream": self.stream, "event": event_id},
+        )
+
+    def reconfig_end(self, span: Span, event_id: str, timing: "ReconfigTiming") -> None:
+        """Close a reconfiguration span and feed the epoch histogram."""
+        self._tracer.end_span(
+            span,
+            suspend=timing.suspend,
+            channel_ops=timing.channel_ops,
+            activate=timing.activate,
+            actions=timing.actions,
+        )
+        self._reconfig_family.labels(self.stream, event_id).observe(timing.total)
+
+
+class NullStreamTelemetry:
+    """The do-nothing twin of :class:`StreamTelemetry` (zero allocations)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def attach_stats(self, stats) -> None:
+        """No-op."""
+
+    def flush(self) -> None:
+        """No-op."""
+
+    def admit(self, message) -> bool:
+        """No-op; nothing is ever sampled."""
+        return False
+
+    def mark_traced(self, msg_id: str) -> None:
+        """No-op."""
+
+    def forget(self, msg_id: str) -> None:
+        """No-op."""
+
+    def hop_histogram(self, instance: str) -> None:
+        """No-op: nodes bound to this twin keep no histogram."""
+        return None
+
+    def hop_span(self, instance, raw, message, emissions, duration, failed=False) -> None:
+        """No-op."""
+
+    def channel_wait_histogram(self, channel_name: str) -> None:
+        """No-op: channels bound to this twin record no waits."""
+        return None
+
+    def reconfig_begin(self, event_id: str) -> None:
+        """No-op."""
+        return None
+
+    def reconfig_end(self, span, event_id, timing) -> None:
+        """No-op."""
+
+
+_NULL_STREAM_TELEMETRY = NullStreamTelemetry()
+
+
+class Telemetry:
+    """The facade the server injects into every component (default-on).
+
+    By default metrics land in the process-wide
+    :func:`~repro.telemetry.metrics.global_registry` (so one export covers
+    every server in the process) while spans go to a private
+    :class:`Tracer`.  Tests that need isolation pass a fresh
+    :class:`MetricsRegistry`.
+
+    ``trace_sample_interval`` traces every Nth admitted message per
+    stream (channel waits are sampled for exactly those messages).  The
+    first
+    message of a stream is always traced, so even a sampled run yields at
+    least one complete trace.  The default of 64 keeps the enabled-mode
+    hop overhead under the 10%% budget; pass 1 to trace everything.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        trace_sample_interval: int = 64,
+        max_spans: int = 4096,
+    ):
+        if trace_sample_interval < 1:
+            raise ValueError(f"sample interval must be >= 1, got {trace_sample_interval}")
+        self.registry = registry if registry is not None else global_registry()
+        self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
+        self.trace_sample_interval = trace_sample_interval
+        self._streams: list[StreamTelemetry] = []
+
+    # -- component bindings ------------------------------------------------------
+
+    def bind_stream(self, stream: str) -> StreamTelemetry:
+        """The per-stream hot-path hook bundle for ``stream``."""
+        bound = StreamTelemetry(self, stream)
+        self._streams.append(bound)
+        return bound
+
+    def pool_gauge(self, stream: str) -> Gauge:
+        """The live-message gauge for one stream's message pool."""
+        family = self.registry.gauge(
+            "mobigate_pool_messages", "Messages resident in the pool", labels=("stream",)
+        )
+        return family.labels(stream)  # type: ignore[return-value]
+
+    def event_counter(self, stream: str) -> Counter:
+        """Counter of context events dispatched to one stream."""
+        family = self.registry.counter(
+            "mobigate_events_dispatched_total",
+            "Context events routed to a stream by the Coordination Manager",
+            labels=("stream",),
+        )
+        return family.labels(stream)  # type: ignore[return-value]
+
+    def streamlet_acquired(self, definition: str, pooled: bool) -> None:
+        """Count one Streamlet Manager acquire (fresh build vs pool reuse)."""
+        family = self.registry.counter(
+            "mobigate_streamlets_acquired_total",
+            "Streamlet instances handed out by the Streamlet Manager",
+            labels=("definition", "source"),
+        )
+        family.labels(definition, "pooled" if pooled else "new").inc()
+
+    def link_bandwidth_gauge(self, link: str) -> Gauge:
+        """The bandwidth gauge for one monitored wireless link."""
+        family = self.registry.gauge(
+            "mobigate_link_bandwidth_bps", "Last observed link bandwidth", labels=("link",)
+        )
+        return family.labels(link)  # type: ignore[return-value]
+
+    def link_event_counter(self, link: str, event: str) -> Counter:
+        """The edge-event counter for one monitored link and event kind."""
+        family = self.registry.counter(
+            "mobigate_link_events_total",
+            "Context events raised by link monitors",
+            labels=("link", "event"),
+        )
+        return family.labels(link, event)  # type: ignore[return-value]
+
+    # -- client side ---------------------------------------------------------------
+
+    def client_counters(self) -> tuple[Counter, Counter]:
+        """``(messages, bytes)`` counters for a MobiGATE client."""
+        messages = self.registry.counter(
+            "mobigate_client_messages_total", "Messages received off the link"
+        ).unlabelled()
+        received = self.registry.counter(
+            "mobigate_client_bytes_total", "Wire bytes received off the link"
+        ).unlabelled()
+        return messages, received  # type: ignore[return-value]
+
+    def peer_hop(
+        self,
+        peer_id: str,
+        message: "MimeMessage",
+        results: list["MimeMessage"],
+        duration: float,
+    ) -> None:
+        """Record one client-side reverse-processing step.
+
+        Mirrors :meth:`StreamTelemetry.hop_span`: histogram always, a span
+        when the message carries a ``Content-Trace`` context — which it
+        does whenever the server traced it, because the header survives
+        the wire.
+        """
+        family = self.registry.histogram(
+            "mobigate_client_peer_seconds",
+            "Per-peer reverse-processing latency",
+            labels=("peer",),
+        )
+        family.labels(peer_id).observe(duration)
+        raw = message.headers.get(CONTENT_TRACE)
+        if raw is None:
+            return
+        trace_id, _, parent = raw.partition(_TRACE_SEPARATOR)
+        span = self.tracer.start_span(
+            f"peer:{peer_id}",
+            trace_id=trace_id,
+            parent_id=parent or None,
+            start=time.perf_counter() - duration,
+            attrs={"peer": peer_id},
+        )
+        self.tracer.end_span(span)
+        updated = f"{trace_id}{_TRACE_SEPARATOR}{span.span_id}"
+        for out in results:
+            if out.headers.get(CONTENT_TRACE) == raw:
+                out.headers.set(CONTENT_TRACE, updated)
+
+    # -- export convenience ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Mirror every bound stream's plain stats into registry counters."""
+        for bound in self._streams:
+            bound.flush()
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot of the registry (see ``telemetry.export``)."""
+        from repro.telemetry.export import snapshot
+
+        self.flush()
+        return snapshot(self.registry)
+
+    def prometheus(self) -> str:
+        """Prometheus text-format rendering of the registry."""
+        from repro.telemetry.export import to_prometheus
+
+        self.flush()
+        return to_prometheus(self.registry)
+
+
+class NullTelemetry(Telemetry):
+    """The selectable no-op implementation (observer-overhead baseline).
+
+    Every binding returns an inert singleton or ``None``; the private
+    registry and tracer stay empty forever, and nothing is allocated on
+    the hot path.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(registry=MetricsRegistry(), tracer=Tracer(max_spans=1))
+
+    def bind_stream(self, stream: str) -> NullStreamTelemetry:  # type: ignore[override]
+        """The shared no-op stream bundle."""
+        return _NULL_STREAM_TELEMETRY
+
+    def pool_gauge(self, stream: str) -> None:  # type: ignore[override]
+        """No-op: pools bound to this twin keep no gauge."""
+        return None
+
+    def event_counter(self, stream: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def streamlet_acquired(self, definition: str, pooled: bool) -> None:
+        """No-op."""
+
+    def link_bandwidth_gauge(self, link: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def link_event_counter(self, link: str, event: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def client_counters(self) -> tuple[None, None]:  # type: ignore[override]
+        """No-op: clients bound to this twin keep no counters."""
+        return None, None
+
+    def peer_hop(self, peer_id, message, results, duration) -> None:
+        """No-op."""
+
+
+#: shared no-op facade — pass as ``telemetry=`` to disable observation
+NULL_TELEMETRY = NullTelemetry()

@@ -1,0 +1,83 @@
+"""Bench reporting: the jsonable sanitizer and BENCH_*.json artifacts."""
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.bench.reporting import bench_output_dir, jsonable, write_bench_json
+from repro.util.stats import RunningStats
+
+
+@dataclass
+class _Inner:
+    name: str
+    latency: float
+
+
+@dataclass
+class _Outer:
+    rows: list
+    stats: RunningStats
+    bad: float
+
+
+class TestJsonable:
+    def test_dataclasses_recursively_converted(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0])
+        outer = _Outer(rows=[(_Inner("a", 0.5), 2)], stats=stats, bad=math.nan)
+        tree = jsonable(outer)
+        assert tree["rows"] == [[{"name": "a", "latency": 0.5}, 2]]
+        assert tree["stats"]["count"] == 3
+        assert tree["stats"]["mean"] == 2.0
+        assert tree["bad"] is None  # NaN has no strict-JSON form
+
+    def test_non_finite_floats_become_null(self):
+        assert jsonable(math.inf) is None
+        assert jsonable(-math.inf) is None
+        assert jsonable(float("nan")) is None
+
+    def test_numpy_values_converted(self):
+        np = __import__("numpy")
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_unknown_objects_stringified(self):
+        class Odd:
+            def __repr__(self):
+                return "odd"
+
+        assert isinstance(jsonable(Odd()), str)
+
+
+class TestWriteBenchJson:
+    def test_writes_strict_json_file(self, tmp_path):
+        path = write_bench_json("demo", {"x": (1, math.inf)}, tmp_path)
+        assert path == tmp_path / "BENCH_demo.json"
+        assert json.loads(path.read_text()) == {"x": [1, None]}
+
+    def test_env_var_selects_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "out"))
+        assert bench_output_dir() == tmp_path / "out"
+        path = write_bench_json("env", [1, 2])
+        assert path.parent == tmp_path / "out"
+        assert json.loads(path.read_text()) == [1, 2]
+
+    def test_default_is_working_directory(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        path = write_bench_json("cwd", {"ok": True})
+        assert path.resolve() == (tmp_path / "BENCH_cwd.json").resolve()
+
+
+class TestTelemetryOverheadBench:
+    def test_tiny_run_produces_sane_result(self):
+        from repro.bench.telemetry_overhead import run_telemetry_overhead
+
+        result = run_telemetry_overhead(
+            chain_length=3, rounds=2, passes_per_round=2, warmup=2
+        )
+        assert result.noop_pass_seconds > 0
+        assert result.enabled_pass_seconds > 0
+        assert math.isfinite(result.overhead_fraction)
+        assert jsonable(result)["chain_length"] == 3

@@ -1,0 +1,109 @@
+"""Exporters: golden Prometheus text, format parsing, strict JSON."""
+
+import json
+import re
+
+from repro.telemetry.export import dump, snapshot, to_json, to_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+
+# name or name{labels}, one space, a value — the exposition line shape
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? \S+$"
+)
+
+
+def small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.gauge("demo_level", "Current level").unlabelled().set(2.5)
+    registry.counter("demo_requests_total", "Requests seen", labels=("kind",)).labels(
+        "a"
+    ).inc(3)
+    registry.histogram("demo_seconds", "Latency", buckets=(0.5, 1.0)).unlabelled().observe(
+        0.25
+    )
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP demo_level Current level
+# TYPE demo_level gauge
+demo_level 2.5
+# HELP demo_requests_total Requests seen
+# TYPE demo_requests_total counter
+demo_requests_total{kind="a"} 3
+# HELP demo_seconds Latency
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.5"} 1
+demo_seconds_bucket{le="1"} 1
+demo_seconds_bucket{le="+Inf"} 1
+demo_seconds_sum 0.25
+demo_seconds_count 1
+"""
+
+
+class TestPrometheus:
+    def test_golden_output(self):
+        assert to_prometheus(small_registry()) == GOLDEN_PROMETHEUS
+
+    def test_every_sample_line_parses(self):
+        for line in to_prometheus(small_registry()).splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$", line)
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_histogram_buckets_are_cumulative_and_match_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_seconds", "x", buckets=(0.001, 0.01)).unlabelled()
+        for v in (0.0005, 0.005, 5.0):
+            h.observe(v)
+        text = to_prometheus(registry)
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("h_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)  # cumulative: never decreasing
+        assert buckets[-1] == 3
+        assert "h_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "x", labels=("k",)).labels('say "hi"').inc()
+        assert 'k="say \\"hi\\""' in to_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_snapshot_round_trips_through_strict_json(self):
+        text = to_json(small_registry())
+        tree = json.loads(text)
+        names = [f["name"] for f in tree["families"]]
+        assert names == ["demo_level", "demo_requests_total", "demo_seconds"]
+
+    def test_histogram_sample_shape(self):
+        tree = snapshot(small_registry())
+        hist = tree["families"][-1]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["sum"] == 0.25
+        assert hist["buckets"][-1] == {"le": None, "count": 1}  # +Inf → null
+
+    def test_empty_histogram_serialises_non_finite_as_null(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "x", buckets=(1.0,)).unlabelled()
+        tree = snapshot(registry)
+        sample = tree["families"][0]["samples"][0]
+        assert sample["count"] == 0
+        assert sample["min"] is None and sample["max"] is None
+        json.loads(to_json(registry))  # allow_nan=False must not raise
+
+
+class TestDump:
+    def test_dump_mentions_every_populated_family(self):
+        text = dump(small_registry())
+        assert "demo_level" in text
+        assert "demo_requests_total" in text
+        assert "count=1" in text

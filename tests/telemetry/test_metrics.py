@@ -1,0 +1,149 @@
+"""Metric primitives: buckets, moments, registry type discipline."""
+
+import math
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+
+class TestExponentialBuckets:
+    def test_values(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_default_latency_buckets_span_microsecond_to_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_LATENCY_BUCKETS[-1] > 1.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    @pytest.mark.parametrize("bad", [(0, 2, 3), (1, 1.0, 3), (1, 2, 0)])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(TelemetryError):
+            exponential_buckets(*bad)
+
+
+class TestHistogramBuckets:
+    def make(self, bounds=(0.001, 0.01, 0.1)):
+        registry = MetricsRegistry()
+        return registry.histogram("h_seconds", "x", buckets=bounds).unlabelled()
+
+    def test_upper_bound_is_inclusive(self):
+        # the Prometheus le convention: a sample equal to a bound lands in
+        # that bound's bucket, not the next one
+        h = self.make()
+        h.observe(0.001)
+        assert h.counts == [1, 0, 0, 0]
+
+    def test_between_bounds(self):
+        h = self.make()
+        h.observe(0.005)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_overflow_bucket(self):
+        h = self.make()
+        h.observe(5.0)
+        assert h.counts == [0, 0, 0, 1]
+
+    def test_below_first_bound(self):
+        h = self.make()
+        h.observe(0.0)
+        assert h.counts == [1, 0, 0, 0]
+
+    def test_cumulative_ends_with_inf_and_total(self):
+        h = self.make()
+        for v in (0.0005, 0.005, 0.005, 5.0):
+            h.observe(v)
+        cumulative = h.cumulative()
+        assert cumulative[0] == (0.001, 1)
+        assert cumulative[1] == (0.01, 3)
+        assert cumulative[2] == (0.1, 3)
+        assert cumulative[-1][0] == math.inf
+        assert cumulative[-1][1] == 4 == h.count
+
+    def test_moments_match_samples(self):
+        h = self.make()
+        samples = [0.002, 0.004, 0.009]
+        for v in samples:
+            h.observe(v)
+        assert h.stats.mean == pytest.approx(sum(samples) / 3)
+        assert h.stats.minimum == 0.002
+        assert h.stats.maximum == 0.009
+        assert h.sum == pytest.approx(sum(samples))
+
+    def test_non_increasing_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", "x", buckets=(0.1, 0.1))
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", "x", buckets=(0.2, 0.1))
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        c = MetricsRegistry().counter("c_total", "x").unlabelled()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("c_total", "x").unlabelled()
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("g", "x").unlabelled()
+        g.set(10.0)
+        g.dec(4.0)
+        g.inc(1.0)
+        assert g.value == 7.0
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "x", labels=("k",))
+        b = registry.counter("c_total", "x", labels=("k",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("m", "x")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "x", labels=("a",))
+        with pytest.raises(TelemetryError):
+            registry.counter("m", "x", labels=("b",))
+
+    def test_illegal_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("bad-name", "x")
+        with pytest.raises(TelemetryError):
+            registry.counter("ok", "x", labels=("bad-label",))
+
+    def test_children_addressed_by_label_values(self):
+        family = MetricsRegistry().counter("c_total", "x", labels=("k",))
+        family.labels("a").inc()
+        family.labels("a").inc()
+        family.labels("b").inc()
+        assert family.labels("a").value == 2
+        assert family.labels("b").value == 1
+
+    def test_wrong_label_arity_rejected(self):
+        family = MetricsRegistry().counter("c_total", "x", labels=("k",))
+        with pytest.raises(TelemetryError):
+            family.labels("a", "b")
+
+    def test_families_sorted_for_stable_export(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "x")
+        registry.counter("a_total", "x")
+        assert [f.name for f in registry.families()] == ["a_total", "z_total"]

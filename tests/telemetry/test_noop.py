@@ -1,0 +1,64 @@
+"""The no-op twin: selectable, inert, and allocation-free on the hot path."""
+
+from repro.bench.harness import deploy_chain
+from repro.mime.headers import CONTENT_TRACE
+from repro.mime.message import MimeMessage
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullStreamTelemetry,
+    NullTelemetry,
+    Telemetry,
+)
+
+
+class TestNullTelemetry:
+    def test_is_a_telemetry(self):
+        assert isinstance(NULL_TELEMETRY, Telemetry)
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_bind_stream_returns_shared_singleton(self):
+        a = NULL_TELEMETRY.bind_stream("one")
+        b = NULL_TELEMETRY.bind_stream("two")
+        assert a is b
+        assert isinstance(a, NullStreamTelemetry)
+        assert a.enabled is False
+
+    def test_bindings_are_inert(self):
+        assert NULL_TELEMETRY.pool_gauge("s") is None
+        assert NULL_TELEMETRY.event_counter("s") is None
+        assert NULL_TELEMETRY.link_bandwidth_gauge("l") is None
+        assert NULL_TELEMETRY.link_event_counter("l", "E") is None
+        assert NULL_TELEMETRY.client_counters() == (None, None)
+        tm = NULL_TELEMETRY.bind_stream("s")
+        assert tm.hop_histogram("i") is None
+        assert tm.channel_wait_histogram("c") is None
+        assert tm.reconfig_begin("E") is None
+        assert tm.admit(MimeMessage("text/plain", b"x")) is False
+
+    def test_run_leaves_no_metrics_no_spans_no_headers(self):
+        _server, stream, scheduler = deploy_chain(3, telemetry=NULL_TELEMETRY)
+        for i in range(5):
+            stream.post(MimeMessage("text/plain", b"m%d" % i))
+        scheduler.pump()
+        delivered = stream.collect()
+        stream.end()
+
+        assert len(delivered) == 5
+        for message in delivered:
+            assert message.headers.get(CONTENT_TRACE) is None
+        assert len(NULL_TELEMETRY.registry) == 0
+        assert NULL_TELEMETRY.tracer.spans() == []
+
+    def test_peer_hop_is_inert(self):
+        message = MimeMessage("text/plain", b"x")
+        message.headers.set_trace("t", "p")
+        before = message.headers.get(CONTENT_TRACE)
+        NULL_TELEMETRY.peer_hop("p", message, [message], 0.001)
+        assert message.headers.get(CONTENT_TRACE) == before
+        assert len(NULL_TELEMETRY.registry) == 0
+
+    def test_fresh_null_instances_also_inert(self):
+        # NullTelemetry is constructible (not only the shared singleton)
+        own = NullTelemetry()
+        assert own.enabled is False
+        assert len(own.registry) == 0
