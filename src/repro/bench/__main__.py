@@ -33,7 +33,7 @@ from repro.bench.telemetry_overhead import run_telemetry_overhead
 
 ALL_TARGETS = (
     "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
-    "adaptivity", "telemetry",
+    "adaptivity", "telemetry", "faults",
 )
 
 
@@ -121,6 +121,16 @@ def main(argv: list[str]) -> int:
         result = run_telemetry_overhead(rounds=10 if quick else 40)
         result.print()
         emit("telemetry", result)
+    if "faults" in targets:
+        from repro.bench.faults import run_faults
+
+        result = run_faults(
+            chain_length=5 if quick else 10,
+            n_messages=30 if quick else 100,
+            probabilities=(0.0, 0.1, 0.4) if quick else (0.0, 0.05, 0.1, 0.2, 0.4),
+        )
+        result.print()
+        emit("faults", result)
     return 0
 
 

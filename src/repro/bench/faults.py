@@ -1,0 +1,127 @@
+"""Recovery-cost bench: the fault plane under rising fault pressure.
+
+Drives the §7.2 redirector chain in virtual time while the middle
+streamlet fails with probability *p*, a :class:`~repro.faults.Supervisor`
+retrying each failure with exponential backoff.  For each pressure point
+the bench reports the outcome mix (delivered / dead-lettered), the retry
+bill, the wall-clock cost per delivered message, and — the point of the
+whole subsystem — whether the conservation invariant held.
+
+Seeded and virtual-timed, so every run of the same configuration is
+bit-identical; the wall column is the only nondeterministic figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import deploy_chain
+from repro.faults import FaultInjector, FaultPlan, RecoveryPolicy, Supervisor
+from repro.faults.invariant import check_conservation
+from repro.mime.message import MimeMessage
+from repro.telemetry import NULL_TELEMETRY
+from repro.util.clock import VirtualClock
+
+
+@dataclass
+class FaultsRow:
+    """One fault-pressure point."""
+
+    probability: float
+    delivered: int
+    dead_letters: int
+    retries: int
+    failures: int
+    wall_seconds: float
+    conserved: bool
+    zero_loss: bool
+
+
+@dataclass
+class FaultsBenchResult:
+    """Recovery outcomes across fault probabilities."""
+
+    chain_length: int
+    n_messages: int
+    max_retries: int
+    rows: list[FaultsRow]
+
+    def print(self) -> None:
+        """Print the recovery table."""
+        print("\n== Fault plane: recovery under rising fault pressure ==")
+        print(
+            f"chain={self.chain_length}, messages={self.n_messages}, "
+            f"max_retries={self.max_retries} (virtual time, seeded)"
+        )
+        print(f"{'p':>5} {'deliv':>6} {'dead':>5} {'retries':>8} "
+              f"{'failures':>9} {'ms/msg':>8} {'conserved':>10}")
+        for row in self.rows:
+            per_msg = row.wall_seconds / max(1, row.delivered) * 1000
+            flag = "yes" if row.conserved else "NO"
+            if row.zero_loss:
+                flag += "+0loss"
+            print(
+                f"{row.probability:5.2f} {row.delivered:6d} {row.dead_letters:5d} "
+                f"{row.retries:8d} {row.failures:9d} {per_msg:8.3f} {flag:>10}"
+            )
+
+
+def run_faults(
+    chain_length: int = 10,
+    *,
+    n_messages: int = 100,
+    probabilities: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    max_retries: int = 3,
+    seed: int = 7,
+) -> FaultsBenchResult:
+    """Measure recovery outcomes at each fault probability."""
+    rows: list[FaultsRow] = []
+    for p in probabilities:
+        clock = VirtualClock()
+        _server, stream, scheduler = deploy_chain(
+            chain_length, clock=clock, telemetry=NULL_TELEMETRY
+        )
+        plan = FaultPlan(seed=seed)
+        if p > 0:
+            plan.fail_streamlet(
+                f"r{chain_length // 2}", mode="probability", probability=p
+            )
+        injector = FaultInjector(plan, clock=clock)
+        injector.arm(stream)
+        supervisor = Supervisor(
+            stream,
+            RecoveryPolicy(
+                max_retries=max_retries, backoff_base=0.001,
+                backoff_factor=2.0, jitter=0.0005,
+            ),
+            seed=seed,
+        )
+        supervisor.attach()
+        start = time.perf_counter()
+        for i in range(n_messages):
+            stream.post(MimeMessage("text/plain", f"m{i}".encode()))
+        scheduler.pump()
+        supervisor.settle(scheduler)
+        delivered = len(stream.collect())
+        wall = time.perf_counter() - start
+        report = check_conservation(stream)
+        rows.append(FaultsRow(
+            probability=p,
+            delivered=delivered,
+            dead_letters=report.dead_letters,
+            retries=stream.stats.retries,
+            failures=stream.stats.processing_failures,
+            wall_seconds=wall,
+            conserved=report.balanced,
+            zero_loss=report.lost == 0,
+        ))
+        injector.disarm()
+        supervisor.detach()
+        stream.end()
+    return FaultsBenchResult(
+        chain_length=chain_length,
+        n_messages=n_messages,
+        max_retries=max_retries,
+        rows=rows,
+    )

@@ -37,6 +37,11 @@ class MessageDistributor:
         self._workers: list[threading.Thread] = []
         self._delivery: Delivery | None = None
         self.distributed = 0
+        #: (peer_id, message, exception) for messages whose reverse
+        #: processing raised — the client-side dead-letter list; routing
+        #: errors (unknown peer, bad envelope) still propagate
+        self.quarantined: list[tuple[str, MimeMessage, Exception]] = []
+        self.peer_failures = 0
 
     # -- synchronous API -------------------------------------------------------------
 
@@ -59,12 +64,17 @@ class MessageDistributor:
                 out.append(message)
                 return
             peer = self._pool.acquire(peer_id)
-            if tm.enabled:
-                t0 = time.perf_counter()
-                results = peer.reverse(message)
-                tm.peer_hop(peer_id, message, results, time.perf_counter() - t0)
-            else:
-                results = peer.reverse(message)
+            try:
+                if tm.enabled:
+                    t0 = time.perf_counter()
+                    results = peer.reverse(message)
+                    tm.peer_hop(peer_id, message, results, time.perf_counter() - t0)
+                else:
+                    results = peer.reverse(message)
+            except Exception as exc:  # one bad message must not kill a worker
+                self.peer_failures += 1
+                self.quarantined.append((peer_id, message, exc))
+                return
             if len(results) == 1 and results[0] is message:
                 continue  # transformed in place; keep unwinding its stack
             for result in results:

@@ -171,6 +171,19 @@ class TelemetryError(MobiGateError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection / recovery (repro.faults)
+# ---------------------------------------------------------------------------
+
+
+class FaultPlanError(MobiGateError):
+    """A fault plan is malformed or names an unknown injection target."""
+
+
+class ConservationError(MobiGateError):
+    """The message-conservation invariant does not hold for a stream."""
+
+
+# ---------------------------------------------------------------------------
 # Codecs / network emulation
 # ---------------------------------------------------------------------------
 

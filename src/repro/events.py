@@ -48,6 +48,11 @@ PREDEFINED_EVENTS: dict[str, EventCategory] = {
     "CODEC_UNAVAILABLE": EventCategory.SOFTWARE_VARIATION,
     # "events may be caused ... by exceptions in streamlet executions" (§3.3.5)
     "STREAMLET_FAULT": EventCategory.SOFTWARE_VARIATION,
+    # recovery-plane escalations (repro.faults): a message exhausted its
+    # retry budget, or a repeatedly-failing optional streamlet was bypassed
+    # — both scriptable via MCL ``when`` handlers
+    "RETRY_EXHAUSTED": EventCategory.SOFTWARE_VARIATION,
+    "STREAMLET_BYPASSED": EventCategory.SOFTWARE_VARIATION,
 }
 
 #: The stream description of Figure 4-8 writes ``LOW_GRAY`` where Table 6-1

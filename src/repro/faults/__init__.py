@@ -1,0 +1,56 @@
+"""repro.faults — fault injection and recovery for the streamlet plane.
+
+Three cooperating pieces:
+
+* :mod:`repro.faults.plan` — seeded, replayable descriptions of what
+  should break (:class:`FaultPlan`);
+* :mod:`repro.faults.inject` — lands a plan on a live stream without
+  touching streamlet code (:class:`FaultInjector`);
+* :mod:`repro.faults.supervisor` — declarative recovery: bounded retry
+  with backoff, dead-letter pool, bypass of failing optional streamlets
+  (:class:`Supervisor`, :class:`RecoveryPolicy`);
+* :mod:`repro.faults.invariant` — the message-conservation check that
+  makes "no message was lost" a provable statement instead of a hope.
+
+See ``docs/fault-tolerance.md`` for the end-to-end story.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.invariant import (
+    ConservationReport,
+    assert_conservation,
+    check_conservation,
+)
+from repro.faults.plan import (
+    ChannelFault,
+    FaultPlan,
+    HandoffStorm,
+    InjectedFault,
+    LinkFault,
+    StreamletFault,
+    WorkerKill,
+)
+from repro.faults.supervisor import (
+    DeadLetter,
+    DeadLetterPool,
+    RecoveryPolicy,
+    Supervisor,
+)
+
+__all__ = [
+    "ChannelFault",
+    "ConservationReport",
+    "DeadLetter",
+    "DeadLetterPool",
+    "FaultInjector",
+    "FaultPlan",
+    "HandoffStorm",
+    "InjectedFault",
+    "LinkFault",
+    "RecoveryPolicy",
+    "StreamletFault",
+    "Supervisor",
+    "WorkerKill",
+    "assert_conservation",
+    "check_conservation",
+]

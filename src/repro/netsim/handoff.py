@@ -100,6 +100,24 @@ class HandoffManager:
             return event
         return None
 
+    def storm(self, names: list[str] | tuple[str, ...], rounds: int = 1) -> list[str]:
+        """Rapid alternation across ``names`` — the handoff-storm fault.
+
+        Performs ``rounds`` passes over the interface list, switching to
+        each in turn; every bandwidth-class edge raises its notification
+        event, so a storm exercises the reconfiguration machinery exactly
+        as fast successive real handoffs would.  Returns the events raised.
+        """
+        if rounds < 1:
+            raise NetSimError(f"storm needs at least one round, got {rounds}")
+        raised: list[str] = []
+        for _ in range(rounds):
+            for name in names:
+                event = self.switch_to(name)
+                if event is not None:
+                    raised.append(event)
+        return raised
+
     # -- link-compatible transmit (so the emulator can use the manager) -----------------
 
     def transmit(self, size_bytes: int, at: float | None = None) -> Transmission:

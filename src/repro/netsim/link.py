@@ -53,11 +53,13 @@ class WirelessLink:
         self.clock = clock if clock is not None else VirtualClock()
         self._rng = np.random.default_rng(seed)
         self._next_free = 0.0
+        self._outage_until = 0.0
         # observability
         self.bytes_offered = 0
         self.bytes_delivered = 0
         self.transmissions = 0
         self.losses = 0
+        self.outage_losses = 0
         self.busy_time = 0.0
 
     # -- conditions --------------------------------------------------------------
@@ -71,6 +73,35 @@ class WirelessLink:
         if bandwidth_bps <= 0:
             raise NetSimError(f"bandwidth must be positive, got {bandwidth_bps}")
         self._bandwidth = float(bandwidth_bps)
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the Bernoulli loss rate (affects subsequent transmissions)."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetSimError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = float(loss_rate)
+
+    # -- outages (the fault-injection hook) ----------------------------------------
+
+    def begin_outage(self, duration: float) -> float:
+        """Take the link down for ``duration`` virtual seconds from now.
+
+        Every transmission started inside the outage window is lost
+        deterministically (no RNG draw, so the loss stream of the
+        surviving traffic is unchanged — seeded runs stay bit-identical).
+        Returns the virtual time the outage ends.
+        """
+        if duration <= 0:
+            raise NetSimError(f"outage duration must be positive, got {duration}")
+        self._outage_until = max(self._outage_until, self.clock.now() + duration)
+        return self._outage_until
+
+    def end_outage(self) -> None:
+        """Restore the link immediately."""
+        self._outage_until = 0.0
+
+    @property
+    def in_outage(self) -> bool:
+        return self.clock.now() < self._outage_until
 
     # -- transfer -------------------------------------------------------------------
 
@@ -94,6 +125,10 @@ class WirelessLink:
         self.busy_time += tx
         self.bytes_offered += size_bytes
         self.transmissions += 1
+        if start < self._outage_until:
+            self.losses += 1
+            self.outage_losses += 1
+            return Transmission(start=start, arrival=None, size=size_bytes)
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.losses += 1
             return Transmission(start=start, arrival=None, size=size_bytes)

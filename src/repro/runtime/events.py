@@ -32,13 +32,19 @@ class EventSubscriber(Protocol):
 class EventManager:
     """Category-indexed publish/subscribe for context events."""
 
-    def __init__(self, catalog: EventCatalog | None = None):
+    def __init__(self, catalog: EventCatalog | None = None, *, contain_errors: bool = False):
         self._catalog = catalog if catalog is not None else DEFAULT_CATALOG
         self._subscribers: dict[EventCategory, list[EventSubscriber]] = {
             category: [] for category in EventCategory
         }
+        #: with ``contain_errors``, a subscriber whose ``on_event`` raises
+        #: does not stop delivery to the remaining subscribers — the fault
+        #: is counted instead (one misbehaving stream must not starve the
+        #: others of context events)
+        self._contain = contain_errors
         self.delivered = 0
         self.filtered = 0
+        self.handler_failures = 0
 
     @property
     def catalog(self) -> EventCatalog:
@@ -89,7 +95,14 @@ class EventManager:
             if event.source is not None and subscriber.name != event.source:
                 self.filtered += 1
                 continue
-            subscriber.on_event(event)
+            if self._contain:
+                try:
+                    subscriber.on_event(event)
+                except Exception:
+                    self.handler_failures += 1
+                    continue
+            else:
+                subscriber.on_event(event)
             count += 1
         self.delivered += count
         return count

@@ -16,6 +16,7 @@ message* — slow downstream streamlets must not stall the whole stream
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 from repro.errors import QueueClosedError
@@ -112,9 +113,16 @@ class MessageQueue:
             if self._closed:
                 raise QueueClosedError("post on closed queue")
             if not self._has_room(size):
-                # single bounded wait, as in the thesis code
+                # wait on a monotonic deadline: a notify that freed too
+                # little room (or a spurious wakeup) must not burn the
+                # whole budget, so keep waiting for the time that remains
                 if wait_for > 0:
-                    self._cond.wait(wait_for)
+                    deadline = time.monotonic() + wait_for
+                    while not self._has_room(size) and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
                 if self._closed:
                     raise QueueClosedError("queue closed while waiting to post")
                 if not self._has_room(size):

@@ -77,8 +77,14 @@ def _process_message(
             entry = message.headers._fields.get(_TRACE_KEY)
             if entry is not None:
                 tm.hop_span(name, entry[1], message, None, duration, failed=True)
-        stream.pool.release(msg_id)  # take the stream down (section 3.3.5)
-        stream.stats.processing_failures += 1
+        stream.stats.processing_failures += 1  # (section 3.3.5)
+        handler = stream.fault_handler
+        retained = handler is not None and handler(name, port, msg_id, exc)
+        if not retained:  # no supervisor claimed the id: release and count
+            stream.pool.release(msg_id)
+            stream.stats.failure_drops += 1
+            if timed:
+                tm.forget(msg_id)
         if stream.failure_hook is not None:
             stream.failure_hook(name, exc)
         return 1
@@ -95,6 +101,9 @@ def _process_message(
             tm.hop_span(name, entry[1], message, emissions, duration)
     if not emissions:
         stream.pool.release(msg_id)  # absorbed (cache hit, filter, ...)
+        stream.stats.absorbed += 1
+        if timed:
+            tm.forget(msg_id)
         return 1
     peer = node.streamlet.peer_id
     reused_id = False
@@ -113,6 +122,8 @@ def _process_message(
             # open circuit at runtime: the message has nowhere to go
             stream.pool.release(out_id)
             stream.stats.open_circuit_drops += 1
+            if timed:
+                tm.forget(out_id)
             continue
         # never block while (possibly) holding the topology lock: a waiting
         # producer would starve the consumer that could free the space.
@@ -121,15 +132,31 @@ def _process_message(
         already_stalled = stalled is not None and any(
             ch is out_channel for ch, _, _ in stalled
         )
-        if already_stalled or not out_channel.post(
-            out_id, out_msg.total_size(), timeout=0
-        ):
+        posted = False
+        if not already_stalled:
+            try:
+                posted = out_channel.post(out_id, out_msg.total_size(), timeout=0)
+            except QueueClosedError:
+                # a closed channel can never accept — drop now, never retry
+                _drop(stream, out_id)
+                continue
+        if not posted:
             if stalled is not None:
                 stalled.append((out_channel, out_id, out_msg.total_size()))
             else:
-                stream.pool.release(out_id)
-                stream.stats.queue_drops += 1
+                _drop(stream, out_id)
     return 1
+
+
+def _drop(stream: RuntimeStream, msg_id: str) -> None:
+    """Release a dropped id, fire the drop signal, count, forget the trace."""
+    if msg_id in stream.pool:
+        message = stream.pool.release(msg_id)
+        if stream.drop_hook is not None:
+            stream.drop_hook(msg_id, message)
+    stream.stats.queue_drops += 1
+    if stream.tm.enabled:
+        stream.tm.forget(msg_id)
 
 
 class InlineScheduler:
@@ -177,8 +204,10 @@ class ThreadedScheduler:
         self._poll = poll_interval
         self._threads: dict[str, threading.Thread] = {}
         self._stop = threading.Event()
+        self._kills: dict[str, threading.Event] = {}   # per-worker kill switch
         self._in_retry = 0                 # workers currently retrying a stall
         self._retry_lock = threading.Lock()
+        self.workers_killed = 0
 
     def start(self) -> None:
         """Spawn one worker thread per current instance."""
@@ -191,15 +220,18 @@ class ThreadedScheduler:
             self._spawn(name)
 
     def _spawn(self, name: str) -> None:
+        kill = threading.Event()
+        self._kills[name] = kill
         thread = threading.Thread(
-            target=self._worker, args=(name,), name=f"streamlet-{name}", daemon=True
+            target=self._worker, args=(name, kill),
+            name=f"streamlet-{name}", daemon=True,
         )
         self._threads[name] = thread
         thread.start()
 
-    def _worker(self, name: str) -> None:
+    def _worker(self, name: str, kill: threading.Event) -> None:
         stream = self._stream
-        while not self._stop.is_set():
+        while not self._stop.is_set() and not kill.is_set():
             stalled: list[_Stalled] = []
             with stream.topology_lock:
                 node = stream._nodes.get(name)
@@ -215,7 +247,7 @@ class ThreadedScheduler:
             for channel, msg_id, size in stalled:
                 deadline = time.monotonic() + stream._drop_timeout
                 posted = False
-                while not self._stop.is_set():
+                while not self._stop.is_set() and not kill.is_set():
                     try:
                         remaining = deadline - time.monotonic()
                         if channel.post(msg_id, size, timeout=max(0.0, min(0.05, remaining))):
@@ -226,9 +258,7 @@ class ThreadedScheduler:
                     if time.monotonic() >= deadline:
                         break
                 if not posted:
-                    if msg_id in stream.pool:
-                        stream.pool.release(msg_id)
-                    stream.stats.queue_drops += 1
+                    _drop(stream, msg_id)
             if stalled:
                 with self._retry_lock:
                     self._in_retry -= 1
@@ -236,13 +266,33 @@ class ThreadedScheduler:
                 time.sleep(self._poll)
 
     def ensure_workers(self) -> None:
-        """Spawn threads for instances added by reconfiguration."""
+        """Spawn threads for instances added by reconfiguration.
+
+        Also respawns workers that died or were killed (fault injection):
+        any instance without a live thread gets a fresh one.
+        """
         with self._stream.topology_lock:
             names = self._stream.instance_names()
         for name in names:
             existing = self._threads.get(name)
             if existing is None or not existing.is_alive():
                 self._spawn(name)
+
+    def kill_worker(self, name: str, *, join_timeout: float = 2.0) -> bool:
+        """Terminate one worker thread (the fault-injection kill switch).
+
+        The instance and its channels survive — messages simply stop
+        moving through it until :meth:`ensure_workers` respawns the
+        worker.  Returns False when no live worker exists for ``name``.
+        """
+        thread = self._threads.get(name)
+        kill = self._kills.get(name)
+        if thread is None or kill is None or not thread.is_alive():
+            return False
+        kill.set()
+        thread.join(join_timeout)
+        self.workers_killed += 1
+        return True
 
     def drain(self, *, timeout: float = 5.0, settle: float = 0.01) -> bool:
         """Wait until every channel is empty for ``settle`` seconds straight."""
@@ -273,3 +323,4 @@ class ThreadedScheduler:
         for thread in self._threads.values():
             thread.join(timeout)
         self._threads.clear()
+        self._kills.clear()

@@ -99,6 +99,16 @@ class StreamStats:
     open_circuit_drops: int = 0
     processing_failures: int = 0
     events_handled: int = 0
+    #: messages a streamlet consumed without emitting (cache hit, filter)
+    absorbed: int = 0
+    #: failed messages released because no fault handler retained them
+    failure_drops: int = 0
+    #: pool entries drained from channels when the stream ended
+    end_drops: int = 0
+    #: failed messages re-posted by a recovery supervisor
+    retries: int = 0
+    #: messages parked in a dead-letter pool after exhausting recovery
+    dead_letters: int = 0
 
 
 class RuntimeStream:
@@ -148,6 +158,15 @@ class RuntimeStream:
         #: raises; the Coordination Manager wires this to the Event Manager
         #: ("events may be caused ... by exceptions in streamlet executions")
         self.failure_hook = None
+        #: called as (instance_id, port, msg_id, exception) before the failed
+        #: message is released; returning True means the handler took
+        #: ownership of the pool id (e.g. a repro.faults.Supervisor retaining
+        #: it for retry) and the scheduler must not release it
+        self.fault_handler = None
+        #: called as (msg_id, message) after a dropped message leaves the
+        #: pool — the per-channel drop signal a Supervisor subscribes to so
+        #: drops become inspectable instead of silent releases
+        self.drop_hook = None
 
         self._deploy()
 
@@ -213,7 +232,14 @@ class RuntimeStream:
         self._started = True
 
     def end(self) -> None:
-        """End every streamlet, close channels, release instances (idempotent)."""
+        """End every streamlet, close channels, release instances (idempotent).
+
+        Every channel — internal, ingress, *and* the egress carriers built
+        by :meth:`_deploy` — is drained before it closes: ids still parked
+        there are released from the pool and counted as ``end_drops``, so
+        an ended stream holds no pool entries (the conservation invariant
+        of :mod:`repro.faults`).
+        """
         if self._ended:
             return
         for node in self._nodes.values():
@@ -221,10 +247,22 @@ class RuntimeStream:
                 node.streamlet.end()
                 node.streamlet.on_end(node.ctx)
             self._manager.release(node.streamlet)
+        undelivered: list[str] = []
         for channel in self._channels.values():
+            undelivered += channel.queue.drain()
             channel.queue.close()
         for channel in self.ingress.values():
+            undelivered += channel.queue.drain()
             channel.queue.close()
+        for _ref, channel in self.egress:
+            undelivered += channel.queue.drain()
+            channel.queue.close()
+        for msg_id in undelivered:
+            if msg_id in self.pool:
+                self.pool.release(msg_id)
+                self.stats.end_drops += 1
+            if self.tm.enabled:
+                self.tm.forget(msg_id)
         self._ended = True
 
     @property
@@ -391,8 +429,9 @@ class RuntimeStream:
         if channel.post(msg_id, message.total_size()):
             self.stats.messages_in += 1
         else:
-            self.pool.release(msg_id)
-            self.stats.queue_drops += 1
+            # mirror _release_dropped: the traced-id / enqueued maps must
+            # shed the id too, or sustained ingress pressure leaks them
+            self._release_dropped([msg_id])
         return msg_id
 
     def collect(self) -> list[MimeMessage]:
@@ -730,7 +769,9 @@ class RuntimeStream:
     def _release_dropped(self, msg_ids: list[str]) -> None:
         for msg_id in msg_ids:
             if msg_id in self.pool:
-                self.pool.release(msg_id)
+                message = self.pool.release(msg_id)
+                if self.drop_hook is not None:
+                    self.drop_hook(msg_id, message)
             if self.tm.enabled:
                 self.tm.forget(msg_id)
             self.stats.queue_drops += 1

@@ -86,6 +86,11 @@ _STAT_COUNTERS = (
     ("open_circuit_drops", "Emissions aimed at an unconnected port"),
     ("processing_failures", "Messages whose process() raised"),
     ("events_handled", "Context events that ran a when-handler"),
+    ("absorbed", "Messages consumed by a streamlet without emission"),
+    ("failure_drops", "Failed messages released with no recovery handler"),
+    ("end_drops", "Pool entries drained from channels at stream end"),
+    ("retries", "Failed messages re-posted by a recovery supervisor"),
+    ("dead_letters", "Messages dead-lettered after exhausting recovery"),
 )
 
 
@@ -376,6 +381,24 @@ class Telemetry:
         )
         return family.labels(stream)  # type: ignore[return-value]
 
+    def dead_letter_gauge(self, stream: str) -> Gauge:
+        """Messages currently parked in one stream's dead-letter pool."""
+        family = self.registry.gauge(
+            "mobigate_dead_letters",
+            "Messages parked in the dead-letter pool",
+            labels=("stream",),
+        )
+        return family.labels(stream)  # type: ignore[return-value]
+
+    def fault_counter(self, stream: str, outcome: str) -> Counter:
+        """Supervisor disposition counter (retried / recovered / exhausted / bypassed)."""
+        family = self.registry.counter(
+            "mobigate_fault_recoveries_total",
+            "Streamlet failures by recovery disposition",
+            labels=("stream", "outcome"),
+        )
+        return family.labels(stream, outcome)  # type: ignore[return-value]
+
     def streamlet_acquired(self, definition: str, pooled: bool) -> None:
         """Count one Streamlet Manager acquire (fresh build vs pool reuse)."""
         family = self.registry.counter(
@@ -494,6 +517,14 @@ class NullTelemetry(Telemetry):
         return None
 
     def event_counter(self, stream: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def dead_letter_gauge(self, stream: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def fault_counter(self, stream: str, outcome: str) -> None:  # type: ignore[override]
         """No-op."""
         return None
 

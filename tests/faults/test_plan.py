@@ -1,0 +1,79 @@
+"""FaultPlan: validation, firing modes, and seeded determinism."""
+
+import random
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FaultPlan, InjectedFault, StreamletFault
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultPlanError):
+            StreamletFault("tc", mode="sometimes")
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError):
+            StreamletFault("tc", mode="probability", probability=0.0)
+        with pytest.raises(FaultPlanError):
+            StreamletFault("tc", mode="probability", probability=1.5)
+
+    def test_bad_channel_action(self):
+        plan = FaultPlan()
+        with pytest.raises(FaultPlanError):
+            plan.stall_channel("c1", duration=-1.0)
+
+    def test_storm_needs_two_interfaces(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan().handoff_storm(("only",))
+
+    def test_outage_needs_positive_duration(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan().link_outage(duration=0.0)
+
+
+class TestFiring:
+    def test_once_fires_exactly_times(self):
+        fault = StreamletFault("tc", mode="once", times=2)
+        rng = random.Random(0)
+        assert [fault.should_fire(rng) for _ in range(4)] == [True, True, False, False]
+
+    def test_always_always_fires(self):
+        fault = StreamletFault("tc", mode="always")
+        rng = random.Random(0)
+        assert all(fault.should_fire(rng) for _ in range(5))
+
+    def test_probability_is_seed_deterministic(self):
+        decisions = []
+        for _ in range(2):
+            plan = FaultPlan(seed=42)
+            fault = plan.fail_streamlet("tc", mode="probability", probability=0.3)
+            decisions.append([fault.should_fire(plan.rng) for _ in range(50)])
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0])  # p=0.3 over 50 draws fires at least once
+
+    def test_exception_carries_instance(self):
+        fault = StreamletFault("g2j")
+        exc = fault.make_exception()
+        assert isinstance(exc, InjectedFault)
+        assert "g2j" in str(exc)
+
+
+class TestReset:
+    def test_reset_rewinds_everything(self):
+        plan = FaultPlan(seed=7)
+        sf = plan.fail_streamlet("tc", mode="probability", probability=0.5)
+        cf = plan.stall_channel("c1", at=1.0)
+        first = [sf.should_fire(plan.rng) for _ in range(10)]
+        cf.applied = True
+        plan.reset()
+        assert cf.applied is False
+        assert sf.fired == 0
+        assert [sf.should_fire(plan.rng) for _ in range(10)] == first
+
+    def test_faults_for_filters_by_instance(self):
+        plan = FaultPlan()
+        a = plan.fail_streamlet("a")
+        plan.fail_streamlet("b")
+        assert plan.faults_for("a") == [a]
