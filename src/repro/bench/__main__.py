@@ -33,7 +33,7 @@ from repro.bench.telemetry_overhead import run_telemetry_overhead
 
 ALL_TARGETS = (
     "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
-    "adaptivity", "telemetry", "faults",
+    "adaptivity", "telemetry", "faults", "reconfig",
 )
 
 
@@ -131,6 +131,15 @@ def main(argv: list[str]) -> int:
         )
         result.print()
         emit("faults", result)
+    if "reconfig" in targets:
+        from repro.bench.reconfig import run_reconfig
+
+        result = run_reconfig(
+            chain_lengths=(5, 10) if quick else (5, 10, 20, 40),
+            n_messages=20 if quick else 50,
+        )
+        result.print()
+        emit("reconfig", result)
     return 0
 
 

@@ -14,12 +14,13 @@ and a dictionary lookup, nothing else.
 from repro.client.peers import PeerStreamlet, PEER_FACTORIES
 from repro.client.client_pool import ClientStreamletPool
 from repro.client.distributor import MessageDistributor
-from repro.client.client import MobiGateClient
+from repro.client.client import ClientDeadLetter, MobiGateClient
 
 __all__ = [
     "PeerStreamlet",
     "PEER_FACTORIES",
     "ClientStreamletPool",
     "MessageDistributor",
+    "ClientDeadLetter",
     "MobiGateClient",
 ]

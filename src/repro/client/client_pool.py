@@ -39,6 +39,16 @@ class ClientStreamletPool:
             self._factories[peer_id] = factory
             self._instances.pop(peer_id, None)
 
+    def unregister(self, peer_id: str) -> bool:
+        """Remove a factory and its live instance; True if it existed.
+
+        A stale server epoch may keep naming the peer on the wire; the
+        client turns those into dead-letters rather than rebuilding it.
+        """
+        with self._lock:
+            self._instances.pop(peer_id, None)
+            return self._factories.pop(peer_id, None) is not None
+
     def acquire(self, peer_id: str) -> PeerStreamlet:
         """The (single) live instance for ``peer_id``, created on demand."""
         with self._lock:
@@ -46,9 +56,11 @@ class ClientStreamletPool:
             if instance is None:
                 factory = self._factories.get(peer_id)
                 if factory is None:
-                    raise PeerNotFoundError(
+                    exc = PeerNotFoundError(
                         f"no client streamlet registered for peer id {peer_id!r}"
                     )
+                    exc.peer_id = peer_id
+                    raise exc
                 instance = factory()
                 self._instances[peer_id] = instance
             return instance

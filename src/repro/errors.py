@@ -140,6 +140,24 @@ class ReconfigurationError(RuntimeFault):
     """A reconfiguration could not be carried out safely."""
 
 
+class ReconfigValidationError(ReconfigurationError):
+    """A staged action batch failed its dry-run against the shadow topology."""
+
+
+class ReconfigAbortedError(ReconfigurationError):
+    """A transaction failed mid-apply; the prior topology was restored.
+
+    ``cause`` carries the exception that aborted the apply phase and
+    ``failed_action`` the 0-based index of the action that raised.
+    """
+
+    def __init__(self, message: str, *, cause: Exception | None = None,
+                 failed_action: int | None = None):
+        super().__init__(message)
+        self.cause = cause
+        self.failed_action = failed_action
+
+
 class EventError(RuntimeFault):
     """Bad event category or malformed context event."""
 

@@ -53,6 +53,13 @@ PREDEFINED_EVENTS: dict[str, EventCategory] = {
     # — both scriptable via MCL ``when`` handlers
     "RETRY_EXHAUSTED": EventCategory.SOFTWARE_VARIATION,
     "STREAMLET_BYPASSED": EventCategory.SOFTWARE_VARIATION,
+    # transactional-reconfiguration escalations (repro.runtime.reconfig):
+    # a staged batch was rejected by validation, an apply failed and was
+    # rolled back, or a freshly committed epoch flunked its probation
+    # window and was reverted to the last known good composition
+    "RECONFIG_COMMITTED": EventCategory.SOFTWARE_VARIATION,
+    "RECONFIG_REJECTED": EventCategory.SOFTWARE_VARIATION,
+    "RECONFIG_ROLLED_BACK": EventCategory.SOFTWARE_VARIATION,
 }
 
 #: The stream description of Figure 4-8 writes ``LOW_GRAY`` where Table 6-1

@@ -155,6 +155,10 @@ class Supervisor:
         self.drops_seen: list[str] = []
         self._attached = False
         self._prev_drop_hook = None
+        #: a ProbationMonitor watching freshly committed epochs; when set,
+        #: every fault this supervisor handles is also counted against the
+        #: composition on probation (repro.runtime.reconfig)
+        self.probation = None
         if telemetry is not None and telemetry.enabled:
             self._gauge = telemetry.dead_letter_gauge(stream.name)
             self._outcome = lambda o: telemetry.fault_counter(stream.name, o).inc()
@@ -208,6 +212,7 @@ class Supervisor:
                 msg_id, instance, port,
                 reason=f"instance bypassed after {failures} failures",
             )
+            self._notify_probation(instance)
             return True
         attempt = self._attempts.get(msg_id, 0)
         if attempt < self.policy.max_retries:
@@ -215,9 +220,20 @@ class Supervisor:
             due = self._clock.now() + self.policy.delay_for(attempt, self.rng)
             self._pending.append((due, self._seq, msg_id, instance, port))
             self._seq += 1
+            self._notify_probation(instance)
             return True
         self._dead_letter(msg_id, instance, port, reason=f"retries exhausted: {exc}")
+        self._notify_probation(instance)
         return True
+
+    def _notify_probation(self, instance: str) -> None:
+        """Count the fault against a composition on probation, if any.
+
+        Runs *after* the message's fate is settled (retry scheduled or
+        dead-lettered) so a probation rollback never strands the id.
+        """
+        if self.probation is not None:
+            self.probation.note_fault(instance)
 
     def _on_drop(self, msg_id: str, message: MimeMessage) -> None:
         """RuntimeStream.drop_hook: make drops inspectable."""

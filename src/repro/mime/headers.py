@@ -34,6 +34,8 @@ CONTENT_TRACE = "Content-Trace"
 
 _PEER_SEPARATOR = ","
 _TRACE_SEPARATOR = ";"
+_SESSION_PARAM_SEPARATOR = ";"
+_EPOCH_PARAM = "epoch="
 
 
 class HeaderMap:
@@ -120,11 +122,51 @@ class HeaderMap:
 
     @property
     def session(self) -> str | None:
-        return self.get(CONTENT_SESSION)
+        raw = self.get(CONTENT_SESSION)
+        if raw is None:
+            return None
+        base, _, _params = raw.partition(_SESSION_PARAM_SEPARATOR)
+        return base.strip() or None
 
     @session.setter
     def session(self, value: str) -> None:
         self.set(CONTENT_SESSION, value)
+
+    # -- stream epoch (reconfiguration extension) -----------------------------------
+    #
+    # Transactional reconfiguration (``repro.runtime.reconfig``) versions a
+    # live composition with a monotonically increasing *epoch*.  The epoch
+    # rides in-band as a parameter on ``Content-Session`` —
+    # ``Content-Session: sess-42;epoch=3`` — so the MobiGATE client can
+    # swap its peer-streamlet chain at exactly the right message boundary.
+
+    @property
+    def epoch(self) -> int | None:
+        """The stream epoch carried on ``Content-Session``, or None."""
+        raw = self.get(CONTENT_SESSION)
+        if raw is None:
+            return None
+        _base, sep, params = raw.partition(_SESSION_PARAM_SEPARATOR)
+        if not sep:
+            return None
+        for param in params.split(_SESSION_PARAM_SEPARATOR):
+            param = param.strip()
+            if param.startswith(_EPOCH_PARAM):
+                value = param[len(_EPOCH_PARAM):]
+                if not value.isdigit():
+                    raise HeaderError(f"illegal epoch parameter {param!r}")
+                return int(value)
+        return None
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp (replacing) the epoch parameter on ``Content-Session``."""
+        if epoch < 0:
+            raise HeaderError(f"epoch must be >= 0, got {epoch}")
+        raw = self.get(CONTENT_SESSION)
+        if raw is None or not raw.strip():
+            raise HeaderError("cannot stamp an epoch without a Content-Session")
+        base, _, _params = raw.partition(_SESSION_PARAM_SEPARATOR)
+        self.set(CONTENT_SESSION, f"{base.strip()}{_SESSION_PARAM_SEPARATOR}{_EPOCH_PARAM}{epoch}")
 
     # -- trace context (telemetry extension) ----------------------------------------
 

@@ -98,6 +98,14 @@ class CoordinationManager:
             self._events.raise_event("STREAMLET_FAULT", source=_name)
 
         stream.failure_hook = report_fault
+
+        def escalate(kind: str, exc: Exception, _name=stream.name) -> None:
+            # a rejected or rolled-back reconfiguration transaction becomes
+            # a scoped context event (RECONFIG_REJECTED / RECONFIG_ROLLED_BACK)
+            # instead of unwinding the monitor/event thread
+            self._events.raise_event(kind, source=_name)
+
+        stream.escalation_hook = escalate
         if start:
             stream.start()
         return stream

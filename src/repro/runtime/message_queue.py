@@ -170,3 +170,43 @@ class MessageQueue:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    # -- transactional snapshot/restore (repro.runtime.reconfig) -------------------
+
+    def snapshot_state(self) -> tuple[tuple[tuple[str, int], ...], bool, int, int]:
+        """Freeze ``(entries, closed, producers, consumers)`` for an undo log.
+
+        Counters (posted/fetched/dropped) are observability, not state, and
+        are deliberately left out: a rolled-back transaction still happened.
+        """
+        with self._cond:
+            return (
+                tuple(self._entries),
+                self._closed,
+                self.producer_count,
+                self.consumer_count,
+            )
+
+    def restore_state(
+        self,
+        state: tuple[tuple[tuple[str, int], ...], bool, int, int],
+        *,
+        with_entries: bool = True,
+    ) -> None:
+        """Reinstate a :meth:`snapshot_state` capture (rollback path).
+
+        ``with_entries=False`` restores wiring counts and the closed flag
+        but leaves the queue empty — used when the snapshot's entries are
+        stale (probation rollback long after the capture).
+        """
+        entries, closed, producers, consumers = state
+        with self._cond:
+            self._entries.clear()
+            self._bytes = 0
+            if with_entries:
+                self._entries.extend(entries)
+                self._bytes = sum(size for _id, size in entries)
+            self._closed = closed
+            self.producer_count = producers
+            self.consumer_count = consumers
+            self._cond.notify_all()

@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 
 from repro.errors import (
     CompositionError,
+    ReconfigAbortedError,
     ReconfigurationError,
+    ReconfigValidationError,
 )
 from repro.events import ContextEvent
 from repro.mcl import astnodes as ast
@@ -154,6 +156,24 @@ class RuntimeStream:
         self.ingress: dict[str, Channel] = {}   # "inst.port" -> channel
         self.egress: list[tuple[ast.PortRef, Channel]] = []
         self.last_reconfig: ReconfigTiming | None = None
+        #: the composition version: 0 until the first committed transaction,
+        #: bumped by every commit *and* every probation rollback (a rollback
+        #: is itself a transition).  Rides in-band on ``Content-Session`` so
+        #: the MobiGATE client swaps peers at the right message boundary.
+        self.epoch = 0
+        #: the ReconfigTransaction currently in its apply phase, if any;
+        #: primitives consult it to defer irreversible effects (message
+        #: drops, instance finalisation) until the commit is decided
+        self._txn = None
+        #: called as (event_name, exception) when an event-handler batch is
+        #: rejected by validation or rolled back mid-apply; the Coordination
+        #: Manager wires this to the Event Manager so the failure surfaces
+        #: as a RECONFIG_* context event instead of unwinding the monitor
+        self.escalation_hook = None
+        #: called as (txn) after a successful commit; a ProbationMonitor
+        #: sets this to adopt the undo log as the last-known-good record.
+        #: When unset, deferred removals are finalised at commit time.
+        self.lkg_adopter = None
         #: called as (instance_id, exception) when a streamlet's process()
         #: raises; the Coordination Manager wires this to the Event Manager
         #: ("events may be caused ... by exceptions in streamlet executions")
@@ -422,6 +442,10 @@ class RuntimeStream:
             raise CompositionError(f"no ingress port {key!r} on stream {self.name}") from None
         if self.session is not None and message.session is None:
             message.headers.session = self.session
+        if self.epoch:
+            # stamp the composition version the message is admitted under;
+            # pre-reconfiguration streams (epoch 0) keep the legacy wire form
+            message.headers.set_epoch(self.epoch)
         traced = self.tm.enabled and self.tm.admit(message)  # sampled trace
         msg_id = self.pool.admit(message)
         if traced:
@@ -645,10 +669,15 @@ class RuntimeStream:
         for channel in list(node.inputs.values()) + list(node.outputs.values()):
             self._release_dropped(channel.queue.drain())
             channel.queue.close()
-        if node.streamlet.state is not StreamletState.ENDED:
-            node.streamlet.end()
-            node.streamlet.on_end(node.ctx)
-        self._manager.release(node.streamlet)
+        if self._txn is not None:
+            # end()/release() cannot be undone; park the node in the
+            # transaction's limbo list until the commit is decided
+            self._txn.defer_removal(node)
+        else:
+            if node.streamlet.state is not StreamletState.ENDED:
+                node.streamlet.end()
+                node.streamlet.on_end(node.ctx)
+            self._manager.release(node.streamlet)
         del self._nodes[name]
         self.ingress = {k: v for k, v in self.ingress.items() if not k.startswith(name + ".")}
         self.egress = [(r, c) for r, c in self.egress if r.instance != name]
@@ -767,6 +796,12 @@ class RuntimeStream:
             del self._channels[channel.name]
 
     def _release_dropped(self, msg_ids: list[str]) -> None:
+        if self._txn is not None:
+            # mid-transaction drops are provisional: a rollback puts the ids
+            # back on their queues, so releasing (and counting) them now
+            # would lose messages the undo log is about to resurrect
+            self._txn.defer_drops(msg_ids)
+            return
         for msg_id in msg_ids:
             if msg_id in self.pool:
                 message = self.pool.release(msg_id)
@@ -789,13 +824,10 @@ class RuntimeStream:
         timing: ReconfigTiming | None = None
         actions = self.table.handlers.get(event.event_id)
         if actions is not None:
-            span = self.tm.reconfig_begin(event.event_id) if self.tm.enabled else None
-            with self.topology_lock:
-                timing = self._execute_actions(actions)
-            if span is not None:
-                self.tm.reconfig_end(span, event.event_id, timing)
-            self.stats.events_handled += 1
-            self.last_reconfig = timing
+            timing = self._handle_actions(event.event_id, actions)
+            if timing is not None:
+                self.stats.events_handled += 1
+                self.last_reconfig = timing
         if event.event_id == "PAUSE":
             self.pause_all()
         elif event.event_id == "RESUME":
@@ -817,6 +849,38 @@ class RuntimeStream:
             for node in self._nodes.values():
                 if node.streamlet.state is StreamletState.PAUSED:
                     node.streamlet.activate()
+
+    def _handle_actions(self, event_id: str, actions) -> ReconfigTiming | None:
+        """Run a ``when`` handler's action batch as one transaction.
+
+        The batch is dry-run against a shadow topology, then committed
+        under quiescence with automatic rollback — a failure mid-apply no
+        longer leaves the stream half-rewired.  When an
+        ``escalation_hook`` is wired (the Coordination Manager routes it
+        into the Event Manager) a rejected or rolled-back batch surfaces
+        as a ``RECONFIG_REJECTED`` / ``RECONFIG_ROLLED_BACK`` context
+        event and this method returns None; without a hook the error
+        propagates to the caller.
+        """
+        from repro.runtime.reconfig import ReconfigTransaction  # lazy: cyclic import
+
+        txn = ReconfigTransaction(self, actions, label=event_id)
+        span = self.tm.reconfig_begin(event_id) if self.tm.enabled else None
+        try:
+            timing = txn.execute()
+        except ReconfigValidationError as exc:
+            if self.escalation_hook is not None:
+                self.escalation_hook("RECONFIG_REJECTED", exc)
+                return None
+            raise
+        except ReconfigAbortedError as exc:
+            if self.escalation_hook is not None:
+                self.escalation_hook("RECONFIG_ROLLED_BACK", exc)
+                return None
+            raise
+        if span is not None:
+            self.tm.reconfig_end(span, event_id, timing)
+        return timing
 
     def _execute_actions(self, actions) -> ReconfigTiming:
         timing = ReconfigTiming()
@@ -877,13 +941,18 @@ class RuntimeStream:
         t0 = self._clock.now()
         try:
             operation()
-        finally:
+        except BaseException:
+            # do NOT resume: the wiring op failed, so traffic must stay
+            # suspended until the enclosing transaction finishes rolling
+            # the topology back (the undo log restores streamlet states)
             timing.channel_ops += self._clock.now() - t0
-            t0 = self._clock.now()
-            for node in resumable:
-                if node.streamlet.state is StreamletState.PAUSED:
-                    node.streamlet.activate()
-            timing.activate += self._clock.now() - t0
+            raise
+        timing.channel_ops += self._clock.now() - t0
+        t0 = self._clock.now()
+        for node in resumable:
+            if node.streamlet.state is StreamletState.PAUSED:
+                node.streamlet.activate()
+        timing.activate += self._clock.now() - t0
         return timing
 
 

@@ -115,6 +115,9 @@ class StreamTelemetry:
         "_hop_family",
         "_wait_family",
         "_reconfig_family",
+        "_epoch_gauge",
+        "_txn_family",
+        "_txn_latency",
     )
 
     enabled = True
@@ -154,6 +157,22 @@ class StreamTelemetry:
             "mobigate_reconfig_seconds",
             "End-to-end duration of one reconfiguration epoch (Eq 7-1)",
             labels=("stream", "event"),
+        )
+        self._epoch_gauge = registry.gauge(
+            "mobigate_stream_epoch",
+            "Current composition epoch (bumped by commits and rollbacks)",
+            labels=("stream",),
+        ).labels(stream)
+        self._txn_family = registry.counter(
+            "mobigate_reconfig_transactions_total",
+            "Reconfiguration transactions by outcome "
+            "(committed / rolled_back / validation_failed)",
+            labels=("stream", "outcome"),
+        )
+        self._txn_latency = registry.histogram(
+            "mobigate_reconfig_latency_seconds",
+            "Wall-clock latency of transaction phases (commit / rollback)",
+            labels=("stream", "phase"),
         )
 
     # -- export-time counter mirror ---------------------------------------------
@@ -277,6 +296,20 @@ class StreamTelemetry:
         )
         self._reconfig_family.labels(self.stream, event_id).observe(timing.total)
 
+    # -- transactional reconfiguration (repro.runtime.reconfig) ------------------------
+
+    def epoch(self, value: int) -> None:
+        """Record the stream's current composition epoch."""
+        self._epoch_gauge.set(float(value))
+
+    def reconfig_outcome(self, outcome: str) -> None:
+        """Count one transaction outcome (committed/rolled_back/validation_failed)."""
+        self._txn_family.labels(self.stream, outcome).inc()
+
+    def reconfig_latency(self, phase: str, seconds: float) -> None:
+        """Observe the wall-clock latency of one transaction phase."""
+        self._txn_latency.labels(self.stream, phase).observe(seconds)
+
 
 class NullStreamTelemetry:
     """The do-nothing twin of :class:`StreamTelemetry` (zero allocations)."""
@@ -317,6 +350,15 @@ class NullStreamTelemetry:
         return None
 
     def reconfig_end(self, span, event_id, timing) -> None:
+        """No-op."""
+
+    def epoch(self, value: int) -> None:
+        """No-op."""
+
+    def reconfig_outcome(self, outcome: str) -> None:
+        """No-op."""
+
+    def reconfig_latency(self, phase: str, seconds: float) -> None:
         """No-op."""
 
 
@@ -436,6 +478,16 @@ class Telemetry:
         ).unlabelled()
         return messages, received  # type: ignore[return-value]
 
+    def client_dead_letter_counter(self, reason: str) -> Counter:
+        """Counter of client-side dead-letters, by structured reason."""
+        family = self.registry.counter(
+            "mobigate_client_dead_letters_total",
+            "Messages the client parked instead of raising "
+            "(unknown-peer / stale-peer / reverse-failed / malformed-epoch)",
+            labels=("reason",),
+        )
+        return family.labels(reason)  # type: ignore[return-value]
+
     def peer_hop(
         self,
         peer_id: str,
@@ -542,6 +594,10 @@ class NullTelemetry(Telemetry):
     def client_counters(self) -> tuple[None, None]:  # type: ignore[override]
         """No-op: clients bound to this twin keep no counters."""
         return None, None
+
+    def client_dead_letter_counter(self, reason: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
 
     def peer_hop(self, peer_id, message, results, duration) -> None:
         """No-op."""

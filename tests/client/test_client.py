@@ -2,7 +2,7 @@ import pytest
 
 from repro.client import ClientStreamletPool, MessageDistributor, MobiGateClient
 from repro.client.peers import PeerStreamlet
-from repro.errors import DistributorError, PeerNotFoundError
+from repro.errors import ClientError, DistributorError, PeerNotFoundError
 from repro.mime.mediatype import TEXT_PLAIN
 from repro.mime.message import MimeMessage
 from repro.runtime.streamlet import StreamletContext
@@ -156,3 +156,90 @@ class TestMobiGateClient:
         client = MobiGateClient(on_deliver=seen.append)
         client.receive(synthetic_text_message(64, seed=4))
         assert len(seen) == 1
+
+
+class TestEpochSwapAndDeadLetters:
+    """Client hardening: epoch-staged peer swaps, structured dead-letters."""
+
+    class CustomPeer(PeerStreamlet):
+        def __init__(self):
+            super().__init__("custom")
+
+    @staticmethod
+    def message(body=b"x", peer=None, epoch=None):
+        msg = MimeMessage(TEXT_PLAIN, body)
+        if peer is not None:
+            msg.headers.push_peer(peer)
+        if epoch is not None:
+            msg.headers.set("Content-Session", "sess-1")
+            msg.headers.set_epoch(epoch)
+        return msg
+
+    def client(self):
+        return MobiGateClient(pool=ClientStreamletPool(include_builtin=False))
+
+    def test_unknown_peer_parks_instead_of_raising(self):
+        client = self.client()
+        out = client.receive(self.message(peer="ghost"))
+        assert out == []
+        [dl] = client.dead_letters
+        assert dl.reason == "unknown-peer"
+        assert dl.peer_id == "ghost"
+        assert isinstance(dl.error, PeerNotFoundError)
+        assert client.delivered == []
+
+    def test_staged_registration_applies_at_epoch_boundary(self):
+        client = self.client()
+        client.stage_epoch(1, {"custom": self.CustomPeer})
+        # pre-swap: the peer does not exist yet
+        client.receive(self.message(peer="custom"))
+        assert client.dead_letters[-1].reason == "unknown-peer"
+        # the first epoch-1 message swaps the chain, then delivers
+        out = client.receive(self.message(peer="custom", epoch=1))
+        assert len(out) == 1
+        assert client.epoch == 1
+        assert client.pool.known_peers() == {"custom"}
+
+    def test_stale_epoch_peer_becomes_stale_dead_letter(self):
+        client = self.client()
+        client.register_peer("custom", self.CustomPeer)
+        client.stage_epoch(1, {"custom": None})
+        assert len(client.receive(self.message(epoch=1))) == 1  # swap: custom gone
+        straggler = self.message(peer="custom", epoch=0)
+        assert client.receive(straggler) == []
+        [dl] = client.dead_letters
+        assert dl.reason == "stale-peer"
+        assert dl.epoch == 0
+
+    def test_malformed_epoch_parked(self):
+        client = self.client()
+        msg = MimeMessage(TEXT_PLAIN, b"x")
+        msg.headers.set("Content-Session", "sess-1;epoch=banana")
+        assert client.receive(msg) == []
+        assert client.dead_letters[-1].reason == "malformed-epoch"
+
+    def test_stage_behind_current_epoch_rejected(self):
+        client = self.client()
+        client.stage_epoch(1, {})
+        client.receive(self.message(epoch=1))
+        with pytest.raises(ClientError):
+            client.stage_epoch(1, {})
+
+    def test_epoch_gap_applies_all_staged_steps(self):
+        client = self.client()
+        client.stage_epoch(1, {"custom": self.CustomPeer})
+        client.stage_epoch(2, {"other": self.CustomPeer})
+        # epoch 3 arrives first: both staged swaps apply, in order
+        client.receive(self.message(epoch=3))
+        assert client.epoch == 3
+        assert client.pool.known_peers() == {"custom", "other"}
+
+    def test_unregister_drops_factory_and_instance(self):
+        pool = ClientStreamletPool(include_builtin=False)
+        pool.register("custom", self.CustomPeer)
+        pool.acquire("custom")
+        assert pool.unregister("custom")
+        assert not pool.unregister("custom")
+        assert pool.known_peers() == frozenset()
+        with pytest.raises(PeerNotFoundError):
+            pool.acquire("custom")

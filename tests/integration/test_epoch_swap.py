@@ -1,0 +1,146 @@
+"""End-to-end: a transactional epoch swap from server to client.
+
+The server commits a reconfiguration mid-stream (inserting, then
+extracting, the text compressor); the committed epoch rides the
+``Content-Session`` header across the wire; the client applies its
+staged peer-chain swap at exactly the first message of the new epoch.
+The §7.2 conservation invariant is re-checked across every transition,
+and stragglers from a retired epoch park as structured dead-letters
+instead of unwinding the delivery loop.
+"""
+
+from repro.apps import build_server
+from repro.client.client import MobiGateClient
+from repro.client.client_pool import ClientStreamletPool
+from repro.client.peers import TextDecompress
+from repro.faults.invariant import check_conservation
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import TEXT_PLAIN
+from repro.mime.message import MimeMessage
+from repro.runtime.reconfig import ReconfigTransaction
+from repro.runtime.scheduler import InlineScheduler
+from repro.util.clock import VirtualClock
+
+SOURCE = """
+streamlet tap{
+  port{ in pi : text/*; out po : text/plain; }
+}
+main stream s{
+  streamlet a, b = new-streamlet (tap);
+  streamlet tc = new-streamlet (text_compress);
+  connect (a.po, b.pi);
+}
+"""
+
+PEER = "text_decompress"
+
+
+def deploy():
+    server = build_server(clock=VirtualClock())
+    stream = server.deploy_script(SOURCE)
+    return server, stream, InlineScheduler(stream)
+
+
+def post_round(stream, scheduler, tag, n=3):
+    bodies = [f"{tag}-{i} ".encode() * 40 for i in range(n)]
+    for body in bodies:
+        stream.post(MimeMessage(TEXT_PLAIN, body))
+    scheduler.pump()
+    return bodies, stream.collect()
+
+
+class TestEpochSwapOverTheWire:
+    def test_mid_stream_swap_delivers_every_message_once(self):
+        _server, stream, scheduler = deploy()
+        client = MobiGateClient(pool=ClientStreamletPool(include_builtin=False))
+
+        # epoch 0: plain traffic, no epoch parameter on the wire
+        bodies0, wire0 = post_round(stream, scheduler, "plain")
+        assert all(m.headers.epoch is None for m in wire0)
+        for m in wire0:
+            client.receive(m)
+
+        # commit the compressor; stage the matching peer on the client
+        ReconfigTransaction(stream, [
+            ast.Insert(ast.PortRef("a", "po"), ast.PortRef("b", "pi"), "tc"),
+        ]).execute()
+        client.stage_epoch(1, {PEER: TextDecompress})
+
+        bodies1, wire1 = post_round(stream, scheduler, "zipped")
+        assert all(m.headers.epoch == 1 for m in wire1)
+        assert all("Content-Encoding" in [n for n, _ in m.headers] for m in wire1)
+        for m in wire1:
+            client.receive(m)
+        assert client.epoch == 1
+
+        # epoch 2: the compressor leaves again; the client unstages its peer
+        ReconfigTransaction(stream, [
+            ast.RemoveInstance("extract", "tc"),
+        ]).execute()
+        client.stage_epoch(2, {PEER: None})
+        bodies2, wire2 = post_round(stream, scheduler, "after")
+        assert all(m.headers.epoch == 2 for m in wire2)
+        for m in wire2:
+            client.receive(m)
+        assert client.epoch == 2
+
+        # every message of every epoch delivered exactly once, decompressed
+        assert [m.body for m in client.take_delivered()] == (
+            bodies0 + bodies1 + bodies2
+        )
+        assert client.dead_letters == []
+        report = check_conservation(stream)
+        assert report.balanced and report.lost == 0
+        assert stream.epoch == 2
+
+    def test_straggler_from_retired_epoch_parks_as_stale(self):
+        _server, stream, scheduler = deploy()
+        client = MobiGateClient(pool=ClientStreamletPool(include_builtin=False))
+        client.register_peer(PEER, TextDecompress)
+        client.stage_epoch(2, {PEER: None})
+
+        # the client has moved on to epoch 2 ...
+        fresh = MimeMessage(TEXT_PLAIN, b"fresh")
+        fresh.headers.set("Content-Session", "sess-1")
+        fresh.headers.set_epoch(2)
+        assert len(client.receive(fresh)) == 1
+
+        # ... when an epoch-1 message naming the retired peer limps in
+        straggler = MimeMessage(TEXT_PLAIN, b"late")
+        straggler.headers.set("Content-Session", "sess-1")
+        straggler.headers.set_epoch(1)
+        straggler.headers.push_peer(PEER)
+        assert client.receive(straggler) == []
+        [dl] = client.dead_letters
+        assert dl.reason == "stale-peer"
+        assert dl.peer_id == PEER
+        assert dl.epoch == 1
+
+    def test_swap_with_messages_in_flight(self):
+        # messages posted before the commit but still queued cross the
+        # epoch boundary inside the server; none may be lost or doubled
+        _server, stream, scheduler = deploy()
+        client = MobiGateClient(pool=ClientStreamletPool(include_builtin=False))
+        client.stage_epoch(1, {PEER: TextDecompress})
+
+        stream.node("b").streamlet.pause()
+        parked = [f"parked-{i} ".encode() * 40 for i in range(3)]
+        for body in parked:
+            stream.post(MimeMessage(TEXT_PLAIN, body))
+        scheduler.pump()
+        assert stream.node("b").inputs["pi"].pending() == 3
+
+        ReconfigTransaction(stream, [
+            ast.Insert(ast.PortRef("a", "po"), ast.PortRef("b", "pi"), "tc"),
+        ]).execute()
+        stream.node("b").streamlet.activate()
+        late = [f"late-{i} ".encode() * 40 for i in range(2)]
+        for body in late:
+            stream.post(MimeMessage(TEXT_PLAIN, body))
+        scheduler.pump()
+        for m in stream.collect():
+            client.receive(m)
+        assert [m.body for m in client.take_delivered()] == parked + late
+        assert client.dead_letters == []
+        report = check_conservation(stream)
+        assert report.balanced and report.lost == 0

@@ -133,3 +133,58 @@ class TestWireFormat:
         h.set("Z", "1")
         h.set("A", "2")
         assert h.format().splitlines() == ["Z: 1", "A: 2"]
+
+
+class TestStreamEpoch:
+    """The reconfiguration extension: epochs ride on Content-Session."""
+
+    def test_no_session_no_epoch(self):
+        h = HeaderMap()
+        assert h.epoch is None
+        assert h.session is None
+
+    def test_session_without_epoch(self):
+        h = HeaderMap()
+        h.set(CONTENT_SESSION, "sess-42")
+        assert h.session == "sess-42"
+        assert h.epoch is None
+
+    def test_set_epoch_and_read_back(self):
+        h = HeaderMap()
+        h.set(CONTENT_SESSION, "sess-42")
+        h.set_epoch(3)
+        assert h.get(CONTENT_SESSION) == "sess-42;epoch=3"
+        assert h.session == "sess-42"  # base id unchanged for old readers
+        assert h.epoch == 3
+
+    def test_set_epoch_replaces_prior(self):
+        h = HeaderMap()
+        h.set(CONTENT_SESSION, "sess-1")
+        h.set_epoch(1)
+        h.set_epoch(2)
+        assert h.get(CONTENT_SESSION) == "sess-1;epoch=2"
+        assert h.epoch == 2
+
+    def test_epoch_survives_the_wire(self):
+        h = HeaderMap()
+        h.set(CONTENT_SESSION, "sess-7")
+        h.set_epoch(5)
+        parsed = HeaderMap.parse(h.format())
+        assert parsed.epoch == 5
+        assert parsed.session == "sess-7"
+
+    def test_malformed_epoch_raises(self):
+        h = HeaderMap()
+        h.set(CONTENT_SESSION, "sess-1;epoch=banana")
+        with pytest.raises(HeaderError):
+            h.epoch
+
+    def test_negative_epoch_rejected(self):
+        h = HeaderMap()
+        h.set(CONTENT_SESSION, "sess-1")
+        with pytest.raises(HeaderError):
+            h.set_epoch(-1)
+
+    def test_set_epoch_without_session_rejected(self):
+        with pytest.raises(HeaderError):
+            HeaderMap().set_epoch(1)
