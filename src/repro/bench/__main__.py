@@ -33,7 +33,7 @@ from repro.bench.telemetry_overhead import run_telemetry_overhead
 
 ALL_TARGETS = (
     "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
-    "adaptivity", "telemetry", "faults", "reconfig",
+    "adaptivity", "telemetry", "faults", "reconfig", "scheduler_parallel",
 )
 
 
@@ -140,6 +140,20 @@ def main(argv: list[str]) -> int:
         )
         result.print()
         emit("reconfig", result)
+    if "scheduler_parallel" in targets:
+        from repro.bench.reporting import flag_regressions
+        from repro.bench.scheduler_parallel import run_scheduler_parallel
+
+        result = run_scheduler_parallel(
+            n_messages=120 if quick else 400,
+            idle_window=0.2 if quick else 0.4,
+        )
+        result.print()
+        # compare against the baseline committed in the working directory;
+        # warnings are advisory (hosts differ), never a failed exit
+        for warning in flag_regressions("scheduler_parallel", result):
+            print(warning, file=sys.stderr)
+        emit("scheduler_parallel", result)
     return 0
 
 

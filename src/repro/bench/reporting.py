@@ -88,6 +88,70 @@ def bench_output_dir() -> Path:
     return Path(os.environ.get("REPRO_BENCH_DIR") or ".")
 
 
+def load_baseline(name: str, directory: Path | str | None = None) -> dict | None:
+    """The committed ``BENCH_<name>.json`` baseline, or None.
+
+    Baselines are read from ``directory`` (default: the working directory
+    — i.e. the repo checkout in CI, **not** ``$REPRO_BENCH_DIR``, which is
+    where fresh results land) so a run never compares against itself.
+    """
+    path = Path(directory) if directory is not None else Path(".")
+    path = path / f"BENCH_{name}.json"
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def flag_regressions(
+    name: str,
+    payload: object,
+    *,
+    threshold: float = 0.10,
+    metric: str = "throughput_msgs_per_sec",
+    key: str = "engine",
+    directory: Path | str | None = None,
+) -> list[str]:
+    """Warnings for per-row ``metric`` drops beyond ``threshold`` vs baseline.
+
+    Compares each ``rows[*]`` entry of ``payload`` (keyed by ``key``)
+    against the committed baseline JSON.  Returns human-readable warning
+    strings — deliberately non-fatal, since absolute throughput varies
+    across hosts; CI surfaces them, a human judges them.  No baseline (or
+    no comparable rows) means no warnings.
+    """
+    baseline = load_baseline(name, directory)
+    if baseline is None:
+        return []
+    current = jsonable(payload)
+    if not isinstance(current, dict):
+        return []
+    base_rows = {
+        row.get(key): row
+        for row in baseline.get("rows", ())
+        if isinstance(row, dict) and row.get(key) is not None
+    }
+    warnings: list[str] = []
+    for row in current.get("rows", ()):
+        if not isinstance(row, dict):
+            continue
+        base = base_rows.get(row.get(key))
+        if base is None:
+            continue
+        now, then = row.get(metric), base.get(metric)
+        if not isinstance(now, (int, float)) or not isinstance(then, (int, float)):
+            continue
+        if then > 0 and now < then * (1.0 - threshold):
+            drop = (1.0 - now / then) * 100.0
+            warnings.append(
+                f"[bench] REGRESSION {name}/{row.get(key)}: {metric} "
+                f"{now:.1f} is {drop:.1f}% below baseline {then:.1f} "
+                f"(threshold {threshold * 100:.0f}%)"
+            )
+    return warnings
+
+
 def write_bench_json(name: str, payload: object, directory: Path | str | None = None) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 

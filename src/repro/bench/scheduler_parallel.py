@@ -1,0 +1,353 @@
+"""Scheduler-parallelism bench: is the threaded engine actually parallel?
+
+Drives a 4-stage chain of CPU-bearing streamlets (SHA-256 over 64 KB
+blocks — CPython releases the GIL for hashing, so stages overlap on
+multi-core hosts) through three engines on the same host:
+
+* ``inline`` — the deterministic single-threaded pump (the floor);
+* ``threaded_legacy`` — a faithful replica of the pre-RCU worker loop
+  (every step serialised behind the global topology lock, 1 ms sleep
+  when idle), kept here so the *before* number is measured on the same
+  commit, not asserted from memory;
+* ``threaded`` — the current event-driven, snapshot-reading
+  :class:`~repro.runtime.scheduler.ThreadedScheduler`.
+
+The drive is **closed-loop**: a small window of messages is kept in
+flight, each delivery immediately replaced — the traffic shape of an
+interactive proxy session, and the one that exposes the legacy engine's
+defining cost: a worker that polls at 1 ms leaves the CPU idle up to a
+millisecond per hop while work is already queued, so a 4-stage message
+pays up to 4 ms of pure wakeup latency.  The event-driven engine is
+signalled by the post itself.  (On a multi-core host the GIL-releasing
+hash work adds genuine stage overlap on top; the wakeup win needs no
+cores at all.)
+
+Besides throughput, each engine run is checked against the message-
+conservation invariant (a racy scheduler loses or double-counts ids long
+before it gets slow), and an idle window after the traffic measures
+wakeups-per-second per worker — the event-driven engine's residual
+heartbeat vs the legacy busy-poll.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.apps import build_server
+from repro.faults.invariant import check_conservation
+from repro.mcl import astnodes as ast
+from repro.mime.mediatype import ANY
+from repro.mime.message import MimeMessage
+from repro.runtime.scheduler import (
+    InlineScheduler,
+    ThreadedScheduler,
+    _drop,
+    _NodeView,
+    _step_node,
+)
+from repro.runtime.stream import RuntimeStream
+from repro.runtime.streamlet import Emission, Streamlet, StreamletContext
+from repro.telemetry import NULL_TELEMETRY
+
+HASHER_DEF = ast.StreamletDef(
+    name="bench_hasher",
+    ports=(
+        ast.PortDecl(ast.PortDirection.IN, "pi", ANY),
+        ast.PortDecl(ast.PortDirection.OUT, "po", ANY),
+    ),
+    kind=ast.StreamletKind.STATELESS,
+    library="bench/hasher",
+    description="SHA-256 grind per message; GIL-releasing CPU load",
+)
+
+
+class Hasher(Streamlet):
+    """Hash a 64 KB expansion of the payload ``rounds`` times, forward it.
+
+    ``hashlib`` drops the GIL for buffers larger than 2047 bytes, so a
+    chain of these is the closest a pure-Python streamlet gets to real
+    CPU-parallel work.
+    """
+
+    #: overridable via ctx.params["hash_rounds"] (the §8.2.1 control path)
+    rounds = 3
+
+    def process(self, port: str, message: MimeMessage, ctx: StreamletContext) -> Emission:
+        block = message.body * 8  # ~64 KB of GIL-free work per round
+        rounds = int(ctx.params.get("hash_rounds", self.rounds))
+        digest = b""
+        for _ in range(rounds):
+            h = hashlib.sha256(block)
+            h.update(digest)
+            digest = h.digest()
+        return [("po", message)]
+
+
+def _chain_mcl(stages: int) -> str:
+    names = [f"h{i}" for i in range(stages)]
+    lines = ["main stream parbench{"]
+    lines.append(f"  streamlet {', '.join(names)} = new-streamlet (bench_hasher);")
+    for a, b in zip(names, names[1:]):
+        lines.append(f"  connect ({a}.po, {b}.pi);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _deploy(stages: int, hash_rounds: int) -> RuntimeStream:
+    server = build_server(telemetry=NULL_TELEMETRY, drop_timeout=5.0)
+    server.directory.advertise(HASHER_DEF, Hasher, replace=True)
+    stream = server.deploy_script(_chain_mcl(stages))
+    for i in range(stages):
+        stream.set_param(f"h{i}", "hash_rounds", hash_rounds)
+    return stream
+
+
+class _LegacyThreadedScheduler:
+    """The pre-RCU worker loop, preserved for the before/after comparison.
+
+    One thread per instance, but every step runs with the global topology
+    lock held (so steps serialise) and an idle worker sleeps a fixed 1 ms
+    poll — exactly the engine this bench exists to retire.
+    """
+
+    def __init__(self, stream: RuntimeStream, *, poll_interval: float = 0.001):
+        self._stream = stream
+        self._poll = poll_interval
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.idle_sleeps = 0
+        self._counter_lock = threading.Lock()
+
+    def start(self) -> None:
+        with self._stream.topology_lock:
+            names = self._stream.instance_names()
+        for name in names:
+            thread = threading.Thread(
+                target=self._worker, args=(name,),
+                name=f"legacy-{name}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _worker(self, name: str) -> None:
+        stream = self._stream
+        while not self._stop.is_set():
+            stalled: list = []
+            with stream.topology_lock:
+                node = stream._nodes.get(name)
+                if node is None:
+                    return
+                view = _NodeView(name, node, ())  # rebuilt per step, as before
+                moved = _step_node(stream, name, view, stalled)
+            for channel, msg_id, size in stalled:
+                deadline = time.monotonic() + stream._drop_timeout
+                posted = False
+                while not self._stop.is_set():
+                    try:
+                        remaining = deadline - time.monotonic()
+                        if channel.post(msg_id, size,
+                                        timeout=max(0.0, min(0.05, remaining))):
+                            posted = True
+                            break
+                    except Exception:
+                        break
+                    if time.monotonic() >= deadline:
+                        break
+                if not posted:
+                    _drop(stream, msg_id)
+            if moved == 0:
+                with self._counter_lock:
+                    self.idle_sleeps += 1
+                time.sleep(self._poll)
+
+    def stop(self, *, timeout: float = 2.0) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+
+@dataclass
+class EngineRow:
+    """One engine's throughput + integrity figures."""
+
+    engine: str
+    wall_seconds: float
+    throughput_msgs_per_sec: float
+    delivered: int
+    conserved: bool
+    #: idle wakeups per worker per second, measured over a quiet window
+    #: after the traffic (None for the inline engine, which has no workers)
+    idle_wakeups_per_worker_per_sec: float | None
+
+
+@dataclass
+class SchedulerParallelResult:
+    """Inline vs legacy-threaded vs event-driven threaded, same host."""
+
+    stages: int
+    n_messages: int
+    payload_bytes: int
+    hash_rounds: int
+    window: int
+    idle_window_seconds: float
+    rows: list[EngineRow]
+    #: event-driven ThreadedScheduler over the pre-change (legacy) one —
+    #: the acceptance figure; and over the inline floor for context
+    speedup_vs_legacy: float
+    speedup_vs_inline: float
+
+    def print(self) -> None:
+        """Print the engine comparison table."""
+        print("\n== Scheduler parallelism: 4-stage CPU chain, three engines ==")
+        print(
+            f"stages={self.stages}, messages={self.n_messages}, "
+            f"payload={self.payload_bytes}B, hash_rounds={self.hash_rounds}, "
+            f"window={self.window} (closed loop)"
+        )
+        print(f"{'engine':>16} {'wall_s':>8} {'msg/s':>9} {'deliv':>6} "
+              f"{'conserved':>10} {'idle wk/s':>10}")
+        for row in self.rows:
+            idle = (
+                f"{row.idle_wakeups_per_worker_per_sec:.1f}"
+                if row.idle_wakeups_per_worker_per_sec is not None else "-"
+            )
+            print(
+                f"{row.engine:>16} {row.wall_seconds:8.3f} "
+                f"{row.throughput_msgs_per_sec:9.1f} {row.delivered:6d} "
+                f"{'yes' if row.conserved else 'NO':>10} {idle:>10}"
+            )
+        print(
+            f"threaded speedup: {self.speedup_vs_legacy:.2f}x vs legacy, "
+            f"{self.speedup_vs_inline:.2f}x vs inline"
+        )
+
+
+def _closed_loop_inline(
+    stream: RuntimeStream, scheduler: InlineScheduler,
+    n_messages: int, payload: bytes, window: int,
+) -> tuple[float, int]:
+    posted = delivered = 0
+    start = time.perf_counter()
+    while posted < min(window, n_messages):
+        stream.post(MimeMessage("application/octet-stream", payload))
+        posted += 1
+    while delivered < n_messages:
+        scheduler.pump()
+        got = stream.collect()
+        if not got:
+            break  # nothing moves and nothing arrived: bail out
+        delivered += len(got)
+        while posted < min(delivered + window, n_messages):
+            stream.post(MimeMessage("application/octet-stream", payload))
+            posted += 1
+    return time.perf_counter() - start, delivered
+
+
+def _closed_loop_threaded(
+    stream: RuntimeStream, n_messages: int, payload: bytes, window: int,
+) -> tuple[float, int]:
+    # the collector blocks on the egress queue's waiter event — identical
+    # (and cheap) for both threaded engines, so the measured difference is
+    # the engines' own wakeup latency, not the harness's
+    egress_queue = stream.egress[0][1].queue
+    arrived = threading.Event()
+    egress_queue.add_waiter(arrived)
+    try:
+        posted = delivered = 0
+        start = time.perf_counter()
+        deadline = start + 120.0
+        while posted < min(window, n_messages):
+            stream.post(MimeMessage("application/octet-stream", payload))
+            posted += 1
+        while delivered < n_messages and time.perf_counter() < deadline:
+            arrived.wait(0.05)
+            arrived.clear()
+            got = stream.collect()
+            delivered += len(got)
+            while posted < min(delivered + window, n_messages):
+                stream.post(MimeMessage("application/octet-stream", payload))
+                posted += 1
+        return time.perf_counter() - start, delivered
+    finally:
+        egress_queue.remove_waiter(arrived)
+
+
+def _run_engine(
+    engine: str, stages: int, n_messages: int, payload: bytes,
+    hash_rounds: int, window: int, idle_window: float,
+) -> EngineRow:
+    stream = _deploy(stages, hash_rounds)
+    idle_rate: float | None = None
+    try:
+        if engine == "inline":
+            scheduler = InlineScheduler(stream)
+            wall, delivered = _closed_loop_inline(
+                stream, scheduler, n_messages, payload, window
+            )
+        else:
+            if engine == "threaded":
+                scheduler = ThreadedScheduler(stream)
+            else:
+                scheduler = _LegacyThreadedScheduler(stream)
+            scheduler.start()
+            wall, delivered = _closed_loop_threaded(
+                stream, n_messages, payload, window
+            )
+            # idle window: workers should now be event-blocked, not polling
+            if engine == "threaded":
+                before = scheduler.idle_spins + scheduler.event_wakeups
+                time.sleep(idle_window)
+                wakeups = (scheduler.idle_spins + scheduler.event_wakeups) - before
+            else:
+                before = scheduler.idle_sleeps
+                time.sleep(idle_window)
+                wakeups = scheduler.idle_sleeps - before
+            idle_rate = wakeups / stages / idle_window
+            scheduler.stop()
+        report = check_conservation(stream)
+        return EngineRow(
+            engine=engine,
+            wall_seconds=wall,
+            throughput_msgs_per_sec=n_messages / wall if wall > 0 else float("inf"),
+            delivered=delivered,
+            conserved=report.balanced and delivered == n_messages,
+            idle_wakeups_per_worker_per_sec=idle_rate,
+        )
+    finally:
+        stream.end()
+
+
+def run_scheduler_parallel(
+    *,
+    stages: int = 4,
+    n_messages: int = 400,
+    payload_bytes: int = 8 * 1024,
+    hash_rounds: int = 3,
+    window: int = 1,
+    idle_window: float = 0.4,
+) -> SchedulerParallelResult:
+    """Measure the three engines on an identical CPU-bearing chain."""
+    payload = b"\xa5" * payload_bytes
+    rows = [
+        _run_engine(
+            engine, stages, n_messages, payload, hash_rounds, window, idle_window
+        )
+        for engine in ("inline", "threaded_legacy", "threaded")
+    ]
+    by_name = {row.engine: row for row in rows}
+    new = by_name["threaded"].throughput_msgs_per_sec
+    return SchedulerParallelResult(
+        stages=stages,
+        n_messages=n_messages,
+        payload_bytes=payload_bytes,
+        hash_rounds=hash_rounds,
+        window=window,
+        idle_window_seconds=idle_window,
+        rows=rows,
+        speedup_vs_legacy=new / by_name["threaded_legacy"].throughput_msgs_per_sec,
+        speedup_vs_inline=new / by_name["inline"].throughput_msgs_per_sec,
+    )

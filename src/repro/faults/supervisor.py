@@ -27,7 +27,12 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import FaultPlanError, QueueClosedError, ReconfigurationError
+from repro.errors import (
+    CompositionError,
+    FaultPlanError,
+    QueueClosedError,
+    ReconfigurationError,
+)
 from repro.mime.message import MimeMessage
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -252,7 +257,7 @@ class Supervisor:
             msg_id=msg_id, message=message, instance=instance,
             port=port, attempts=attempts, reason=reason,
         ))
-        stream.stats.dead_letters += 1
+        stream.stats.inc("dead_letters")  # fault handlers run on worker threads
         if stream.tm.enabled:
             stream.tm.forget(msg_id)
         if self._gauge is not None:
@@ -266,8 +271,11 @@ class Supervisor:
         """Heal the chain around a repeatedly-failing optional instance."""
         try:
             self._stream.extract_streamlet(instance, force=True)
-        except ReconfigurationError:
-            return  # leave it wired; retries/dead-letters still apply
+        except (ReconfigurationError, CompositionError):
+            # unextractable wiring — or the instance vanished under a
+            # concurrently-committed transaction before we got here;
+            # either way retries/dead-letters still apply
+            return
         self.bypassed.append(instance)
         if self._outcome is not None:
             self._outcome("bypassed")
@@ -302,7 +310,7 @@ class Supervisor:
             except QueueClosedError:
                 posted = False
             if posted:
-                stream.stats.retries += 1
+                stream.stats.inc("retries")
                 if self._outcome is not None:
                     self._outcome("retried")
                 reposted += 1

@@ -74,6 +74,16 @@ class Channel:
     def is_sync(self) -> bool:
         return self.definition.sync is ast.ChannelSync.SYNC
 
+    @property
+    def drop_timeout(self) -> float:
+        """The queue's configured Figure 6-9 wait-before-drop budget.
+
+        Scheduler stall-retries budget against this (not a stream-wide
+        constant), so a channel tuned for patience keeps it even when the
+        retry happens outside the original blocking post.
+        """
+        return self.queue.drop_timeout
+
     def attach_source(self, ref: ast.PortRef) -> None:
         """Bind the producer port (one per channel)."""
         if self.source is not None:

@@ -1,16 +1,35 @@
 """The MessageQueue base class (section 6.2, Figures 6-3 and 6-9).
 
-A bounded FIFO of ``(message_id, size)`` entries guarded by a condition
-variable — the Python rendering of the Java ``synchronized`` +
-``wait``/``notifyAll`` design.  Capacity is accounted in **bytes** (the
-MCL ``buffer`` attribute is in KB); an empty queue always admits one
-message so a single oversized message cannot deadlock a stream.
+A bounded FIFO of ``(message_id, size)`` entries guarded by a pair of
+condition variables over one lock — the Python rendering of the Java
+``synchronized`` + ``wait``/``notify`` design, split so producers and
+consumers stop waking each other: posts signal ``not_empty`` (consumer
+side), fetches signal ``not_full`` (producer side).  Capacity is
+accounted in **bytes** (the MCL ``buffer`` attribute is in KB); an empty
+queue always admits one message so a single oversized message cannot
+deadlock a stream.
 
-``post_message`` implements the Figure 6-9 policy exactly: when the queue
-is full, wait up to ``drop_timeout`` for space; if still full, *drop the
-message* — slow downstream streamlets must not stall the whole stream
-(section 6.7).  Drops are counted, and the caller learns of them from the
-``False`` return so the pool entry can be released.
+``post_message`` implements the Figure 6-9 policy.  The timeout contract
+is explicit:
+
+``timeout=None``
+    Wait up to the queue's configured ``drop_timeout`` for room, then
+    drop: slow downstream streamlets must not stall the whole stream
+    (section 6.7).  A failed post counts in ``dropped``.
+``timeout > 0``
+    Same, with an explicit budget overriding the configured one.  A
+    failed post counts in ``dropped``.
+``timeout=0``
+    A pure non-blocking *probe*: never waits and never counts
+    ``dropped`` — the caller owns the message's accounting.  This is the
+    form schedulers use mid-step and mid-stall-retry, where the retry
+    loop (not the queue) decides when the Figure 6-9 budget is spent and
+    books the drop exactly once.
+
+Consumers that cannot block on a single queue (a scheduler worker
+multiplexing several input channels) register a ``threading.Event`` via
+:meth:`add_waiter`; every successful post sets it, giving the worker an
+edge-triggered "one of your inputs has traffic" signal without polling.
 """
 
 from __future__ import annotations
@@ -34,7 +53,14 @@ class MessageQueue:
         self._drop_timeout = drop_timeout
         self._entries: deque[tuple[str, int]] = deque()
         self._bytes = 0
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        #: compat alias: blocked *producers* wait here (tools and tests
+        #: that poke the queue wake them through this name)
+        self._cond = self._not_full
+        #: consumer-side wakeup events (see :meth:`add_waiter`)
+        self._waiters: list[threading.Event] = []
         self._closed = False
         # attachment counters (pCount / cCount of Figure 6-3)
         self.producer_count = 0
@@ -48,25 +74,25 @@ class MessageQueue:
 
     def incr_producers(self) -> None:
         """Attach one producer (pCount of Figure 6-3)."""
-        with self._cond:
+        with self._lock:
             self.producer_count += 1
 
     def decr_producers(self) -> None:
         """Detach one producer (pCount of Figure 6-3)."""
-        with self._cond:
+        with self._lock:
             if self.producer_count <= 0:
                 raise ValueError("producer count underflow")
             self.producer_count -= 1
-            self._cond.notify_all()
+            self._not_empty.notify_all()
 
     def incr_consumers(self) -> None:
         """Attach one consumer (cCount of Figure 6-3)."""
-        with self._cond:
+        with self._lock:
             self.consumer_count += 1
 
     def decr_consumers(self) -> None:
         """Detach one consumer (cCount of Figure 6-3)."""
-        with self._cond:
+        with self._lock:
             if self.consumer_count <= 0:
                 raise ValueError("consumer count underflow")
             self.consumer_count -= 1
@@ -78,38 +104,71 @@ class MessageQueue:
         return self._capacity
 
     @property
+    def drop_timeout(self) -> float:
+        """The configured Figure 6-9 wait-before-drop budget, seconds."""
+        return self._drop_timeout
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
     def __len__(self) -> int:
-        with self._cond:
+        with self._lock:
             return len(self._entries)
 
     @property
     def pending_bytes(self) -> int:
-        with self._cond:
+        with self._lock:
             return self._bytes
 
     def is_empty(self) -> bool:
         """True when nothing is queued."""
-        with self._cond:
-            return not self._entries
+        return not self._entries
 
     def _has_room(self, size: int) -> bool:
         return not self._entries or self._bytes + size <= self._capacity
+
+    # -- consumer wakeup events --------------------------------------------------------
+
+    def add_waiter(self, event: threading.Event) -> None:
+        """Register a consumer wakeup: set on every post (and on close).
+
+        If the queue already holds entries (or is closed) the event is set
+        immediately, so a consumer registering after traffic arrived never
+        sleeps through it.
+        """
+        with self._lock:
+            if event not in self._waiters:
+                self._waiters.append(event)
+            if self._entries or self._closed:
+                event.set()
+
+    def remove_waiter(self, event: threading.Event) -> None:
+        """Deregister a consumer wakeup event (idempotent)."""
+        with self._lock:
+            try:
+                self._waiters.remove(event)
+            except ValueError:
+                pass
+
+    def _signal_waiters(self) -> None:
+        # caller holds self._lock
+        for event in self._waiters:
+            event.set()
 
     # -- the paper's postMessage / fetchMessage ----------------------------------------------
 
     def post_message(self, msg_id: str, size: int, *, timeout: float | None = None) -> bool:
         """Enqueue; returns False if the message had to be dropped.
 
-        Implements Figure 6-9: wait up to ``timeout`` (default: the
-        queue's ``drop_timeout``) for room, then drop rather than block a
-        fast upstream streamlet forever.  Pass ``timeout=0`` for the
-        non-blocking form schedulers use while holding the topology lock.
+        Implements Figure 6-9 under the module-level timeout contract:
+        ``None`` waits the configured ``drop_timeout``, a positive value
+        waits that long instead, and ``0`` is a non-blocking probe that
+        leaves the ``dropped`` counter to the caller.
         """
+        probe = timeout is not None and timeout <= 0
         wait_for = self._drop_timeout if timeout is None else timeout
-        with self._cond:
+        with self._lock:
             if self._closed:
                 raise QueueClosedError("post on closed queue")
             if not self._has_room(size):
@@ -122,16 +181,19 @@ class MessageQueue:
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
                             break
-                        self._cond.wait(remaining)
+                        self._not_full.wait(remaining)
                 if self._closed:
                     raise QueueClosedError("queue closed while waiting to post")
                 if not self._has_room(size):
-                    self.dropped += 1
+                    if not probe:
+                        self.dropped += 1
                     return False
             self._entries.append((msg_id, size))
             self._bytes += size
             self.posted += 1
-            self._cond.notify_all()
+            # one consumer per channel end: a targeted notify suffices
+            self._not_empty.notify()
+            self._signal_waiters()
             return True
 
     def fetch_message(self, timeout: float | None = 0.0) -> str | None:
@@ -140,12 +202,12 @@ class MessageQueue:
         ``timeout=None`` blocks until a message arrives or the queue
         closes; ``0.0`` polls.
         """
-        with self._cond:
+        with self._lock:
             if timeout is None:
                 while not self._entries and not self._closed:
-                    self._cond.wait()
+                    self._not_empty.wait()
             elif timeout > 0 and not self._entries and not self._closed:
-                self._cond.wait(timeout)
+                self._not_empty.wait(timeout)
             if not self._entries:
                 if self._closed:
                     raise QueueClosedError("fetch on closed, drained queue")
@@ -153,23 +215,43 @@ class MessageQueue:
             msg_id, size = self._entries.popleft()
             self._bytes -= size
             self.fetched += 1
-            self._cond.notify_all()
+            # room freed: wake every blocked producer — sizes vary, so the
+            # space one post cannot use may fit another's message
+            self._not_full.notify_all()
             return msg_id
+
+    def wait_for_room(self, size: int, timeout: float) -> bool:
+        """Block until a ``size``-byte post *might* succeed (or timeout).
+
+        One bounded wait on the producer condition; returns True when room
+        is available at wakeup.  Purely advisory — the caller must still
+        post (room can vanish between the wakeup and the post), which is
+        why the stall-retry loop pairs this with ``timeout=0`` probes.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            if self._has_room(size):
+                return True
+            self._not_full.wait(timeout)
+            return not self._closed and self._has_room(size)
 
     def drain(self) -> list[str]:
         """Remove and return every queued id (used by BB/KB teardown)."""
-        with self._cond:
+        with self._lock:
             ids = [msg_id for msg_id, _ in self._entries]
             self._entries.clear()
             self._bytes = 0
-            self._cond.notify_all()
+            self._not_full.notify_all()
             return ids
 
     def close(self) -> None:
         """No further posts; fetch drains what remains, then raises."""
-        with self._cond:
+        with self._lock:
             self._closed = True
-            self._cond.notify_all()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            self._signal_waiters()
 
     # -- transactional snapshot/restore (repro.runtime.reconfig) -------------------
 
@@ -179,7 +261,7 @@ class MessageQueue:
         Counters (posted/fetched/dropped) are observability, not state, and
         are deliberately left out: a rolled-back transaction still happened.
         """
-        with self._cond:
+        with self._lock:
             return (
                 tuple(self._entries),
                 self._closed,
@@ -200,7 +282,7 @@ class MessageQueue:
         stale (probation rollback long after the capture).
         """
         entries, closed, producers, consumers = state
-        with self._cond:
+        with self._lock:
             self._entries.clear()
             self._bytes = 0
             if with_entries:
@@ -209,4 +291,7 @@ class MessageQueue:
             self._closed = closed
             self.producer_count = producers
             self.consumer_count = consumers
-            self._cond.notify_all()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            if self._entries or self._closed:
+                self._signal_waiters()

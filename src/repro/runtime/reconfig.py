@@ -260,7 +260,7 @@ class _StructuralSnapshot:
         stream.ingress = dict(self.ingress)
         stream.egress = list(self.egress)
         stream._auto_counter = self.auto_counter
-        stream._order_dirty = True
+        stream._invalidate_topology()
 
 
 # ---------------------------------------------------------------------------
@@ -752,8 +752,8 @@ class ReconfigTransaction:
     # -- commit / rollback ---------------------------------------------------------
 
     def execute(self) -> ReconfigTiming:
-        """Validate then commit, holding the topology lock across both."""
-        with self._stream.topology_lock:
+        """Validate then commit, holding the write section across both."""
+        with self._stream._write_access():
             if self.state is TxnState.STAGED:
                 self.validate()
             return self.commit(validate=False)
@@ -766,7 +766,10 @@ class ReconfigTransaction:
                 f"transaction {self.label!r} already {self.state.name.lower()}"
             )
         clock = stream._clock
-        with stream.topology_lock:
+        # the RCU write side: retires the published topology snapshot and
+        # waits out every in-flight scheduler step before the undo log is
+        # captured, so the capture (and the commit it guards) is exact
+        with stream._write_access():
             if stream._txn is not None:
                 raise ReconfigurationError(
                     f"stream {stream.name} already has a transaction mid-apply"
@@ -1047,7 +1050,7 @@ class ProbationMonitor:
             raise ReconfigurationError(
                 f"stream {stream.name} has no last-known-good record"
             )
-        with stream.topology_lock:
+        with stream._write_access():
             for node in stream._nodes.values():
                 if node.streamlet.is_active:
                     node.streamlet.pause()

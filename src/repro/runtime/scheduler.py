@@ -2,14 +2,20 @@
 
 Two engines drive the same :class:`~repro.runtime.stream.RuntimeStream`:
 
-* :class:`InlineScheduler` — deterministic, single-threaded: repeatedly
-  walks the instances in (topological) processing order, moving one
-  message per input port per round.  Used by tests and by the virtual-time
-  experiments, where reproducibility matters more than parallelism.
+* :class:`InlineScheduler` — deterministic, single-threaded: drives a
+  dirty-node worklist in (topological) processing order, moving one
+  message per input port per visit.  Used by tests and by the virtual-
+  time experiments, where reproducibility matters more than parallelism.
 * :class:`ThreadedScheduler` — one worker thread per streamlet instance,
-  condition-variable queues, faithful to the Java design ("extensive use
-  of multi-threading", section 7.4).  Reconfiguration takes the stream's
-  topology lock, so wiring never changes under a worker's feet.
+  faithful to the Java design ("extensive use of multi-threading",
+  section 7.4).  Workers read an immutable RCU-style
+  :class:`~repro.runtime.stream.TopologySnapshot` lock-free and block on
+  per-worker wakeup events signalled by their input queues, so steps on
+  distinct streamlets genuinely overlap and an idle stream costs no CPU.
+  Reconfiguration retires the snapshot under the stream's write section
+  (:meth:`RuntimeStream._write_access`), waits out in-flight steps, and
+  workers pick up the republished view at their next step — see
+  ``docs/performance.md`` for the full protocol.
 
 Both engines implement the same message step: fetch an id, check the
 message out of the pool, call ``process``, push the peer id when the
@@ -26,7 +32,7 @@ import time
 from repro.errors import QueueClosedError
 from repro.mime.headers import CONTENT_TRACE
 from repro.runtime.channel import Channel
-from repro.runtime.stream import RuntimeStream, _Node
+from repro.runtime.stream import RuntimeStream, TopologySnapshot, _NodeView
 from repro.runtime.streamlet import StreamletState
 
 #: canonical HeaderMap key for Content-Trace — probed directly against the
@@ -34,78 +40,82 @@ from repro.runtime.streamlet import StreamletState
 _TRACE_KEY = CONTENT_TRACE.lower()
 
 
-#: a post that found its queue full while the topology lock was held;
-#: retried outside the lock so consumers can drain in the meantime
+#: a post that found its queue full mid-step; retried after the step (and
+#: outside the read gate's critical work) so consumers can drain meanwhile.
+#: The size rides along so stalled retries never recompute total_size().
 _Stalled = tuple["Channel", str, int]
 
 
 def _step_node(
-    stream: RuntimeStream, name: str, node: _Node,
+    stream: RuntimeStream, name: str, view: _NodeView,
     stalled: list[_Stalled] | None = None,
 ) -> int:
     """Move at most one message through each of the node's input ports."""
-    if node.streamlet.state is not StreamletState.ACTIVE:
+    if view.streamlet.state is not StreamletState.ACTIVE:
         return 0
     moved = 0
-    for port, channel in list(node.inputs.items()):
+    for port, channel in view.inputs:  # frozen tuple: no per-step copy
         try:
             msg_id = channel.fetch(0.0)
         except QueueClosedError:
             continue
         if msg_id is None:
             continue
-        moved += _process_message(stream, name, node, port, msg_id, stalled)
+        moved += _process_message(stream, name, view, port, msg_id, stalled)
     return moved
 
 
 def _process_message(
-    stream: RuntimeStream, name: str, node: _Node, port: str, msg_id: str,
+    stream: RuntimeStream, name: str, view: _NodeView, port: str, msg_id: str,
     stalled: list[_Stalled] | None = None,
 ) -> int:
+    pool = stream.pool
+    stats = stream.stats
     tm = stream.tm
     timed = tm.enabled
     if timed:
         t0 = time.perf_counter()
-    message = stream.pool.checkout(msg_id)
-    node.ctx.session = message.session
+    message = pool.checkout(msg_id)
+    view.ctx.session = message.session
     try:
-        emissions = node.streamlet.process(port, message, node.ctx)
+        emissions = view.streamlet.process(port, message, view.ctx)
     except Exception as exc:  # fault containment: one bad message must not
         if timed:
             duration = time.perf_counter() - t0
-            node.hop_hist.observe(duration)
+            view.hop_hist.observe(duration)
             entry = message.headers._fields.get(_TRACE_KEY)
             if entry is not None:
                 tm.hop_span(name, entry[1], message, None, duration, failed=True)
-        stream.stats.processing_failures += 1  # (section 3.3.5)
+        stats.inc("processing_failures")  # (section 3.3.5)
         handler = stream.fault_handler
         retained = handler is not None and handler(name, port, msg_id, exc)
         if not retained:  # no supervisor claimed the id: release and count
-            stream.pool.release(msg_id)
-            stream.stats.failure_drops += 1
+            pool.release(msg_id)
+            stats.inc("failure_drops")
             if timed:
                 tm.forget(msg_id)
         if stream.failure_hook is not None:
             stream.failure_hook(name, exc)
         return 1
-    node.streamlet.processed += 1
-    stream.stats.processed += 1
+    view.streamlet.processed += 1
+    stats.inc("processed")
     if timed:
         # span before any post: once an emission is enqueued a concurrent
         # consumer may read its headers, so the trace context (the parent
         # advance) must be in place first
         duration = time.perf_counter() - t0
-        node.hop_hist.observe(duration)
+        view.hop_hist.observe(duration)
         entry = message.headers._fields.get(_TRACE_KEY)
         if entry is not None:
             tm.hop_span(name, entry[1], message, emissions, duration)
     if not emissions:
-        stream.pool.release(msg_id)  # absorbed (cache hit, filter, ...)
-        stream.stats.absorbed += 1
+        pool.release(msg_id)  # absorbed (cache hit, filter, ...)
+        stats.inc("absorbed")
         if timed:
             tm.forget(msg_id)
         return 1
-    peer = node.streamlet.peer_id
+    peer = view.streamlet.peer_id
+    outputs = view.outputs
     reused_id = False
     for out_port, out_msg in emissions:
         if peer is not None:
@@ -113,36 +123,37 @@ def _process_message(
         if not reused_id:
             out_id = msg_id
             if out_msg is not message:
-                stream.pool.rebind(msg_id, out_msg)
+                pool.rebind(msg_id, out_msg)
             reused_id = True
         else:
-            out_id = stream.pool.admit(out_msg)
-        out_channel: Channel | None = node.outputs.get(out_port)
+            out_id = pool.admit(out_msg)
+        out_channel: Channel | None = outputs.get(out_port)
         if out_channel is None:
             # open circuit at runtime: the message has nowhere to go
-            stream.pool.release(out_id)
-            stream.stats.open_circuit_drops += 1
+            pool.release(out_id)
+            stats.inc("open_circuit_drops")
             if timed:
                 tm.forget(out_id)
             continue
-        # never block while (possibly) holding the topology lock: a waiting
-        # producer would starve the consumer that could free the space.
-        # Once a channel has a stalled message, later emissions to it queue
-        # behind (FIFO order must survive the retry path).
+        # never block mid-step: a waiting producer would starve the
+        # consumer that could free the space.  Once a channel has a
+        # stalled message, later emissions to it queue behind (FIFO order
+        # must survive the retry path).
+        size = out_msg.total_size()  # computed once: retries reuse it
         already_stalled = stalled is not None and any(
             ch is out_channel for ch, _, _ in stalled
         )
         posted = False
         if not already_stalled:
             try:
-                posted = out_channel.post(out_id, out_msg.total_size(), timeout=0)
+                posted = out_channel.post(out_id, size, timeout=0)
             except QueueClosedError:
                 # a closed channel can never accept — drop now, never retry
                 _drop(stream, out_id)
                 continue
         if not posted:
             if stalled is not None:
-                stalled.append((out_channel, out_id, out_msg.total_size()))
+                stalled.append((out_channel, out_id, size))
             else:
                 _drop(stream, out_id)
     return 1
@@ -154,32 +165,108 @@ def _drop(stream: RuntimeStream, msg_id: str) -> None:
         message = stream.pool.release(msg_id)
         if stream.drop_hook is not None:
             stream.drop_hook(msg_id, message)
-    stream.stats.queue_drops += 1
+    stream.stats.inc("queue_drops")
     if stream.tm.enabled:
         stream.tm.forget(msg_id)
 
 
+def _retry_stalled(
+    stream: RuntimeStream, stalled: list[_Stalled],
+    abort: tuple[threading.Event, ...] = (),
+) -> None:
+    """Re-post full-queue emissions under the Figure 6-9 budget, then drop.
+
+    The retry is a non-blocking probe plus a bounded wait on the queue's
+    producer condition (``wait_for_room``) — no topology lock, no polling
+    slices — and the budget is the *channel's* configured ``drop_timeout``,
+    so a stall-retry honours the same contract an ordinary blocking post
+    would.  Exactly one drop is booked per abandoned id.
+    """
+    for channel, msg_id, size in stalled:
+        deadline = time.monotonic() + channel.drop_timeout
+        posted = False
+        while not any(event.is_set() for event in abort):
+            try:
+                if channel.post(msg_id, size, timeout=0):
+                    posted = True
+                    break
+            except QueueClosedError:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            channel.queue.wait_for_room(size, min(0.05, remaining))
+        if not posted:
+            _drop(stream, msg_id)
+
+
 class InlineScheduler:
-    """Deterministic cooperative pump."""
+    """Deterministic cooperative pump driven by a dirty-node worklist.
+
+    Rather than re-walking every instance per round, each round visits
+    only nodes with a reason to run — seeded from pending input traffic,
+    extended by the consumers of every node that moved — always in the
+    snapshot's deterministic processing order.
+    """
 
     def __init__(self, stream: RuntimeStream):
         self._stream = stream
 
+    def _seed(self, snap: TopologySnapshot) -> set[str]:
+        """Nodes worth visiting: active with pending input traffic."""
+        dirty: set[str] = set()
+        for name in snap.order:
+            view = snap.nodes[name]
+            if view.streamlet.state is not StreamletState.ACTIVE:
+                continue
+            for _port, channel in view.inputs:
+                if not channel.queue.is_empty():
+                    dirty.add(name)
+                    break
+        return dirty
+
     def pump(self, *, max_rounds: int | None = None) -> int:
         """Process until quiescent (or ``max_rounds``); returns moves made."""
         stream = self._stream
+        gate = stream._read_gate
         total = 0
         rounds = 0
+        snap = stream.topology_snapshot()
+        dirty = self._seed(snap)
         while True:
-            moved = 0
-            with stream.topology_lock:
-                for name in stream.processing_order():
-                    node = stream._nodes.get(name)
-                    if node is not None:
-                        moved += _step_node(stream, name, node)
-            total += moved
+            moved_round = 0
+            restart = False
+            for name in snap.order:
+                if name not in dirty:
+                    continue
+                gate.enter()
+                current = stream._snapshot
+                if current is not snap:
+                    # a concurrent (or in-step) reconfiguration republished
+                    # the topology: re-resolve and reseed the worklist
+                    gate.exit()
+                    snap = stream.topology_snapshot()
+                    dirty = self._seed(snap)
+                    restart = True
+                    break
+                dirty.discard(name)
+                view = snap.nodes[name]
+                try:
+                    moved = _step_node(stream, name, view)
+                finally:
+                    gate.exit()
+                if moved:
+                    moved_round += moved
+                    dirty.update(view.consumers)
+                    for _port, channel in view.inputs:
+                        if not channel.queue.is_empty():
+                            dirty.add(name)
+                            break
+            if restart:
+                continue  # an interrupted walk is not a round
+            total += moved_round
             rounds += 1
-            if moved == 0:
+            if moved_round == 0:
                 return total
             if max_rounds is not None and rounds >= max_rounds:
                 return total
@@ -197,73 +284,147 @@ class InlineScheduler:
 
 
 class ThreadedScheduler:
-    """One worker thread per streamlet instance (the Java model)."""
+    """One worker thread per streamlet instance (the Java model).
+
+    Workers are event-driven: each registers a wakeup event on its input
+    queues (set by every post), steps lock-free against the published
+    topology snapshot, and blocks on the event when idle.  ``idle_spins``
+    counts heartbeat timeouts (the residual polling a busy-wait design
+    would rack up constantly); ``event_wakeups`` counts real signals.
+    """
+
+    #: idle heartbeat: a blocked worker re-examines the world this often
+    #: even without a signal (covers paused-with-traffic and lost-wakeup
+    #: corners); it is NOT the scheduling latency, which is event-driven
+    _IDLE_WAIT = 0.05
 
     def __init__(self, stream: RuntimeStream, *, poll_interval: float = 0.001):
         self._stream = stream
+        #: retained for API compatibility; used only as the drain()
+        #: re-check cadence floor, never as a busy-poll period
         self._poll = poll_interval
         self._threads: dict[str, threading.Thread] = {}
         self._stop = threading.Event()
         self._kills: dict[str, threading.Event] = {}   # per-worker kill switch
-        self._in_retry = 0                 # workers currently retrying a stall
-        self._retry_lock = threading.Lock()
+        self._wakes: dict[str, threading.Event] = {}   # per-worker input signal
+        self._busy: dict[str, bool] = {}               # name -> mid-step/retry
+        self._counter_lock = threading.Lock()
+        #: activity condition: workers notify after every step / idle
+        #: transition so drain() blocks instead of polling queues
+        self._activity = threading.Condition()
         self.workers_killed = 0
+        #: heartbeat timeouts while idle (≈0 under event-driven operation)
+        self.idle_spins = 0
+        #: wakeups delivered by queue posts / reconfig / stop signals
+        self.event_wakeups = 0
+
+    # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
         """Spawn one worker thread per current instance."""
         if self._threads:
             raise RuntimeError("scheduler already started")
         self._stop.clear()
-        with self._stream.topology_lock:
-            names = self._stream.instance_names()
-        for name in names:
+        self._stream.add_wakeup_listener(self._on_topology_wakeup)
+        for name in self._stream.topology_snapshot().order:
             self._spawn(name)
 
     def _spawn(self, name: str) -> None:
         kill = threading.Event()
+        wake = threading.Event()
         self._kills[name] = kill
+        self._wakes[name] = wake
         thread = threading.Thread(
-            target=self._worker, args=(name, kill),
+            target=self._worker, args=(name, kill, wake),
             name=f"streamlet-{name}", daemon=True,
         )
         self._threads[name] = thread
         thread.start()
 
-    def _worker(self, name: str, kill: threading.Event) -> None:
+    def _on_topology_wakeup(self) -> None:
+        # a write section closed (or RESUME fired): every sleeping worker
+        # must re-resolve the snapshot / re-check its streamlet state
+        for wake in tuple(self._wakes.values()):
+            wake.set()
+        with self._activity:
+            self._activity.notify_all()
+
+    def _count(self, attr: str) -> None:
+        with self._counter_lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+    # -- the worker loop ---------------------------------------------------------
+
+    def _worker(self, name: str, kill: threading.Event, wake: threading.Event) -> None:
         stream = self._stream
-        while not self._stop.is_set() and not kill.is_set():
-            stalled: list[_Stalled] = []
-            with stream.topology_lock:
-                node = stream._nodes.get(name)
-                if node is None:
-                    return  # instance was removed by a reconfiguration
-                moved = _step_node(stream, name, node, stalled)
-            # full-queue posts retry OUTSIDE the topology lock so the
-            # downstream consumer can drain; deadline = the Figure 6-9
-            # drop timeout, after which the message is dropped
-            if stalled:
-                with self._retry_lock:
-                    self._in_retry += 1
-            for channel, msg_id, size in stalled:
-                deadline = time.monotonic() + stream._drop_timeout
-                posted = False
-                while not self._stop.is_set() and not kill.is_set():
-                    try:
-                        remaining = deadline - time.monotonic()
-                        if channel.post(msg_id, size, timeout=max(0.0, min(0.05, remaining))):
-                            posted = True
-                            break
-                    except QueueClosedError:
-                        break
-                    if time.monotonic() >= deadline:
-                        break
-                if not posted:
-                    _drop(stream, msg_id)
-            if stalled:
-                with self._retry_lock:
-                    self._in_retry -= 1
-            if moved == 0:
-                time.sleep(self._poll)
+        gate = stream._read_gate
+        stop = self._stop
+        snap: TopologySnapshot | None = None
+        view: _NodeView | None = None
+        registered: list = []   # queues currently carrying our wake event
+        try:
+            while not stop.is_set() and not kill.is_set():
+                # RCU read side: register in the gate FIRST, then check the
+                # published pointer.  If a writer retired it (None) or
+                # republished (a different object), leave the gate and
+                # resolve outside — a registered reader must never block
+                # on the topology lock.
+                gate.enter()
+                current = stream._snapshot
+                if current is not snap or view is None:
+                    gate.exit()
+                    current = stream.topology_snapshot()  # may wait out a writer
+                    snap = current
+                    view = current.nodes.get(name)
+                    queues = (
+                        [channel.queue for _port, channel in view.inputs]
+                        if view is not None else []
+                    )
+                    for queue in registered:
+                        if not any(queue is q for q in queues):
+                            queue.remove_waiter(wake)
+                    for queue in queues:
+                        if not any(queue is q for q in registered):
+                            queue.add_waiter(wake)
+                    registered = queues
+                    if view is None:
+                        return  # instance was removed by a reconfiguration
+                    continue
+                # fast path: a known snapshot, read entirely lock-free.
+                # Clear the wakeup BEFORE fetching so a post that lands
+                # mid-step re-arms it (edge-triggered, no lost signals).
+                wake.clear()
+                self._busy[name] = True
+                stalled: list[_Stalled] = []
+                try:
+                    moved = _step_node(stream, name, view, stalled)
+                finally:
+                    gate.exit()
+                # full-queue posts retry OUTSIDE the read gate so a writer
+                # is never blocked behind a backpressure stall; the busy
+                # flag spans the retry so drain() cannot observe a fake
+                # quiescence while a message is parked here
+                if stalled:
+                    _retry_stalled(stream, stalled, (stop, kill))
+                self._busy[name] = False
+                with self._activity:
+                    self._activity.notify_all()
+                if moved or stalled:
+                    continue
+                # idle: block until an input posts, a reconfiguration
+                # commits, stop/kill — or the heartbeat as a backstop
+                if wake.wait(self._IDLE_WAIT):
+                    self._count("event_wakeups")
+                else:
+                    self._count("idle_spins")
+        finally:
+            for queue in registered:
+                queue.remove_waiter(wake)
+            self._busy.pop(name, None)
+            with self._activity:
+                self._activity.notify_all()
+
+    # -- worker management (fault injection / reconfiguration) --------------------
 
     def ensure_workers(self) -> None:
         """Spawn threads for instances added by reconfiguration.
@@ -271,9 +432,7 @@ class ThreadedScheduler:
         Also respawns workers that died or were killed (fault injection):
         any instance without a live thread gets a fresh one.
         """
-        with self._stream.topology_lock:
-            names = self._stream.instance_names()
-        for name in names:
+        for name in self._stream.topology_snapshot().order:
             existing = self._threads.get(name)
             if existing is None or not existing.is_alive():
                 self._spawn(name)
@@ -290,37 +449,53 @@ class ThreadedScheduler:
         if thread is None or kill is None or not thread.is_alive():
             return False
         kill.set()
+        wake = self._wakes.get(name)
+        if wake is not None:
+            wake.set()  # a sleeping worker must notice the kill now
         thread.join(join_timeout)
         self.workers_killed += 1
         return True
 
+    # -- quiescence ---------------------------------------------------------------
+
     def drain(self, *, timeout: float = 5.0, settle: float = 0.01) -> bool:
-        """Wait until every channel is empty for ``settle`` seconds straight."""
+        """Wait until every channel is empty for ``settle`` seconds straight.
+
+        Event-based: between checks the caller blocks on the workers'
+        activity condition (notified after every step), not on a poll of
+        every queue.
+        """
         deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        while True:
             if self._quiescent():
                 time.sleep(settle)
                 if self._quiescent():
                     return True
-            time.sleep(self._poll)
-        return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            with self._activity:
+                # bounded wait: guards the race where the last step's
+                # notify fired between our check and this wait
+                self._activity.wait(min(max(self._poll, 0.01), remaining))
 
     def _quiescent(self) -> bool:
-        with self._retry_lock:
-            if self._in_retry:
-                return False  # a worker still holds a stalled message
-        stream = self._stream
-        with stream.topology_lock:
-            for node in stream._nodes.values():
-                for channel in node.inputs.values():
-                    if not channel.queue.is_empty():
-                        return False
+        if any(self._busy.values()):
+            return False  # a worker is mid-step or holds a stalled message
+        snap = self._stream.topology_snapshot()
+        for queue in snap.input_queues:
+            if not queue.is_empty():
+                return False
         return True
 
     def stop(self, *, timeout: float = 2.0) -> None:
         """Signal workers to exit and join them."""
         self._stop.set()
+        for wake in tuple(self._wakes.values()):
+            wake.set()
         for thread in self._threads.values():
             thread.join(timeout)
+        self._stream.remove_wakeup_listener(self._on_topology_wakeup)
         self._threads.clear()
         self._kills.clear()
+        self._wakes.clear()

@@ -21,6 +21,8 @@ channels drained, and no message mid-flight — unless the caller forces.
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -112,6 +114,125 @@ class StreamStats:
     #: messages parked in a dead-letter pool after exhausting recovery
     dead_letters: int = 0
 
+    def __post_init__(self) -> None:
+        # not a dataclass field: excluded from fields()/repr/JSON export
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Atomically bump one counter.
+
+        Scheduler workers read the topology lock-free, so counters shared
+        across instances (processed, drops, ...) can no longer rely on the
+        topology lock serialising their ``+=``; a bare read-modify-write
+        loses increments under thread preemption.
+        """
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+
+class _ReadGate:
+    """Tracks threads mid-step on a published topology snapshot (RCU read side).
+
+    ``enter``/``exit`` are plain dict stores/deletes keyed by thread ident —
+    each a single bytecode-atomic operation under the GIL, so the reader
+    hot path takes no lock.  Writers are rare (reconfiguration): they
+    retire the snapshot pointer first, then :meth:`wait_idle` sleep-polls
+    until every *other* thread has left the gate.
+
+    The one protocol rule that prevents deadlock: a registered reader must
+    never block on the topology lock.  A worker that needs to mutate the
+    stream mid-step (e.g. a supervisor bypassing a failing streamlet from
+    inside the fault handler) leaves the gate first
+    (:meth:`leave_current`), takes the write side, and re-registers while
+    still holding the lock — so no writer can slip a mutation into the
+    remainder of its step.
+    """
+
+    __slots__ = ("_readers",)
+
+    def __init__(self) -> None:
+        self._readers: dict[int, int] = {}  # thread ident -> reentrancy depth
+
+    def enter(self) -> None:
+        ident = threading.get_ident()
+        readers = self._readers
+        readers[ident] = readers.get(ident, 0) + 1
+
+    def exit(self) -> None:
+        ident = threading.get_ident()
+        readers = self._readers
+        depth = readers.get(ident)
+        if depth is None:
+            return  # tolerate an exit after leave_current
+        if depth <= 1:
+            del readers[ident]
+        else:
+            readers[ident] = depth - 1
+
+    def leave_current(self) -> int:
+        """Deregister the calling thread entirely; returns its prior depth."""
+        return self._readers.pop(threading.get_ident(), 0) or 0
+
+    def restore(self, depth: int) -> None:
+        """Re-register the calling thread at ``depth`` (after a write)."""
+        if depth:
+            self._readers[threading.get_ident()] = depth
+
+    def wait_idle(self) -> None:
+        """Block until no *other* thread is registered in the gate.
+
+        Readers never block while registered, so this converges as fast as
+        the slowest in-flight step; the 0.2 ms poll bounds writer latency
+        without putting any synchronisation on the reader path.
+        """
+        ident = threading.get_ident()
+        readers = self._readers
+        while any(other != ident for other in tuple(readers)):
+            time.sleep(0.0002)
+
+
+class _NodeView:
+    """One node's frozen wiring as published in a :class:`TopologySnapshot`.
+
+    References the *live* ``Streamlet``/``Channel``/context objects (so
+    fault-injection wrappers that shadow ``process``/``fetch`` as instance
+    attributes keep intercepting), but the port tables are immutable
+    copies: workers iterate them without taking the topology lock and
+    without the per-step ``list(dict.items())`` allocation.
+    """
+
+    __slots__ = ("name", "streamlet", "ctx", "inputs", "outputs", "consumers", "hop_hist")
+
+    def __init__(self, name: str, node: "_Node", consumers: tuple[str, ...]):
+        self.name = name
+        self.streamlet = node.streamlet
+        self.ctx = node.ctx
+        self.inputs: tuple[tuple[str, Channel], ...] = tuple(node.inputs.items())
+        self.outputs: dict[str, Channel] = dict(node.outputs)
+        #: downstream instance names (for worklist seeding)
+        self.consumers = consumers
+        self.hop_hist = node.hop_hist
+
+
+class TopologySnapshot:
+    """An immutable, versioned view of a stream's wiring (RCU published).
+
+    Workers read the current snapshot lock-free; reconfiguration retires
+    it under the write lock, mutates, and the next reader rebuilds.  The
+    version is monotonically increasing across rebuilds.
+    """
+
+    __slots__ = ("version", "epoch", "order", "nodes", "input_queues")
+
+    def __init__(self, version: int, epoch: int, order: tuple[str, ...],
+                 nodes: dict[str, _NodeView], input_queues: tuple):
+        self.version = version
+        self.epoch = epoch
+        self.order = order
+        self.nodes = nodes
+        #: every distinct input queue (for quiescence checks)
+        self.input_queues = input_queues
+
 
 class RuntimeStream:
     """A live composition of streamlets connected by channels."""
@@ -152,6 +273,17 @@ class RuntimeStream:
         self._ended = False
         self._order_dirty = True
         self._order: list[str] = []
+        #: the RCU-published topology view; None while retired (a writer is
+        #: active or a mutation happened since the last publication).  Read
+        #: and written as a single attribute reference — atomic under the
+        #: GIL (see docs/performance.md for the memory-ordering argument)
+        self._snapshot: TopologySnapshot | None = None
+        self._snapshot_version = 0
+        self._read_gate = _ReadGate()
+        self._write_depth = 0
+        #: callbacks fired after a write section closes (and on resume):
+        #: schedulers register here so sleeping workers re-examine the world
+        self._wakeup_listeners: list = []
 
         self.ingress: dict[str, Channel] = {}   # "inst.port" -> channel
         self.egress: list[tuple[ast.PortRef, Channel]] = []
@@ -230,7 +362,7 @@ class RuntimeStream:
             hop_hist=self.tm.hop_histogram(name),
         )
         self._nodes[name] = node
-        self._order_dirty = True
+        self._invalidate_topology()
         return node
 
     def _wire(self, source: ast.PortRef, sink: ast.PortRef, channel: Channel) -> None:
@@ -238,7 +370,103 @@ class RuntimeStream:
         channel.attach_sink(sink)
         self._nodes[source.instance].outputs[source.port] = channel
         self._nodes[sink.instance].inputs[sink.port] = channel
+        self._invalidate_topology()
+
+    # -- RCU topology snapshots (see docs/performance.md) ------------------------------
+
+    def _invalidate_topology(self) -> None:
+        """Mark the wiring changed: retire the snapshot, dirty the order."""
         self._order_dirty = True
+        self._snapshot = None
+
+    def _build_snapshot(self) -> TopologySnapshot:
+        # caller holds the topology lock
+        order = tuple(self.processing_order())
+        views: dict[str, _NodeView] = {}
+        queues: dict[int, object] = {}
+        for name, node in self._nodes.items():
+            consumers: dict[str, None] = {}
+            for channel in node.outputs.values():
+                sink = channel.sink
+                if sink is not None and sink.instance in self._nodes:
+                    consumers[sink.instance] = None
+            views[name] = _NodeView(name, node, tuple(consumers))
+            for channel in node.inputs.values():
+                queues[id(channel.queue)] = channel.queue
+        self._snapshot_version += 1
+        return TopologySnapshot(
+            self._snapshot_version, self.epoch, order, views, tuple(queues.values())
+        )
+
+    def topology_snapshot(self) -> TopologySnapshot:
+        """The current published view, rebuilding (under the lock) if retired.
+
+        Mid-write callers (a primitive nested inside a transaction) get a
+        fresh transient view that is *not* published — publication waits
+        until the write section closes.
+        """
+        snap = self._snapshot
+        if snap is not None:
+            return snap
+        with self.topology_lock:
+            snap = self._snapshot
+            if snap is None:
+                snap = self._build_snapshot()
+                if self._write_depth == 0:
+                    self._snapshot = snap
+        return snap
+
+    @contextmanager
+    def _write_access(self):
+        """The write side of the RCU protocol.
+
+        Retires the published snapshot, then waits for every in-flight
+        reader step to finish (grace period) before yielding — so a
+        mutation never races a worker mid-step, and the undo log a
+        transaction captures inside this section is exact.  Reentrant:
+        nested sections (a transaction applying primitives) only pay the
+        grace period once.  A worker thread calling in from inside its own
+        step leaves the read gate first (readers must not block on the
+        topology lock) and re-registers before the lock is released.
+        """
+        gate = self._read_gate
+        reader_depth = gate.leave_current()
+        self.topology_lock.acquire()
+        try:
+            self._write_depth += 1
+            if self._write_depth == 1:
+                self._snapshot = None
+                gate.wait_idle()
+            try:
+                yield
+            finally:
+                self._write_depth -= 1
+                self._snapshot = None
+        finally:
+            outermost = self._write_depth == 0
+            if reader_depth:
+                # re-register while still holding the lock: the next writer
+                # will wait for the remainder of this worker's step
+                gate.restore(reader_depth)
+            self.topology_lock.release()
+            if outermost:
+                self._notify_wakeup()
+
+    def add_wakeup_listener(self, callback) -> None:
+        """Register a callback fired after writes/resumes (scheduler wakeups)."""
+        if callback not in self._wakeup_listeners:
+            self._wakeup_listeners.append(callback)
+
+    def remove_wakeup_listener(self, callback) -> None:
+        """Deregister a wakeup callback (idempotent)."""
+        try:
+            self._wakeup_listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify_wakeup(self) -> None:
+        for callback in tuple(self._wakeup_listeners):
+            callback()
 
     # -- lifecycle -------------------------------------------------------------------------
 
@@ -262,28 +490,31 @@ class RuntimeStream:
         """
         if self._ended:
             return
-        for node in self._nodes.values():
-            if node.streamlet.state is not StreamletState.ENDED:
-                node.streamlet.end()
-                node.streamlet.on_end(node.ctx)
-            self._manager.release(node.streamlet)
-        undelivered: list[str] = []
-        for channel in self._channels.values():
-            undelivered += channel.queue.drain()
-            channel.queue.close()
-        for channel in self.ingress.values():
-            undelivered += channel.queue.drain()
-            channel.queue.close()
-        for _ref, channel in self.egress:
-            undelivered += channel.queue.drain()
-            channel.queue.close()
-        for msg_id in undelivered:
-            if msg_id in self.pool:
-                self.pool.release(msg_id)
-                self.stats.end_drops += 1
-            if self.tm.enabled:
-                self.tm.forget(msg_id)
-        self._ended = True
+        with self._write_access():
+            if self._ended:
+                return
+            for node in self._nodes.values():
+                if node.streamlet.state is not StreamletState.ENDED:
+                    node.streamlet.end()
+                    node.streamlet.on_end(node.ctx)
+                self._manager.release(node.streamlet)
+            undelivered: list[str] = []
+            for channel in self._channels.values():
+                undelivered += channel.queue.drain()
+                channel.queue.close()
+            for channel in self.ingress.values():
+                undelivered += channel.queue.drain()
+                channel.queue.close()
+            for _ref, channel in self.egress:
+                undelivered += channel.queue.drain()
+                channel.queue.close()
+            for msg_id in undelivered:
+                if msg_id in self.pool:
+                    self.pool.release(msg_id)
+                    self.stats.end_drops += 1
+                if self.tm.enabled:
+                    self.tm.forget(msg_id)
+            self._ended = True
 
     @property
     def started(self) -> bool:
@@ -451,7 +682,7 @@ class RuntimeStream:
         if traced:
             self.tm.mark_traced(msg_id)  # before post: channels probe this
         if channel.post(msg_id, message.total_size()):
-            self.stats.messages_in += 1
+            self.stats.inc("messages_in")
         else:
             # mirror _release_dropped: the traced-id / enqueued maps must
             # shed the id too, or sustained ingress pressure leaks them
@@ -470,33 +701,35 @@ class RuntimeStream:
                 out.append(self.pool.release(msg_id))
                 if tm is not None:
                     tm.forget(msg_id)
-                self.stats.messages_out += 1
+                self.stats.inc("messages_out")
         return out
 
     # -- composition primitives (Figure 6-4) ---------------------------------------------------------
 
     def new_streamlet(self, name: str, definition_name: str) -> None:
         """Instantiate a (dormant) streamlet from a known definition."""
-        if name in self._nodes or name in self._channels:
-            raise CompositionError(f"instance name {name!r} already in use")
-        definition = self.table.streamlet_defs.get(definition_name)
-        if definition is None:
-            raise CompositionError(f"unknown streamlet definition {definition_name!r}")
-        node = self._create_node(name, definition)
-        if self._started:
-            node.streamlet.activate()
-            node.streamlet.on_start(node.ctx)
+        with self._write_access():
+            if name in self._nodes or name in self._channels:
+                raise CompositionError(f"instance name {name!r} already in use")
+            definition = self.table.streamlet_defs.get(definition_name)
+            if definition is None:
+                raise CompositionError(f"unknown streamlet definition {definition_name!r}")
+            node = self._create_node(name, definition)
+            if self._started:
+                node.streamlet.activate()
+                node.streamlet.on_start(node.ctx)
 
     def new_channel(self, name: str, definition_name: str) -> None:
         """Instantiate a channel from a definition known to the table."""
-        if name in self._channels or name in self._nodes:
-            raise CompositionError(f"instance name {name!r} already in use")
-        definition = self.table.channel_defs.get(definition_name)
-        if definition is None:
-            raise CompositionError(f"unknown channel definition {definition_name!r}")
-        self._channels[name] = Channel(
-            name, definition, drop_timeout=self._drop_timeout, telemetry=self.tm
-        )
+        with self._write_access():
+            if name in self._channels or name in self._nodes:
+                raise CompositionError(f"instance name {name!r} already in use")
+            definition = self.table.channel_defs.get(definition_name)
+            if definition is None:
+                raise CompositionError(f"unknown channel definition {definition_name!r}")
+            self._channels[name] = Channel(
+                name, definition, drop_timeout=self._drop_timeout, telemetry=self.tm
+            )
 
     def _auto_channel(self) -> Channel:
         name = f"__rt_auto{self._auto_counter}"
@@ -514,59 +747,62 @@ class RuntimeStream:
         channel_name: str | None = None,
     ) -> None:
         """Wire source → (channel) → sink, with 4.4.1 type checks."""
-        source = _as_ref(source)
-        sink = _as_ref(sink)
-        src_node = self.node(source.instance)
-        dst_node = self.node(sink.instance)
-        if channel_name is not None:
-            channel = self.channel(channel_name)
-            if channel.source is not None or channel.sink is not None:
-                raise CompositionError(
-                    f"channel {channel_name!r} already carries a connection"
-                )
-        else:
-            channel = self._auto_channel()
-        check_connection(
-            self._registry,
-            src_node.definition,
-            source,
-            dst_node.definition,
-            sink,
-            channel.definition,
-        )
-        if source.port in src_node.outputs:
-            raise CompositionError(f"port {source} is already connected")
-        if sink.port in dst_node.inputs:
-            raise CompositionError(f"port {sink} is already connected")
-        self._wire(source, sink, channel)
+        with self._write_access():
+            source = _as_ref(source)
+            sink = _as_ref(sink)
+            src_node = self.node(source.instance)
+            dst_node = self.node(sink.instance)
+            if channel_name is not None:
+                channel = self.channel(channel_name)
+                if channel.source is not None or channel.sink is not None:
+                    raise CompositionError(
+                        f"channel {channel_name!r} already carries a connection"
+                    )
+            else:
+                channel = self._auto_channel()
+            check_connection(
+                self._registry,
+                src_node.definition,
+                source,
+                dst_node.definition,
+                sink,
+                channel.definition,
+            )
+            if source.port in src_node.outputs:
+                raise CompositionError(f"port {source} is already connected")
+            if sink.port in dst_node.inputs:
+                raise CompositionError(f"port {sink} is already connected")
+            self._wire(source, sink, channel)
 
     def disconnect(self, source: ast.PortRef | str, sink: ast.PortRef | str) -> None:
         """Break one link; category semantics decide pending units' fate."""
-        source = _as_ref(source)
-        sink = _as_ref(sink)
-        src_node = self.node(source.instance)
-        dst_node = self.node(sink.instance)
-        channel = src_node.outputs.get(source.port)
-        if channel is None or channel.sink != sink:
-            raise CompositionError(f"no connection between {source} and {sink}")
-        dropped = channel.detach_source()
-        if channel.sink is not None:
-            dropped += channel.detach_sink()
-        self._release_dropped(dropped)
-        del src_node.outputs[source.port]
-        dst_node.inputs.pop(sink.port, None)
-        self._forget_channel(channel)
-        self._order_dirty = True
+        with self._write_access():
+            source = _as_ref(source)
+            sink = _as_ref(sink)
+            src_node = self.node(source.instance)
+            dst_node = self.node(sink.instance)
+            channel = src_node.outputs.get(source.port)
+            if channel is None or channel.sink != sink:
+                raise CompositionError(f"no connection between {source} and {sink}")
+            dropped = channel.detach_source()
+            if channel.sink is not None:
+                dropped += channel.detach_sink()
+            self._release_dropped(dropped)
+            del src_node.outputs[source.port]
+            dst_node.inputs.pop(sink.port, None)
+            self._forget_channel(channel)
+            self._invalidate_topology()
 
     def disconnect_all(self, instance: str) -> None:
         """Break every non-edge link of an instance."""
-        node = self.node(instance)
-        for port, channel in list(node.outputs.items()):
-            if channel.sink is not None and channel.sink.instance != _EGRESS:
-                self.disconnect(ast.PortRef(instance, port), channel.sink)
-        for port, channel in list(node.inputs.items()):
-            if channel.source is not None and channel.source.instance != _INGRESS:
-                self.disconnect(channel.source, ast.PortRef(instance, port))
+        with self._write_access():
+            node = self.node(instance)
+            for port, channel in list(node.outputs.items()):
+                if channel.sink is not None and channel.sink.instance != _EGRESS:
+                    self.disconnect(ast.PortRef(instance, port), channel.sink)
+            for port, channel in list(node.inputs.items()):
+                if channel.source is not None and channel.source.instance != _INGRESS:
+                    self.disconnect(channel.source, ast.PortRef(instance, port))
 
     def insert(
         self,
@@ -581,69 +817,70 @@ class RuntimeStream:
         units survive, as BK semantics promise); a fresh channel joins the
         source to the newcomer.
         """
-        source = _as_ref(source)
-        sink = _as_ref(sink)
-        timing = ReconfigTiming(actions=1)
-        src_node = self.node(source.instance)
-        dst_node = self.node(sink.instance)
-        new_node = self.node(instance)
-        ins = new_node.definition.inputs()
-        outs = new_node.definition.outputs()
-        if len(ins) != 1 or len(outs) != 1:
-            raise ReconfigurationError(
-                f"insert target {instance} must have exactly one in and one out port"
+        with self._write_access():
+            source = _as_ref(source)
+            sink = _as_ref(sink)
+            timing = ReconfigTiming(actions=1)
+            src_node = self.node(source.instance)
+            dst_node = self.node(sink.instance)
+            new_node = self.node(instance)
+            ins = new_node.definition.inputs()
+            outs = new_node.definition.outputs()
+            if len(ins) != 1 or len(outs) != 1:
+                raise ReconfigurationError(
+                    f"insert target {instance} must have exactly one in and one out port"
+                )
+            channel = src_node.outputs.get(source.port)
+            if channel is None or channel.sink != sink:
+                raise ReconfigurationError(f"no connection between {source} and {sink}")
+
+            # 1-2) suspend the producer and detach it from channel m
+            t0 = self._clock.now()
+            was_active = src_node.streamlet.is_active
+            if was_active:
+                src_node.streamlet.pause()
+            timing.suspend += self._clock.now() - t0
+
+            t0 = self._clock.now()
+            dropped = channel.detach_source()
+            if channel.sink is None:  # BB/KB semantics broke the sink side too
+                channel.attach_sink(sink)
+            self._release_dropped(dropped)
+            del src_node.outputs[source.port]
+            # 3) attach the newcomer's output to channel m
+            new_out = ast.PortRef(instance, outs[0].name)
+            check_connection(
+                self._registry, new_node.definition, new_out,
+                dst_node.definition, sink, channel.definition,
             )
-        channel = src_node.outputs.get(source.port)
-        if channel is None or channel.sink != sink:
-            raise ReconfigurationError(f"no connection between {source} and {sink}")
+            channel.attach_source(new_out)
+            new_node.outputs[outs[0].name] = channel
+            # 4) create channel n between the producer and the newcomer
+            new_in = ast.PortRef(instance, ins[0].name)
+            fresh = self._auto_channel()
+            check_connection(
+                self._registry, src_node.definition, source,
+                new_node.definition, new_in, fresh.definition,
+            )
+            fresh.attach_source(source)
+            fresh.attach_sink(new_in)
+            src_node.outputs[source.port] = fresh
+            new_node.inputs[ins[0].name] = fresh
+            timing.channel_ops += self._clock.now() - t0
 
-        # 1-2) suspend the producer and detach it from channel m
-        t0 = self._clock.now()
-        was_active = src_node.streamlet.is_active
-        if was_active:
-            src_node.streamlet.pause()
-        timing.suspend += self._clock.now() - t0
-
-        t0 = self._clock.now()
-        dropped = channel.detach_source()
-        if channel.sink is None:  # BB/KB semantics broke the sink side too
-            channel.attach_sink(sink)
-        self._release_dropped(dropped)
-        del src_node.outputs[source.port]
-        # 3) attach the newcomer's output to channel m
-        new_out = ast.PortRef(instance, outs[0].name)
-        check_connection(
-            self._registry, new_node.definition, new_out,
-            dst_node.definition, sink, channel.definition,
-        )
-        channel.attach_source(new_out)
-        new_node.outputs[outs[0].name] = channel
-        # 4) create channel n between the producer and the newcomer
-        new_in = ast.PortRef(instance, ins[0].name)
-        fresh = self._auto_channel()
-        check_connection(
-            self._registry, src_node.definition, source,
-            new_node.definition, new_in, fresh.definition,
-        )
-        fresh.attach_source(source)
-        fresh.attach_sink(new_in)
-        src_node.outputs[source.port] = fresh
-        new_node.inputs[ins[0].name] = fresh
-        timing.channel_ops += self._clock.now() - t0
-
-        # 5) make sure the newcomer runs, 6) resume the producer
-        t0 = self._clock.now()
-        if self._started:
-            if new_node.streamlet.state is StreamletState.CREATED:
-                new_node.streamlet.activate()
-                new_node.streamlet.on_start(new_node.ctx)
-            elif new_node.streamlet.state is StreamletState.PAUSED:
-                new_node.streamlet.activate()  # re-inserted after an extract
-        if was_active:
-            src_node.streamlet.activate()
-        timing.activate += self._clock.now() - t0
-        self._order_dirty = True
-        return timing
+            # 5) make sure the newcomer runs, 6) resume the producer
+            t0 = self._clock.now()
+            if self._started:
+                if new_node.streamlet.state is StreamletState.CREATED:
+                    new_node.streamlet.activate()
+                    new_node.streamlet.on_start(new_node.ctx)
+                elif new_node.streamlet.state is StreamletState.PAUSED:
+                    new_node.streamlet.activate()  # re-inserted after an extract
+            if was_active:
+                src_node.streamlet.activate()
+            timing.activate += self._clock.now() - t0
+            self._invalidate_topology()
+            return timing
 
     def remove_streamlet(self, name: str, *, heal: bool = True, force: bool = False) -> None:
         """Remove an instance, honouring the Figure 6-8 prerequisites.
@@ -653,35 +890,36 @@ class RuntimeStream:
         survives.  Without ``force``, pending input traffic aborts the
         removal (message loss avoidance, section 6.6).
         """
-        node = self.node(name)
-        if not force:
-            waiting = [
-                ch.name for ch in node.inputs.values() if not ch.queue.is_empty()
-            ]
-            if waiting:
-                raise ReconfigurationError(
-                    f"cannot remove {name}: input channel(s) {waiting} still hold "
-                    "messages (drain the stream first or pass force=True)"
-                )
-        if not (heal and self._heal_around(node)):
-            self.disconnect_all(name)
-        # drop edge (ingress/egress) attachments, releasing stuck messages
-        for channel in list(node.inputs.values()) + list(node.outputs.values()):
-            self._release_dropped(channel.queue.drain())
-            channel.queue.close()
-        if self._txn is not None:
-            # end()/release() cannot be undone; park the node in the
-            # transaction's limbo list until the commit is decided
-            self._txn.defer_removal(node)
-        else:
-            if node.streamlet.state is not StreamletState.ENDED:
-                node.streamlet.end()
-                node.streamlet.on_end(node.ctx)
-            self._manager.release(node.streamlet)
-        del self._nodes[name]
-        self.ingress = {k: v for k, v in self.ingress.items() if not k.startswith(name + ".")}
-        self.egress = [(r, c) for r, c in self.egress if r.instance != name]
-        self._order_dirty = True
+        with self._write_access():
+            node = self.node(name)
+            if not force:
+                waiting = [
+                    ch.name for ch in node.inputs.values() if not ch.queue.is_empty()
+                ]
+                if waiting:
+                    raise ReconfigurationError(
+                        f"cannot remove {name}: input channel(s) {waiting} still hold "
+                        "messages (drain the stream first or pass force=True)"
+                    )
+            if not (heal and self._heal_around(node)):
+                self.disconnect_all(name)
+            # drop edge (ingress/egress) attachments, releasing stuck messages
+            for channel in list(node.inputs.values()) + list(node.outputs.values()):
+                self._release_dropped(channel.queue.drain())
+                channel.queue.close()
+            if self._txn is not None:
+                # end()/release() cannot be undone; park the node in the
+                # transaction's limbo list until the commit is decided
+                self._txn.defer_removal(node)
+            else:
+                if node.streamlet.state is not StreamletState.ENDED:
+                    node.streamlet.end()
+                    node.streamlet.on_end(node.ctx)
+                self._manager.release(node.streamlet)
+            del self._nodes[name]
+            self.ingress = {k: v for k, v in self.ingress.items() if not k.startswith(name + ".")}
+            self.egress = [(r, c) for r, c in self.egress if r.instance != name]
+            self._invalidate_topology()
 
     def extract_streamlet(self, name: str, *, force: bool = False) -> None:
         """Detach an instance from the topology but keep it dormant.
@@ -690,19 +928,20 @@ class RuntimeStream:
         (healing single-in/single-out chains like :meth:`remove_streamlet`),
         ready to be spliced back by a later ``insert``.
         """
-        node = self.node(name)
-        if not force:
-            waiting = [ch.name for ch in node.inputs.values() if not ch.queue.is_empty()]
-            if waiting:
-                raise ReconfigurationError(
-                    f"cannot extract {name}: input channel(s) {waiting} still hold "
-                    "messages (drain the stream first or pass force=True)"
-                )
-        if not self._heal_around(node):
-            self.disconnect_all(name)
-        if node.streamlet.is_active:
-            node.streamlet.pause()
-        self._order_dirty = True
+        with self._write_access():
+            node = self.node(name)
+            if not force:
+                waiting = [ch.name for ch in node.inputs.values() if not ch.queue.is_empty()]
+                if waiting:
+                    raise ReconfigurationError(
+                        f"cannot extract {name}: input channel(s) {waiting} still hold "
+                        "messages (drain the stream first or pass force=True)"
+                    )
+            if not self._heal_around(node):
+                self.disconnect_all(name)
+            if node.streamlet.is_active:
+                node.streamlet.pause()
+            self._invalidate_topology()
 
     def _heal_around(self, node: _Node) -> bool:
         """Join a single-in/single-out node's neighbours around it.
@@ -744,52 +983,54 @@ class RuntimeStream:
         Port names must match; types are re-checked against each attached
         channel's counterpart.
         """
-        old_node = self.node(old)
-        new_node = self.node(new)
-        if new_node.inputs or new_node.outputs:
-            raise ReconfigurationError(f"replacement {new!r} is already wired")
-        for port, channel in old_node.inputs.items():
-            decl = new_node.definition.port(port)
-            if decl is None or decl.direction is not ast.PortDirection.IN:
-                raise ReconfigurationError(
-                    f"replacement {new!r} lacks input port {port!r} of {old!r}"
-                )
-        for port, channel in old_node.outputs.items():
-            decl = new_node.definition.port(port)
-            if decl is None or decl.direction is not ast.PortDirection.OUT:
-                raise ReconfigurationError(
-                    f"replacement {new!r} lacks output port {port!r} of {old!r}"
-                )
-        for port, channel in list(old_node.inputs.items()):
-            channel.reattach_sink(ast.PortRef(new, port))
-            new_node.inputs[port] = channel
-            if channel.source is not None and channel.source.instance == _INGRESS:
-                # keep the ingress map addressing the new instance
-                for key, chan in list(self.ingress.items()):
-                    if chan is channel:
-                        del self.ingress[key]
-                        self.ingress[str(ast.PortRef(new, port))] = channel
-        for port, channel in list(old_node.outputs.items()):
-            channel.reattach_source(ast.PortRef(new, port))
-            new_node.outputs[port] = channel
-            if channel.sink is not None and channel.sink.instance == _EGRESS:
-                self.egress = [
-                    (ast.PortRef(new, port), c) if c is channel else (r, c)
-                    for r, c in self.egress
-                ]
-        old_node.inputs.clear()
-        old_node.outputs.clear()
-        if self._started and new_node.streamlet.state is StreamletState.CREATED:
-            new_node.streamlet.activate()
-            new_node.streamlet.on_start(new_node.ctx)
-        self.remove_streamlet(old, heal=False, force=True)
+        with self._write_access():
+            old_node = self.node(old)
+            new_node = self.node(new)
+            if new_node.inputs or new_node.outputs:
+                raise ReconfigurationError(f"replacement {new!r} is already wired")
+            for port, channel in old_node.inputs.items():
+                decl = new_node.definition.port(port)
+                if decl is None or decl.direction is not ast.PortDirection.IN:
+                    raise ReconfigurationError(
+                        f"replacement {new!r} lacks input port {port!r} of {old!r}"
+                    )
+            for port, channel in old_node.outputs.items():
+                decl = new_node.definition.port(port)
+                if decl is None or decl.direction is not ast.PortDirection.OUT:
+                    raise ReconfigurationError(
+                        f"replacement {new!r} lacks output port {port!r} of {old!r}"
+                    )
+            for port, channel in list(old_node.inputs.items()):
+                channel.reattach_sink(ast.PortRef(new, port))
+                new_node.inputs[port] = channel
+                if channel.source is not None and channel.source.instance == _INGRESS:
+                    # keep the ingress map addressing the new instance
+                    for key, chan in list(self.ingress.items()):
+                        if chan is channel:
+                            del self.ingress[key]
+                            self.ingress[str(ast.PortRef(new, port))] = channel
+            for port, channel in list(old_node.outputs.items()):
+                channel.reattach_source(ast.PortRef(new, port))
+                new_node.outputs[port] = channel
+                if channel.sink is not None and channel.sink.instance == _EGRESS:
+                    self.egress = [
+                        (ast.PortRef(new, port), c) if c is channel else (r, c)
+                        for r, c in self.egress
+                    ]
+            old_node.inputs.clear()
+            old_node.outputs.clear()
+            if self._started and new_node.streamlet.state is StreamletState.CREATED:
+                new_node.streamlet.activate()
+                new_node.streamlet.on_start(new_node.ctx)
+            self.remove_streamlet(old, heal=False, force=True)
 
     def remove_channel(self, name: str) -> None:
         """Destroy an unused channel instance."""
-        channel = self.channel(name)
-        if channel.source is not None or channel.sink is not None:
-            raise CompositionError(f"channel {name!r} still carries a connection")
-        del self._channels[name]
+        with self._write_access():
+            channel = self.channel(name)
+            if channel.source is not None or channel.sink is not None:
+                raise CompositionError(f"channel {name!r} still carries a connection")
+            del self._channels[name]
 
     def _forget_channel(self, channel: Channel) -> None:
         if channel.name in self._channels and channel.name.startswith("__"):
@@ -809,7 +1050,7 @@ class RuntimeStream:
                     self.drop_hook(msg_id, message)
             if self.tm.enabled:
                 self.tm.forget(msg_id)
-            self.stats.queue_drops += 1
+            self.stats.inc("queue_drops")
 
     # -- event-driven reconfiguration (section 6.4 / 7.4) ---------------------------------------------------
 
@@ -837,8 +1078,12 @@ class RuntimeStream:
         return timing
 
     def pause_all(self) -> None:
-        """Suspend every active streamlet (the PAUSE system command)."""
-        with self.topology_lock:
+        """Suspend every active streamlet (the PAUSE system command).
+
+        Runs in a write section so the pause lands at a step boundary for
+        every worker (no streamlet observes PAUSED mid-process).
+        """
+        with self._write_access():
             for node in self._nodes.values():
                 if node.streamlet.is_active:
                     node.streamlet.pause()
@@ -849,6 +1094,8 @@ class RuntimeStream:
             for node in self._nodes.values():
                 if node.streamlet.state is StreamletState.PAUSED:
                     node.streamlet.activate()
+        # sleeping workers have no queue post to wake them: tell schedulers
+        self._notify_wakeup()
 
     def _handle_actions(self, event_id: str, actions) -> ReconfigTiming | None:
         """Run a ``when`` handler's action batch as one transaction.

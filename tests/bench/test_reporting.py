@@ -4,7 +4,13 @@ import json
 import math
 from dataclasses import dataclass
 
-from repro.bench.reporting import bench_output_dir, jsonable, write_bench_json
+from repro.bench.reporting import (
+    bench_output_dir,
+    flag_regressions,
+    jsonable,
+    load_baseline,
+    write_bench_json,
+)
 from repro.util.stats import RunningStats
 
 
@@ -68,6 +74,72 @@ class TestWriteBenchJson:
         monkeypatch.chdir(tmp_path)
         path = write_bench_json("cwd", {"ok": True})
         assert path.resolve() == (tmp_path / "BENCH_cwd.json").resolve()
+
+
+@dataclass
+class _BenchRow:
+    engine: str
+    throughput_msgs_per_sec: float
+
+
+@dataclass
+class _BenchResult:
+    rows: list
+
+
+class TestBaselineRegressions:
+    def baseline(self, tmp_path, rows):
+        write_bench_json("demo", {"rows": rows}, tmp_path)
+        return tmp_path
+
+    def test_load_baseline_missing_returns_none(self, tmp_path):
+        assert load_baseline("demo", tmp_path) is None
+
+    def test_load_baseline_reads_committed_json(self, tmp_path):
+        directory = self.baseline(tmp_path, [{"engine": "x"}])
+        assert load_baseline("demo", directory) == {"rows": [{"engine": "x"}]}
+
+    def test_load_baseline_rejects_corrupt_json(self, tmp_path):
+        (tmp_path / "BENCH_demo.json").write_text("{nope")
+        assert load_baseline("demo", tmp_path) is None
+
+    def test_no_baseline_means_no_warnings(self, tmp_path):
+        result = _BenchResult(rows=[_BenchRow("threaded", 10.0)])
+        assert flag_regressions("demo", result, directory=tmp_path) == []
+
+    def test_drop_beyond_threshold_is_flagged(self, tmp_path):
+        directory = self.baseline(
+            tmp_path,
+            [{"engine": "threaded", "throughput_msgs_per_sec": 100.0}],
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 80.0)])
+        warnings = flag_regressions("demo", result, directory=directory)
+        assert len(warnings) == 1
+        assert "REGRESSION" in warnings[0] and "threaded" in warnings[0]
+
+    def test_drop_within_threshold_passes(self, tmp_path):
+        directory = self.baseline(
+            tmp_path,
+            [{"engine": "threaded", "throughput_msgs_per_sec": 100.0}],
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 95.0)])
+        assert flag_regressions("demo", result, directory=directory) == []
+
+    def test_improvement_passes(self, tmp_path):
+        directory = self.baseline(
+            tmp_path,
+            [{"engine": "threaded", "throughput_msgs_per_sec": 100.0}],
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 260.0)])
+        assert flag_regressions("demo", result, directory=directory) == []
+
+    def test_rows_missing_from_baseline_are_ignored(self, tmp_path):
+        directory = self.baseline(
+            tmp_path,
+            [{"engine": "inline", "throughput_msgs_per_sec": 100.0}],
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 1.0)])
+        assert flag_regressions("demo", result, directory=directory) == []
 
 
 class TestTelemetryOverheadBench:

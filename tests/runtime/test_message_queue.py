@@ -1,4 +1,5 @@
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -130,6 +131,102 @@ class TestCloseAndDrain:
         assert q.drain() == ["a", "b"]
         assert q.is_empty()
         assert q.pending_bytes == 0
+
+
+class TestTimeoutContract:
+    """The post_message timeout contract (module docstring, Figure 6-9)."""
+
+    def full(self, drop_timeout=0.0):
+        q = MessageQueue(10, drop_timeout=drop_timeout)
+        q.post_message("a", 10)
+        return q
+
+    def test_none_uses_configured_drop_timeout_and_counts(self):
+        q = self.full(drop_timeout=0.02)
+        t0 = time.monotonic()
+        assert not q.post_message("b", 10)  # timeout=None is the default
+        assert time.monotonic() - t0 >= 0.02
+        assert q.dropped == 1
+
+    def test_explicit_positive_timeout_overrides_configured_and_counts(self):
+        q = self.full(drop_timeout=30.0)  # would hang if the override leaked
+        t0 = time.monotonic()
+        assert not q.post_message("b", 10, timeout=0.02)
+        assert time.monotonic() - t0 < 5.0
+        assert q.dropped == 1
+
+    def test_zero_timeout_is_a_probe_and_never_counts(self):
+        q = self.full(drop_timeout=30.0)
+        t0 = time.monotonic()
+        assert not q.post_message("b", 10, timeout=0)
+        assert time.monotonic() - t0 < 1.0  # no wait at all
+        assert q.dropped == 0  # the caller owns the accounting
+
+    def test_negative_timeout_is_a_probe_too(self):
+        q = self.full()
+        assert not q.post_message("b", 10, timeout=-1)
+        assert q.dropped == 0
+
+    def test_probe_succeeds_when_room_exists(self):
+        q = MessageQueue(100)
+        assert q.post_message("a", 10, timeout=0)
+        assert q.dropped == 0
+
+    def test_wait_for_room_sees_consumer_progress(self):
+        q = self.full(drop_timeout=0.0)
+
+        def consume_later():
+            time.sleep(0.02)
+            q.fetch_message()
+
+        t = threading.Thread(target=consume_later)
+        t.start()
+        assert q.wait_for_room(10, timeout=2.0)
+        t.join()
+        assert q.post_message("b", 10, timeout=0)
+
+    def test_wait_for_room_times_out_without_progress(self):
+        q = self.full()
+        assert not q.wait_for_room(10, timeout=0.01)
+
+    def test_wait_for_room_immediate_when_room_exists(self):
+        q = MessageQueue(100)
+        assert q.wait_for_room(10, timeout=0.0)
+
+
+class TestConsumerWaiters:
+    """The add_waiter edge-triggered wakeup used by scheduler workers."""
+
+    def test_post_sets_registered_waiter(self):
+        q = MessageQueue(100)
+        event = threading.Event()
+        q.add_waiter(event)
+        assert not event.is_set()
+        q.post_message("a", 1)
+        assert event.is_set()
+
+    def test_late_registration_sees_existing_traffic(self):
+        q = MessageQueue(100)
+        q.post_message("a", 1)
+        event = threading.Event()
+        q.add_waiter(event)  # must not sleep through traffic that beat it
+        assert event.is_set()
+
+    def test_close_sets_waiter(self):
+        q = MessageQueue(100)
+        event = threading.Event()
+        q.add_waiter(event)
+        q.close()
+        assert event.is_set()
+
+    def test_removed_waiter_stays_quiet(self):
+        q = MessageQueue(100)
+        event = threading.Event()
+        q.add_waiter(event)
+        q.remove_waiter(event)
+        q.post_message("a", 1)
+        assert not event.is_set()
+        q.remove_waiter(event)  # idempotent
 
 
 class TestConcurrency:

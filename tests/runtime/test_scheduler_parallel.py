@@ -1,0 +1,245 @@
+"""Parallel execution plane under concurrent reconfiguration.
+
+The contract under test: workers (and the inline pump) read the RCU-style
+topology snapshot lock-free while reconfiguration transactions retire and
+republish it; whatever interleaving results, the message-conservation
+invariant (admitted == delivered + absorbed + drops + residual) must hold
+— no id may leak or double-count — and the per-worker kill/respawn switch
+used by fault injection must keep working against snapshot-reading
+workers.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps import build_server
+from repro.faults.invariant import check_conservation
+from repro.mcl import astnodes as ast
+from repro.mime.message import MimeMessage
+from repro.runtime.reconfig import ReconfigTransaction
+from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
+
+N_STREAMLETS = 8
+N_MESSAGES = 1000
+
+_CHAIN = "\n".join(
+    f"  connect (s{i}.po, s{i + 1}.pi);" for i in range(N_STREAMLETS - 1)
+)
+SOURCE = f"""
+streamlet tap{{
+  port{{ in pi : text/*; out po : text/plain; }}
+}}
+main stream stress{{
+  streamlet {", ".join(f"s{i}" for i in range(N_STREAMLETS))} = new-streamlet (tap);
+{_CHAIN}
+}}
+"""
+
+
+def deploy():
+    # a real wall clock: the threaded engine blocks on real conditions
+    server = build_server(drop_timeout=5.0)
+    stream = server.deploy_script(SOURCE)
+    return server, stream
+
+
+def execute_with_retry(stream, actions, label: str, timeout: float = 30.0) -> None:
+    """Commit the batch, retrying while live traffic blocks the removal.
+
+    Message-loss avoidance (section 6.6) rejects removing an instance
+    whose input still holds messages; under live load that is expected —
+    a real controller waits for the splice to drain and tries again.
+    """
+    from repro.errors import ReconfigValidationError
+
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            ReconfigTransaction(stream, actions, label=label).execute()
+            return
+        except ReconfigValidationError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.002)
+
+
+def splice_cycle(stream, index: int, scheduler=None) -> None:
+    """One commit pair: splice a fresh tap into the chain, then remove it.
+
+    With a threaded scheduler the fresh instance needs a worker before the
+    removal can ever drain its input, so the spawn happens between the two
+    commits — exactly what a live controller does.
+    """
+    name = f"x{index}"
+    execute_with_retry(stream, [
+        ast.NewInstances("streamlet", (name,), "tap"),
+        ast.Insert(ast.PortRef("s3", "po"), ast.PortRef("s4", "pi"), name),
+    ], label=f"splice-{index}")
+    if scheduler is not None:
+        scheduler.ensure_workers()
+    execute_with_retry(stream, [
+        ast.RemoveInstance("streamlet", name),
+    ], label=f"unsplice-{index}")
+
+
+def assert_conserved(stream, delivered: int, posted: int) -> None:
+    report = check_conservation(stream)
+    assert report.balanced, report.describe()
+    # the pass-through chain rebinds in place: one pool id per post, and
+    # every id we collected is one the ledger counted as delivered
+    assert report.admitted == posted, report.describe()
+    assert report.delivered == delivered, report.describe()
+
+
+class TestStressConservation:
+    """≥8 streamlets, ≥1k messages, reconfig commits racing the schedulers."""
+
+    def test_threaded_scheduler_under_reconfig_storm(self):
+        _server, stream = deploy()
+        scheduler = ThreadedScheduler(stream)
+        scheduler.start()
+        errors: list[Exception] = []
+        try:
+            def feed():
+                try:
+                    for i in range(N_MESSAGES):
+                        stream.post(MimeMessage("text/plain", b"m%d" % i))
+                except Exception as exc:  # surfaced by the main thread
+                    errors.append(exc)
+
+            def reconfigure():
+                try:
+                    for i in range(10):
+                        splice_cycle(stream, i, scheduler)
+                        time.sleep(0.001)
+                except Exception as exc:
+                    errors.append(exc)
+
+            feeder = threading.Thread(target=feed)
+            rewirer = threading.Thread(target=reconfigure)
+            feeder.start()
+            rewirer.start()
+            feeder.join(timeout=60)
+            rewirer.join(timeout=60)
+            assert not feeder.is_alive() and not rewirer.is_alive()
+            assert not errors, errors
+            assert scheduler.drain(timeout=60)
+            delivered = len(stream.collect())
+        finally:
+            scheduler.stop()
+            stream.end()
+        assert_conserved(stream, delivered, N_MESSAGES)
+        # the splice points really were exercised under load
+        assert stream.epoch == 20
+        assert delivered > 0
+
+    def test_inline_scheduler_under_reconfig_storm(self):
+        _server, stream = deploy()
+        scheduler = InlineScheduler(stream)
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def reconfigure():
+            try:
+                for i in range(10):
+                    if done.is_set():
+                        break
+                    splice_cycle(stream, i)
+            except Exception as exc:
+                errors.append(exc)
+
+        rewirer = threading.Thread(target=reconfigure)
+        rewirer.start()
+        delivered = 0
+        try:
+            window = 50
+            for start in range(0, N_MESSAGES, window):
+                for i in range(start, start + window):
+                    stream.post(MimeMessage("text/plain", b"m%d" % i))
+                scheduler.pump()
+                delivered += len(stream.collect())
+        finally:
+            done.set()
+            rewirer.join(timeout=60)
+        assert not rewirer.is_alive()
+        assert not errors, errors
+        scheduler.pump()
+        delivered += len(stream.collect())
+        stream.end()
+        assert_conserved(stream, delivered, N_MESSAGES)
+        assert delivered > 0
+
+
+class TestWorkerLifecycle:
+    """kill_worker / ensure_workers against snapshot-reading workers."""
+
+    @pytest.fixture
+    def live(self):
+        _server, stream = deploy()
+        scheduler = ThreadedScheduler(stream)
+        scheduler.start()
+        yield stream, scheduler
+        scheduler.stop()
+        if not stream.ended:
+            stream.end()
+
+    def test_killed_worker_stalls_then_ensure_workers_heals(self, live):
+        stream, scheduler = live
+        assert scheduler.kill_worker("s4")
+        assert scheduler.workers_killed == 1
+        for i in range(30):
+            stream.post(MimeMessage("text/plain", b"k%d" % i))
+        # traffic piles up at the dead worker's input instead of flowing
+        deadline = time.monotonic() + 10
+        while stream.node("s4").inputs["pi"].pending() < 30:
+            assert time.monotonic() < deadline, "messages never reached s4"
+            time.sleep(0.002)
+        assert len(stream.collect()) == 0
+        scheduler.ensure_workers()  # respawn reads the current snapshot
+        assert scheduler.drain(timeout=30)
+        assert len(stream.collect()) == 30
+        assert check_conservation(stream).balanced
+
+    def test_kill_missing_worker_returns_false(self, live):
+        _stream, scheduler = live
+        assert not scheduler.kill_worker("nope")
+        assert scheduler.workers_killed == 0
+
+    def test_ensure_workers_covers_instances_added_by_reconfig(self, live):
+        stream, scheduler = live
+        ReconfigTransaction(stream, [
+            ast.NewInstances("streamlet", ("late",), "tap"),
+            ast.Insert(ast.PortRef("s0", "po"), ast.PortRef("s1", "pi"), "late"),
+        ]).execute()
+        scheduler.ensure_workers()
+        deadline = time.monotonic() + 5
+        while "late" not in scheduler._threads:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        assert scheduler._threads["late"].is_alive()
+        for i in range(10):
+            stream.post(MimeMessage("text/plain", b"l%d" % i))
+        assert scheduler.drain(timeout=30)
+        assert len(stream.collect()) == 10
+        assert stream.node("late").streamlet.processed == 10
+
+    def test_worker_for_removed_instance_exits(self, live):
+        stream, scheduler = live
+        ReconfigTransaction(stream, [
+            ast.NewInstances("streamlet", ("gone",), "tap"),
+            ast.Insert(ast.PortRef("s5", "po"), ast.PortRef("s6", "pi"), "gone"),
+        ]).execute()
+        scheduler.ensure_workers()
+        ReconfigTransaction(stream, [
+            ast.RemoveInstance("streamlet", "gone"),
+        ]).execute()
+        thread = scheduler._threads.get("gone")
+        if thread is not None:
+            thread.join(timeout=5)  # snapshot no longer names it: clean exit
+            assert not thread.is_alive()
+        for i in range(5):
+            stream.post(MimeMessage("text/plain", b"g%d" % i))
+        assert scheduler.drain(timeout=30)
+        assert len(stream.collect()) == 5
