@@ -34,6 +34,7 @@ from repro.bench.telemetry_overhead import run_telemetry_overhead
 ALL_TARGETS = (
     "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
     "adaptivity", "telemetry", "faults", "reconfig", "scheduler_parallel",
+    "gateway",
 )
 
 
@@ -154,6 +155,21 @@ def main(argv: list[str]) -> int:
         for warning in flag_regressions("scheduler_parallel", result):
             print(warning, file=sys.stderr)
         emit("scheduler_parallel", result)
+    if "gateway" in targets:
+        from repro.bench.gateway import run_gateway
+        from repro.bench.reporting import flag_regressions
+
+        result = run_gateway(quick=quick)
+        result.print()
+        # advisory, like scheduler_parallel: throughput must not drop and
+        # round-trip p99 must not rise by more than the threshold
+        for warning in flag_regressions("gateway", result, key="scenario"):
+            print(warning, file=sys.stderr)
+        for warning in flag_regressions(
+            "gateway", result, key="scenario", metric="p99_ms", direction="lower"
+        ):
+            print(warning, file=sys.stderr)
+        emit("gateway", result)
     return 0
 
 

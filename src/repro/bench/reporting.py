@@ -111,6 +111,7 @@ def flag_regressions(
     threshold: float = 0.10,
     metric: str = "throughput_msgs_per_sec",
     key: str = "engine",
+    direction: str = "higher",
     directory: Path | str | None = None,
 ) -> list[str]:
     """Warnings for per-row ``metric`` drops beyond ``threshold`` vs baseline.
@@ -120,7 +121,13 @@ def flag_regressions(
     strings — deliberately non-fatal, since absolute throughput varies
     across hosts; CI surfaces them, a human judges them.  No baseline (or
     no comparable rows) means no warnings.
+
+    ``direction`` states which way is better for ``metric``: ``"higher"``
+    (throughput-like — a drop regresses) or ``"lower"`` (latency-like —
+    a rise regresses).
     """
+    if direction not in ("higher", "lower"):
+        raise ValueError(f"direction must be 'higher' or 'lower', got {direction!r}")
     baseline = load_baseline(name, directory)
     if baseline is None:
         return []
@@ -142,11 +149,20 @@ def flag_regressions(
         now, then = row.get(metric), base.get(metric)
         if not isinstance(now, (int, float)) or not isinstance(then, (int, float)):
             continue
-        if then > 0 and now < then * (1.0 - threshold):
+        if then <= 0:
+            continue
+        if direction == "higher" and now < then * (1.0 - threshold):
             drop = (1.0 - now / then) * 100.0
             warnings.append(
                 f"[bench] REGRESSION {name}/{row.get(key)}: {metric} "
                 f"{now:.1f} is {drop:.1f}% below baseline {then:.1f} "
+                f"(threshold {threshold * 100:.0f}%)"
+            )
+        elif direction == "lower" and now > then * (1.0 + threshold):
+            rise = (now / then - 1.0) * 100.0
+            warnings.append(
+                f"[bench] REGRESSION {name}/{row.get(key)}: {metric} "
+                f"{now:.1f} is {rise:.1f}% above baseline {then:.1f} "
                 f"(threshold {threshold * 100:.0f}%)"
             )
     return warnings

@@ -1,0 +1,73 @@
+"""Gateway tuning knobs, in one immutable-ish bundle.
+
+Every limit that governs how the data plane treats untrusted bytes lives
+here, so a test can shrink them to force the backpressure and rejection
+paths, and a deployment can widen them without touching code.  The
+defaults are sized for the loopback bench (1k concurrent clients, small
+messages); see ``docs/gateway.md`` for how each knob maps onto the
+framing/backpressure pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mime.wire import DEFAULT_MAX_FRAME_BYTES, DEFAULT_MAX_HEADER_BYTES
+
+
+@dataclass
+class GatewayConfig:
+    """Addresses and limits for both planes of a :class:`GatewayServer`."""
+
+    #: data plane bind address; port 0 asks the OS for an ephemeral port
+    data_host: str = "127.0.0.1"
+    data_port: int = 0
+    #: control plane bind address — localhost by design: management stays
+    #: off the data listener (the Parrot dual-router split)
+    control_host: str = "127.0.0.1"
+    control_port: int = 0
+
+    #: per-frame ceilings enforced by the incremental parser
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES
+
+    #: backpressure: a session whose pool holds this many resident
+    #: messages stops admitting; the reader parks (socket reads pause)
+    session_ingress_limit: int = 256
+    #: how long a parked frame may wait for room before it is shed into
+    #: the drop ledger (seconds)
+    park_timeout: float = 0.25
+    #: cadence of park re-probes (seconds)
+    park_poll_interval: float = 0.002
+
+    #: listen(2) backlog for the data plane — sized for connection storms
+    #: (the bench opens ~1k loopback clients at once)
+    listen_backlog: int = 1024
+
+    #: socket read granularity (bytes per ``reader.read``)
+    read_chunk_bytes: int = 64 * 1024
+    #: egress frames aimed at a connection whose transport already buffers
+    #: this much are dropped (slow-reader protection)
+    max_conn_write_buffer: int = 4 * 1024 * 1024
+
+    #: egress pump fallback wakeup (seconds): the pump is event-driven off
+    #: the queue waiter; this bounds staleness if a rewire loses the waiter
+    egress_wake_timeout: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.session_ingress_limit < 1:
+            raise ValueError(
+                f"session_ingress_limit must be >= 1, got {self.session_ingress_limit}"
+            )
+        if self.park_timeout < 0:
+            raise ValueError(f"park_timeout must be >= 0, got {self.park_timeout}")
+        if self.park_poll_interval <= 0:
+            raise ValueError(
+                f"park_poll_interval must be > 0, got {self.park_poll_interval}"
+            )
+        if self.read_chunk_bytes < 1:
+            raise ValueError(f"read_chunk_bytes must be >= 1, got {self.read_chunk_bytes}")
+        if self.egress_wake_timeout <= 0:
+            raise ValueError(
+                f"egress_wake_timeout must be > 0, got {self.egress_wake_timeout}"
+            )

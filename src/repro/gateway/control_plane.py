@@ -1,0 +1,262 @@
+"""The control plane: a localhost management API, split from the data path.
+
+The MobiGATE proxy follows the dual-router shape: the data listener faces
+clients and moves frames; this second, loopback-only server carries the
+management verbs.  The protocol is deliberately minimal — one JSON object
+per line in, one JSON object per line out — so ``nc``/``socat``, the
+bench, and the tests all speak it without a client library.
+
+Request: ``{"op": <verb>, ...}``.  Response: ``{"ok": true, ...}`` or
+``{"ok": false, "error": "..."}``.  Verbs:
+
+``health``
+    Liveness + the data plane's address, session and connection counts.
+``deploy``
+    ``{"mcl": source, "session"?: key, "scheduler"?: "threaded"|"inline",
+    "stream"?: name}`` — compile, verify, and deploy an MCL script as a
+    new gateway session; returns the routing key clients must put in
+    ``Content-Session``.
+``reconfigure``
+    ``{"event": name, "session"?: key}`` — raise a context event (scoped
+    to one session's stream when given); compiled ``when`` handlers run
+    as :class:`~repro.runtime.reconfig.ReconfigTransaction` epochs.
+``set_param``
+    ``{"session": key, "instance": id, "key": k, "value": v}`` — the
+    §8.2.1 per-streamlet control interface.
+``stats``
+    ``{"session": key}`` — stream statistics, gateway boundary counters,
+    and the message-conservation ledger (with its ``balanced`` verdict).
+``sessions``
+    List every deployed session's summary.
+``telemetry``
+    A JSON snapshot of the metrics registry (empty when telemetry is the
+    null twin).
+``undeploy``
+    ``{"session": key}`` — close a session and release its stream.
+
+Mutating verbs run in the default executor: deployment takes runtime
+locks and joins threads, which must not stall the event loop that is
+concurrently moving data frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.errors import MobiGateError
+from repro.gateway.config import GatewayConfig
+
+#: ceiling on one control line (requests carry whole MCL scripts)
+MAX_CONTROL_LINE = 1 << 20
+
+
+class ControlPlane:
+    """The loopback line-delimited-JSON management server."""
+
+    def __init__(self, gateway, config: GatewayConfig):
+        self._gateway = gateway
+        self._config = config
+        self._server: asyncio.AbstractServer | None = None
+        self.requests_served = 0
+        self.request_failures = 0
+
+    async def start(self) -> None:
+        """Bind the loopback management listener."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self._config.control_host,
+            self._config.control_port,
+            limit=MAX_CONTROL_LINE,
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("control plane is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Close the listener (in-flight requests finish on their own)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request loop ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode({"ok": False, "error": "request line too long"}))
+                    return
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                writer.write(_encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        self.requests_served += 1
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            self.request_failures += 1
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+            self.request_failures += 1
+            return {"ok": False, "error": "request must be an object with an 'op' string"}
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            self.request_failures += 1
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return await handler(request)
+        except MobiGateError as exc:
+            self.request_failures += 1
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        except (KeyError, TypeError, ValueError) as exc:
+            self.request_failures += 1
+            return {"ok": False, "error": f"bad request: {exc}"}
+
+    # -- verbs -------------------------------------------------------------------------
+
+    async def _op_health(self, request: dict) -> dict:
+        gateway = self._gateway
+        return {
+            "ok": True,
+            "uptime_s": gateway.uptime(),
+            "sessions": len(gateway.sessions),
+            "connections": gateway.data.open_connections,
+            "data_address": list(gateway.data.address),
+            "frame_errors": gateway.data.frame_errors,
+            "unrouted_frames": gateway.data.unrouted_frames,
+        }
+
+    async def _op_deploy(self, request: dict) -> dict:
+        mcl = request["mcl"]
+        if not isinstance(mcl, str) or not mcl.strip():
+            return {"ok": False, "error": "'mcl' must be a non-empty MCL source string"}
+        scheduler = request.get("scheduler", "threaded")
+        if scheduler not in ("threaded", "inline"):
+            return {"ok": False, "error": f"unknown scheduler {scheduler!r}"}
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(
+            None,
+            lambda: self._gateway.deploy(
+                mcl,
+                session_key=request.get("session"),
+                stream=request.get("stream"),
+                scheduler=scheduler,
+            ),
+        )
+        return {
+            "ok": True,
+            "session": session.key,
+            "stream": session.stream.name,
+            "epoch": session.stream.epoch,
+        }
+
+    async def _op_reconfigure(self, request: dict) -> dict:
+        event = request["event"]
+        key = request.get("session")
+        loop = asyncio.get_running_loop()
+        delivered = await loop.run_in_executor(
+            None, lambda: self._gateway.raise_event(event, session_key=key)
+        )
+        response: dict = {"ok": True, "event": event, "delivered": delivered}
+        if key is not None:
+            session = self._gateway.route(key)
+            if session is not None:
+                response["epoch"] = session.stream.epoch
+        return response
+
+    async def _op_set_param(self, request: dict) -> dict:
+        session = self._require_session(request)
+        if isinstance(session, dict):
+            return session
+        session.stream.set_param(request["instance"], request["key"], request["value"])
+        return {"ok": True}
+
+    async def _op_stats(self, request: dict) -> dict:
+        session = self._require_session(request)
+        if isinstance(session, dict):
+            return session
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, lambda: self._gateway.describe(session))
+
+    async def _op_sessions(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "sessions": [s.describe() for s in self._gateway.sessions.values()],
+        }
+
+    async def _op_telemetry(self, request: dict) -> dict:
+        telemetry = self._gateway.telemetry
+        if not telemetry.enabled:
+            return {"ok": True, "enabled": False, "snapshot": {}}
+        loop = asyncio.get_running_loop()
+        snapshot = await loop.run_in_executor(None, telemetry.snapshot)
+        return {"ok": True, "enabled": True, "snapshot": snapshot}
+
+    async def _op_undeploy(self, request: dict) -> dict:
+        key = request["session"]
+        loop = asyncio.get_running_loop()
+        removed = await loop.run_in_executor(None, lambda: self._gateway.undeploy(key))
+        if not removed:
+            return {"ok": False, "error": f"no session {key!r}"}
+        return {"ok": True, "session": key}
+
+    def _require_session(self, request: dict):
+        key = request["session"]
+        session = self._gateway.route(key)
+        if session is None:
+            self.request_failures += 1
+            return {"ok": False, "error": f"no session {key!r}"}
+        return session
+
+
+def _encode(response: dict) -> bytes:
+    return json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+
+
+# ---------------------------------------------------------------------------
+# synchronous convenience client
+# ---------------------------------------------------------------------------
+
+
+def control_request(
+    address: tuple[str, int], request: dict, *, timeout: float = 10.0
+) -> dict:
+    """One blocking request/response round against a control plane.
+
+    Convenience for tests, benches, and scripts running outside the
+    gateway's event loop; opens a fresh connection per call.
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        buf = bytearray()
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("control connection closed mid-response")
+            buf += chunk
+    return json.loads(buf.decode("utf-8"))

@@ -1,0 +1,326 @@
+"""The gateway proper: both planes, the session table, and the runtime bridge.
+
+:class:`GatewayServer` is the deployable artifact of :mod:`repro.gateway`.
+It owns one :class:`~repro.runtime.server.MobiGateServer` (the streamlet
+runtime), an asyncio **data plane** clients stream MIME frames to, and a
+loopback **control plane** management tools speak JSON to.  Frames are
+routed by their ``Content-Session`` header to :class:`GatewaySession`
+objects, each wrapping one deployed stream plus its scheduler.
+
+Two ways to run it::
+
+    # inside an existing event loop
+    gateway = GatewayServer()
+    await gateway.start()
+    gateway.deploy(MCL_SOURCE)          # or via the control API
+    ...
+    await gateway.stop()
+
+    # from synchronous code (tests, benches, the example)
+    with GatewayServer().run_in_thread() as handle:
+        reply = handle.control({"op": "deploy", "mcl": MCL_SOURCE})
+        ...  # connect sockets to handle.data_address
+
+Deployment is thread-safe and callable from any thread (the control
+plane invokes it from an executor): compiled stream names are made unique
+per deployment so the same MCL script can back many concurrent sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import fields, replace
+from typing import TYPE_CHECKING
+
+from repro.apps import build_server
+from repro.errors import MobiGateError
+from repro.faults.invariant import check_conservation
+from repro.gateway.config import GatewayConfig
+from repro.gateway.control_plane import ControlPlane, control_request
+from repro.gateway.data_plane import DataPlane
+from repro.gateway.faults import LinkOutageGate
+from repro.gateway.session import GatewaySession
+from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
+from repro.runtime.server import MobiGateServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+    from repro.telemetry import Telemetry
+
+
+class GatewayServer:
+    """A MobiGATE proxy node: data plane + control plane + session table."""
+
+    def __init__(
+        self,
+        *,
+        config: GatewayConfig | None = None,
+        server: MobiGateServer | None = None,
+        telemetry: "Telemetry | None" = None,
+        fault_plan: "FaultPlan | None" = None,
+    ):
+        self.config = config if config is not None else GatewayConfig()
+        if server is not None:
+            self.mobigate = server
+        elif telemetry is not None:
+            self.mobigate = build_server(telemetry=telemetry)
+        else:
+            self.mobigate = build_server()
+        self.telemetry = self.mobigate.telemetry
+        #: ``Content-Session`` key -> session (read by the data plane per frame)
+        self.sessions: dict[str, GatewaySession] = {}
+        self.data = DataPlane(self, self.config)
+        self.control = ControlPlane(self, self.config)
+        self.fault_gate = LinkOutageGate(fault_plan, telemetry=self.telemetry)
+        self._sessions_gauge = (
+            self.telemetry.gateway_sessions_gauge() if self.telemetry.enabled else None
+        )
+        self._deploy_lock = threading.Lock()
+        self._stream_ids = itertools.count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started_at: float | None = None
+
+    # -- lifecycle (event-loop thread) --------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind both planes on the running loop."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.fault_gate.start(loop)
+        await self.data.start()
+        await self.control.start()
+        self._started_at = loop.time()
+        # sessions deployed before start() could not install their egress
+        # bridge (no loop yet); attach them now
+        for session in self.sessions.values():
+            self.data.attach_session(session, loop)
+
+    async def stop(self) -> None:
+        """Close both planes, then every session and its stream."""
+        await self.control.stop()
+        await self.data.stop()
+        for key in list(self.sessions):
+            self.undeploy(key)
+
+    def uptime(self) -> float:
+        """Seconds since :meth:`start` bound the planes (0 before that)."""
+        if self._loop is None or self._started_at is None:
+            return 0.0
+        return max(0.0, self._loop.time() - self._started_at)
+
+    # -- deployment (any thread) --------------------------------------------------------
+
+    def deploy(
+        self,
+        mcl: str,
+        *,
+        session_key: str | None = None,
+        stream: str | None = None,
+        scheduler: str = "threaded",
+    ) -> GatewaySession:
+        """Compile, verify, deploy, and start one session from MCL source.
+
+        The compiled stream is renamed to a per-deployment unique name, so
+        one script can be deployed many times; the returned session's
+        ``key`` (``session_key`` or the runtime's generated session id) is
+        what clients must carry in ``Content-Session``.
+        """
+        if scheduler not in ("threaded", "inline"):
+            raise MobiGateError(f"unknown scheduler {scheduler!r}")
+        with self._deploy_lock:
+            if session_key is not None and session_key in self.sessions:
+                raise MobiGateError(f"session {session_key!r} already deployed")
+            compiled = self.mobigate.compile(mcl)
+            if stream is not None:
+                try:
+                    table = compiled.tables[stream]
+                except KeyError:
+                    raise MobiGateError(f"script defines no stream {stream!r}") from None
+            else:
+                table = compiled.main_table()
+            table = replace(
+                table,
+                stream_name=f"{table.stream_name}~g{next(self._stream_ids)}",
+            )
+            runtime_stream = self.mobigate.deploy_table(table, start=True)
+            try:
+                key = session_key if session_key is not None else runtime_stream.session
+                if key is None or key in self.sessions:
+                    raise MobiGateError(f"cannot key session as {key!r}")
+                if scheduler == "inline":
+                    engine = InlineScheduler(runtime_stream)
+                else:
+                    engine = ThreadedScheduler(runtime_stream)
+                    engine.start()
+                session = GatewaySession(
+                    key,
+                    runtime_stream,
+                    engine,
+                    ingress_limit=self.config.session_ingress_limit,
+                    egress_wake_timeout=self.config.egress_wake_timeout,
+                    inline=(scheduler == "inline"),
+                )
+            except Exception:
+                self.mobigate.undeploy(runtime_stream.name)
+                raise
+            self.sessions[key] = session
+        if self._sessions_gauge is not None:
+            self._sessions_gauge.inc()
+        if self._loop is not None:
+            self.data.attach_session(session, self._loop)
+        return session
+
+    def undeploy(self, key: str) -> bool:
+        """Close one session and release its stream; False if unknown."""
+        with self._deploy_lock:
+            session = self.sessions.pop(key, None)
+        if session is None:
+            return False
+        session.close()
+        try:
+            self.mobigate.undeploy(session.stream.name)
+        except MobiGateError:  # already released (e.g. double shutdown)
+            pass
+        if self._sessions_gauge is not None:
+            self._sessions_gauge.dec()
+        return True
+
+    # -- routing and management ---------------------------------------------------------
+
+    def route(self, key: str | None) -> GatewaySession | None:
+        """The session owning ``key``, or None (the data plane's hot path)."""
+        if key is None:
+            return None
+        return self.sessions.get(key)
+
+    def raise_event(self, name: str, *, session_key: str | None = None) -> int:
+        """Raise a context event, scoped to one session's stream when keyed.
+
+        Compiled ``when`` handlers run as reconfiguration transactions on
+        the receiving stream; returns the number of deliveries.
+        """
+        if session_key is None:
+            delivered = self.mobigate.events.raise_event(name)
+            affected = list(self.sessions.values())
+        else:
+            session = self.route(session_key)
+            if session is None:
+                raise MobiGateError(f"no session {session_key!r}")
+            delivered = self.mobigate.events.raise_event(
+                name, source=session.stream.name
+            )
+            affected = [session]
+        # a committed handler may have added instances; threaded sessions
+        # need workers spawned for them or their traffic stalls
+        for touched in affected:
+            ensure = getattr(touched.scheduler, "ensure_workers", None)
+            if ensure is not None:
+                ensure()
+        return delivered
+
+    def describe(self, session: GatewaySession) -> dict:
+        """One session's full ledger: gateway counters, stream stats, conservation."""
+        report = check_conservation(session.stream)
+        stream_stats = session.stream.stats
+        return {
+            "ok": True,
+            **session.describe(),
+            "stream_stats": {
+                f.name: getattr(stream_stats, f.name) for f in fields(stream_stats)
+            },
+            "conservation": {
+                "admitted": report.admitted,
+                "delivered": report.delivered,
+                "absorbed": report.absorbed,
+                "dead_letters": report.dead_letters,
+                "queue_drops": report.queue_drops,
+                "open_circuit_drops": report.open_circuit_drops,
+                "failure_drops": report.failure_drops,
+                "end_drops": report.end_drops,
+                "residual": report.residual,
+                "missing": report.missing,
+                "balanced": report.balanced,
+                "ledger": report.describe(),
+            },
+        }
+
+    # -- synchronous driver -------------------------------------------------------------
+
+    def run_in_thread(self, *, timeout: float = 10.0) -> "GatewayHandle":
+        """Start the gateway on a fresh event loop in a daemon thread.
+
+        Blocks until both planes are bound (or raises the boot error), and
+        returns a :class:`GatewayHandle` for synchronous callers.
+        """
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        boot_error: list[BaseException] = []
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # surfaced to the caller below
+                boot_error.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_run, name="gateway-loop", daemon=True)
+        thread.start()
+        if not started.wait(timeout):
+            raise MobiGateError("gateway failed to start within the timeout")
+        if boot_error:
+            raise MobiGateError(f"gateway failed to start: {boot_error[0]}")
+        return GatewayHandle(self, loop, thread)
+
+
+class GatewayHandle:
+    """Synchronous remote control for a gateway running on its own loop thread."""
+
+    def __init__(
+        self,
+        gateway: GatewayServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ):
+        self.gateway = gateway
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def data_address(self) -> tuple[str, int]:
+        return self.gateway.data.address
+
+    @property
+    def control_address(self) -> tuple[str, int]:
+        return self.gateway.control.address
+
+    def control(self, request: dict, *, timeout: float = 10.0) -> dict:
+        """One request against the control API, over a real socket."""
+        return control_request(self.control_address, request, timeout=timeout)
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Stop the gateway, then the loop and its thread (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.gateway.stop(), self._loop)
+        try:
+            future.result(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

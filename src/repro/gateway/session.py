@@ -1,0 +1,270 @@
+"""One gateway session: a deployed stream plus its admission and egress glue.
+
+A :class:`GatewaySession` binds a ``Content-Session`` routing key to a
+deployed :class:`~repro.runtime.stream.RuntimeStream` and owns the two
+boundary crossings the data plane needs:
+
+* **admission** (event-loop thread → runtime): :meth:`offer` admits a
+  parsed message into the stream through the non-blocking
+  :meth:`~repro.runtime.message_queue.MessageQueue.try_post` fast path.
+  The session is *bounded*: when its pool holds
+  ``ingress_limit`` resident messages, offers report ``FULL`` and the
+  caller parks — which, because the caller is the connection's read task,
+  pauses socket reads and pushes the backpressure onto the client's TCP
+  window.  A park that outlives its budget is **shed** through
+  :meth:`~repro.runtime.stream.RuntimeStream.shed`, so the refusal lands
+  in the drop statistics and the conservation ledger stays balanced.
+* **egress** (runtime workers → event-loop thread): a pump thread blocks
+  on the egress queues' waiter event, collects delivered messages,
+  serialises them off the event loop, and hands ``(conn_id, frame
+  bytes)`` to the ``on_egress`` callback the data plane installs.
+
+All admission methods (``offer`` / ``retry`` / ``abandon``) must be
+called from a single thread (the gateway's event loop); the pump runs on
+its own thread and touches only thread-safe runtime surfaces
+(``collect``, queue waiters).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import QueueClosedError
+from repro.mime.message import MimeMessage
+from repro.mime.wire import serialize_message
+from repro.runtime.stream import RuntimeStream
+
+#: gateway-internal header naming the data-plane connection a message
+#: arrived on; stamped at admission, stripped before the echo leaves
+CONNECTION_HEADER = "X-MobiGATE-Connection"
+
+#: offer outcomes
+ADMITTED = "admitted"
+FULL = "full"          # nothing admitted; session at its ingress bound
+RETRY = "retry"        # pool id admitted; queue lock contended, repost later
+SHED = "shed"          # admitted and immediately dropped into the ledger
+
+
+@dataclass
+class OfferTicket:
+    """The state of one in-flight admission attempt."""
+
+    status: str
+    msg_id: str | None = None
+    size: int = 0
+
+
+@dataclass
+class SessionStats:
+    """Gateway-boundary counters for one session (runtime stats live on the stream)."""
+
+    frames_in: int = 0
+    frames_out: int = 0
+    parked: int = 0
+    shed: int = 0
+    contended: int = 0
+    #: egress frames with no live connection to deliver to
+    orphans: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Atomically bump one counter."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent copy of every counter."""
+        with self._lock:
+            return {
+                "frames_in": self.frames_in,
+                "frames_out": self.frames_out,
+                "parked": self.parked,
+                "shed": self.shed,
+                "contended": self.contended,
+                "orphans": self.orphans,
+            }
+
+
+class GatewaySession:
+    """Routes one ``Content-Session`` key into one deployed stream."""
+
+    def __init__(
+        self,
+        key: str,
+        stream: RuntimeStream,
+        scheduler,
+        *,
+        ingress_limit: int = 256,
+        egress_wake_timeout: float = 0.05,
+        inline: bool = False,
+    ):
+        self.key = key
+        self.stream = stream
+        self.scheduler = scheduler
+        self.ingress_limit = ingress_limit
+        self.stats = SessionStats()
+        #: installed by the data plane: called from the pump thread as
+        #: ``on_egress(conn_id | None, frame_bytes)``
+        self.on_egress = None
+        self._inline = inline
+        self._closed = False
+        self._wake_timeout = egress_wake_timeout
+        self._pump = threading.Thread(
+            target=self._pump_loop, name=f"gw-egress-{key}", daemon=True
+        )
+        self._pump_stop = threading.Event()
+        self._pump_wake = threading.Event()
+        self._pump.start()
+
+    # -- admission (event-loop thread only) -----------------------------------------
+
+    @property
+    def resident(self) -> int:
+        """Messages of this session currently alive in the pool."""
+        return len(self.stream.pool)
+
+    def has_room(self) -> bool:
+        """Whether the session is below its ingress bound."""
+        return self.resident < self.ingress_limit
+
+    def offer(self, message: MimeMessage) -> OfferTicket:
+        """Try to admit one message without blocking; see module docstring."""
+        if self._closed:
+            raise QueueClosedError(f"session {self.key} is closed")
+        if not self.has_room():
+            return OfferTicket(FULL)
+        return self._admit_and_post(message)
+
+    def retry(self, ticket: OfferTicket, message: MimeMessage) -> OfferTicket:
+        """Advance a parked admission attempt one step."""
+        if ticket.status == RETRY:
+            return self._post(ticket.msg_id, ticket.size)
+        if ticket.status == FULL:
+            return self.offer(message)
+        return ticket
+
+    def abandon(self, ticket: OfferTicket, message: MimeMessage) -> OfferTicket:
+        """Give up on a parked attempt: shed it into the conservation ledger."""
+        if ticket.status == RETRY and ticket.msg_id is not None:
+            # the id is already admitted; route it through the drop path
+            self.stream._release_dropped([ticket.msg_id])
+        elif ticket.status == FULL:
+            self.stream.shed(message)
+        self.stats.inc("shed")
+        return OfferTicket(SHED, ticket.msg_id, ticket.size)
+
+    def _admit_and_post(self, message: MimeMessage) -> OfferTicket:
+        stream = self.stream
+        if message.session is None and stream.session is not None:
+            message.headers.session = stream.session
+        if stream.epoch:
+            message.headers.set_epoch(stream.epoch)
+        traced = stream.tm.enabled and stream.tm.admit(message)
+        size = message.total_size()
+        msg_id = stream.pool.admit(message)
+        if traced:
+            stream.tm.mark_traced(msg_id)
+        return self._post(msg_id, size)
+
+    def _post(self, msg_id: str, size: int) -> OfferTicket:
+        channel = self._ingress_channel()
+        outcome = channel.queue.try_post(msg_id, size)
+        if outcome is True:
+            self.stream.stats.inc("messages_in")
+            self.stats.inc("frames_in")
+            if self._inline:
+                self._pump_wake.set()  # no workers: the pump drives the stream
+            return OfferTicket(ADMITTED, msg_id, size)
+        if outcome is None:
+            self.stats.inc("contended")
+            return OfferTicket(RETRY, msg_id, size)
+        # the effectively-unbounded edge queue is full — treat as a shed
+        self.stream._release_dropped([msg_id])
+        self.stats.inc("shed")
+        return OfferTicket(SHED, msg_id, size)
+
+    def _ingress_channel(self):
+        stream = self.stream
+        try:
+            return next(iter(stream.ingress.values()))
+        except StopIteration:
+            raise QueueClosedError(
+                f"stream {stream.name} exposes no ingress port"
+            ) from None
+
+    # -- egress pump (own thread) ------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        wake = self._pump_wake
+        while not self._pump_stop.is_set():
+            self._register_waiters(wake)
+            wake.wait(self._wake_timeout)
+            wake.clear()
+            try:
+                if self._inline:
+                    self.scheduler.pump()
+                delivered = self.stream.collect()
+            except QueueClosedError:
+                return  # the stream ended under us: nothing left to deliver
+            for message in delivered:
+                self._deliver(message)
+
+    def _register_waiters(self, event: threading.Event) -> None:
+        """(Re-)hook the wakeup event onto the current egress queues.
+
+        Re-run every cycle because reconfiguration may swap egress
+        channels; ``add_waiter`` is idempotent, so steady state costs one
+        lock round per queue per wakeup.  Inline sessions also watch the
+        ingress queues: with no scheduler workers, an arriving message is
+        what makes the pump turn the stream over.
+        """
+        try:
+            for _ref, channel in self.stream.egress:
+                channel.queue.add_waiter(event)
+            if self._inline:
+                for channel in self.stream.ingress.values():
+                    channel.queue.add_waiter(event)
+        except QueueClosedError:  # pragma: no cover - teardown race
+            pass
+
+    def _deliver(self, message: MimeMessage) -> None:
+        raw_conn = message.headers.get(CONNECTION_HEADER)
+        message.headers.remove(CONNECTION_HEADER)
+        frame = serialize_message(message)
+        self.stats.inc("frames_out")
+        callback = self.on_egress
+        if callback is None:
+            self.stats.inc("orphans")
+            return
+        callback(raw_conn, frame)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def describe(self) -> dict:
+        """A JSON-ready summary for the control plane."""
+        return {
+            "session": self.key,
+            "stream": self.stream.name,
+            "epoch": self.stream.epoch,
+            "resident": self.resident,
+            "ingress_limit": self.ingress_limit,
+            "scheduler": "inline" if self._inline else "threaded",
+            **self.stats.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Stop the scheduler and pump, end the stream (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._inline:
+            self.scheduler.stop()
+        self._pump_stop.set()
+        self._pump_wake.set()
+        self._pump.join(timeout=2.0)
+        self.stream.end()

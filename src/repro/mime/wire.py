@@ -16,6 +16,22 @@ MIME-shaped and binary-safe:
 
 ``parse_message(serialize_message(m))`` reproduces the message up to
 payload identity (structured payloads compare equal, not identical).
+
+``Content-Length`` is *validated* before it is trusted: a missing,
+non-numeric, negative, or oversized declaration raises
+:class:`~repro.errors.MimeError` instead of hanging a reader or
+over-allocating a buffer.  The ceiling defaults to
+:data:`DEFAULT_MAX_FRAME_BYTES` and is configurable per call (and per
+:class:`FrameAssembler`), because a gateway accepting frames off a public
+socket wants a much tighter bound than an in-process round-trip test.
+
+:class:`FrameAssembler` is the streaming face of the format: feed it
+arbitrary byte chunks as they arrive off a socket and it yields each
+complete message exactly once, however the chunk boundaries fall.  It
+never copies a body until the whole frame is present, and it validates
+the declared length as soon as the header block is complete — a malformed
+frame is rejected before a single payload byte is buffered beyond the
+ceiling.
 """
 
 from __future__ import annotations
@@ -36,6 +52,32 @@ PAYLOAD_KIND = "X-MobiGATE-Payload"
 _BOUNDARY_IDS = IdGenerator("mgbd")
 
 _HEADER_TERMINATOR = b"\n\n"
+
+#: default ceiling on one frame's declared payload (16 MiB): large enough
+#: for every workload in the repo, small enough that a hostile
+#: Content-Length cannot make a reader buffer gigabytes
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: default ceiling on the header block of one frame (64 KiB)
+DEFAULT_MAX_HEADER_BYTES = 64 * 1024
+
+
+def _validated_length(headers: HeaderMap, max_length: int) -> int:
+    """The frame's Content-Length, or MimeError if it cannot be trusted."""
+    length_raw = headers.get(CONTENT_LENGTH)
+    if length_raw is None:
+        raise MimeError("wire message lacks Content-Length")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise MimeError(f"bad Content-Length {length_raw!r}") from None
+    if length < 0:
+        raise MimeError(f"negative Content-Length {length}")
+    if length > max_length:
+        raise MimeError(
+            f"Content-Length {length} exceeds the {max_length}-byte frame ceiling"
+        )
+    return length
 
 
 # ---------------------------------------------------------------------------
@@ -123,27 +165,34 @@ def serialize_message(message: MimeMessage) -> bytes:
     return headers.format().encode("utf-8") + _HEADER_TERMINATOR + payload
 
 
-def parse_message(data: bytes) -> MimeMessage:
-    """Inverse of :func:`serialize_message`."""
+def parse_message(
+    data: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> MimeMessage:
+    """Inverse of :func:`serialize_message`.
+
+    ``Content-Length`` is validated (present, numeric, non-negative, at
+    most ``max_frame_bytes``) before the payload is sliced, so a
+    malformed frame fails with a clean :class:`MimeError` instead of
+    over-allocating.
+    """
     split_at = data.find(_HEADER_TERMINATOR)
     if split_at < 0:
         raise MimeError("wire message has no header terminator")
     headers = HeaderMap.parse(data[:split_at].decode("utf-8"))
-    content_type = headers.content_type
-    if content_type is None:
-        raise MimeError("wire message lacks Content-Type")
-    length_raw = headers.get(CONTENT_LENGTH)
-    if length_raw is None:
-        raise MimeError("wire message lacks Content-Length")
-    try:
-        length = int(length_raw)
-    except ValueError:
-        raise MimeError(f"bad Content-Length {length_raw!r}") from None
+    length = _validated_length(headers, max_frame_bytes)
     payload = data[split_at + len(_HEADER_TERMINATOR):]
     if len(payload) != length:
         raise MimeError(
             f"Content-Length says {length} but payload is {len(payload)} bytes"
         )
+    return _build_message(headers, payload)
+
+
+def _build_message(headers: HeaderMap, payload: bytes) -> MimeMessage:
+    """Assemble a message from a parsed header block and its exact payload."""
+    content_type = headers.content_type
+    if content_type is None:
+        raise MimeError("wire message lacks Content-Type")
 
     body: object
     if content_type.maintype == "multipart" and content_type.param("boundary"):
@@ -166,6 +215,119 @@ def parse_message(data: bytes) -> MimeMessage:
     message.headers = headers
     message.body = body
     return message
+
+
+# ---------------------------------------------------------------------------
+# streaming incremental parsing
+# ---------------------------------------------------------------------------
+
+
+class FrameAssembler:
+    """Reassemble wire messages from an arbitrary chunking of the byte stream.
+
+    The gateway's data plane reads whatever the socket hands it; frame
+    boundaries land anywhere.  ``feed`` buffers the chunk and yields every
+    message that became complete, in order — the concatenation of all
+    ``feed`` results equals parsing the concatenated stream whole.
+
+    Discipline for untrusted input:
+
+    * the header block is bounded (``max_header_bytes``); a stream that
+      never produces a terminator is rejected instead of buffered forever;
+    * ``Content-Length`` is validated the moment the header block is
+      complete (see :func:`parse_message`), *before* payload bytes
+      accumulate against it;
+    * the payload is sliced out through one :class:`memoryview` copy when
+      the frame completes — no per-chunk body copies, no quadratic
+      re-concatenation.
+
+    A raised :class:`MimeError` poisons the assembler (framing is lost);
+    the caller should close the connection and discard it.
+    """
+
+    __slots__ = (
+        "max_frame_bytes",
+        "max_header_bytes",
+        "_buf",
+        "_scan_from",
+        "_headers",
+        "_payload_at",
+        "_need",
+        "bytes_in",
+        "frames_out",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+    ):
+        if max_frame_bytes < 0 or max_header_bytes <= 0:
+            raise ValueError("frame/header ceilings must be positive")
+        self.max_frame_bytes = max_frame_bytes
+        self.max_header_bytes = max_header_bytes
+        self._buf = bytearray()
+        self._scan_from = 0
+        self._headers: HeaderMap | None = None
+        self._payload_at = 0
+        self._need = 0
+        # observability (the gateway mirrors these into metrics)
+        self.bytes_in = 0
+        self.frames_out = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buf)
+
+    def feed(self, chunk: bytes | bytearray | memoryview) -> list[MimeMessage]:
+        """Buffer ``chunk``; return every message it completed (maybe none)."""
+        self._buf += chunk
+        self.bytes_in += len(chunk)
+        out: list[MimeMessage] = []
+        while True:
+            message = self._next_frame()
+            if message is None:
+                return out
+            out.append(message)
+
+    def _next_frame(self) -> MimeMessage | None:
+        buf = self._buf
+        if self._headers is None:
+            split_at = buf.find(_HEADER_TERMINATOR, self._scan_from)
+            if split_at < 0:
+                if len(buf) > self.max_header_bytes:
+                    raise MimeError(
+                        f"header block exceeds {self.max_header_bytes} bytes "
+                        "with no terminator"
+                    )
+                # the terminator may straddle the next chunk: back up one byte
+                self._scan_from = max(0, len(buf) - 1)
+                return None
+            if split_at > self.max_header_bytes:
+                raise MimeError(f"header block exceeds {self.max_header_bytes} bytes")
+            try:
+                text = bytes(memoryview(buf)[:split_at]).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise MimeError(f"header block is not UTF-8: {exc}") from None
+            headers = HeaderMap.parse(text)
+            # validate the declared length *now*, before buffering against it
+            self._need = _validated_length(headers, self.max_frame_bytes)
+            self._headers = headers
+            self._payload_at = split_at + len(_HEADER_TERMINATOR)
+        end = self._payload_at + self._need
+        if len(buf) < end:
+            return None
+        # one copy, exactly the body, via a zero-copy view of the buffer
+        payload = bytes(memoryview(buf)[self._payload_at:end])
+        headers = self._headers
+        self._headers = None
+        del buf[:end]
+        self._scan_from = 0
+        message = _build_message(headers, payload)
+        self.frames_out += 1
+        return message
 
 
 def _parse_multipart(payload: bytes, boundary: str) -> list[MimeMessage]:

@@ -30,6 +30,11 @@ Consumers that cannot block on a single queue (a scheduler worker
 multiplexing several input channels) register a ``threading.Event`` via
 :meth:`add_waiter`; every successful post sets it, giving the worker an
 edge-triggered "one of your inputs has traffic" signal without polling.
+
+Producers that must never block at all — an asyncio event loop posting
+from the gateway's data plane while scheduler workers hold the lock —
+use :meth:`try_post`, which acquires the lock non-blockingly and reports
+contention as a distinct outcome instead of waiting it out.
 """
 
 from __future__ import annotations
@@ -195,6 +200,40 @@ class MessageQueue:
             self._not_empty.notify()
             self._signal_waiters()
             return True
+
+    def try_post(self, msg_id: str, size: int) -> bool | None:
+        """Lock-contention-free probe post for event-loop callers.
+
+        ``post_message(timeout=0)`` never waits on a *condition*, but it
+        does block on the queue lock — and a scheduler worker holds that
+        lock across notify storms on the wakeup conditions, which is an
+        unbounded stall from an asyncio event loop's point of view.  This
+        fast path refuses to block at all:
+
+        * ``True`` — enqueued (waiters signalled as usual);
+        * ``False`` — no room; ``dropped`` is **not** counted (the probe
+          contract: the caller owns the message's accounting);
+        * ``None`` — the lock was contended; the caller should retry on a
+          later loop tick.  Nothing happened.
+
+        Raises :class:`QueueClosedError` on a closed queue, like
+        ``post_message``.
+        """
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            if self._closed:
+                raise QueueClosedError("post on closed queue")
+            if not self._has_room(size):
+                return False
+            self._entries.append((msg_id, size))
+            self._bytes += size
+            self.posted += 1
+            self._not_empty.notify()
+            self._signal_waiters()
+            return True
+        finally:
+            self._lock.release()
 
     def fetch_message(self, timeout: float | None = 0.0) -> str | None:
         """Dequeue the oldest id; None on timeout/empty.

@@ -689,6 +689,23 @@ class RuntimeStream:
             self._release_dropped([msg_id])
         return msg_id
 
+    def shed(self, message: MimeMessage) -> str:
+        """Admit-and-drop: book a refused message into the ledger as a drop.
+
+        The gateway's backpressure path needs a way to reject a message
+        *after* it arrived (its park budget expired) without unbalancing
+        the conservation invariant: the id is admitted to the pool (so
+        ``admitted`` counts it) and immediately released through the
+        normal drop path (so it lands in ``queue_drops``, fires the
+        ``drop_hook``, and leaves no residue).  Returns the short-lived
+        pool id.
+        """
+        if self.session is not None and message.session is None:
+            message.headers.session = self.session
+        msg_id = self.pool.admit(message)
+        self._release_dropped([msg_id])
+        return msg_id
+
     def collect(self) -> list[MimeMessage]:
         """Drain every egress channel; returns delivered messages in order."""
         out: list[MimeMessage] = []

@@ -466,6 +466,62 @@ class Telemetry:
         )
         return family.labels(link, event)  # type: ignore[return-value]
 
+    # -- gateway (repro.gateway) ------------------------------------------------------
+
+    def gateway_connections_gauge(self) -> Gauge:
+        """Live data-plane socket connections."""
+        return self.registry.gauge(
+            "mobigate_gateway_connections", "Open data-plane client connections"
+        ).unlabelled()  # type: ignore[return-value]
+
+    def gateway_sessions_gauge(self) -> Gauge:
+        """Sessions (deployed per-session streams) the gateway hosts."""
+        return self.registry.gauge(
+            "mobigate_gateway_sessions", "Deployed gateway sessions"
+        ).unlabelled()  # type: ignore[return-value]
+
+    def gateway_frames_counter(self, direction: str) -> Counter:
+        """Frames crossing the data plane, by direction (``in`` / ``out``)."""
+        family = self.registry.counter(
+            "mobigate_gateway_frames_total",
+            "Wire frames parsed off (in) or written to (out) data sockets",
+            labels=("direction",),
+        )
+        return family.labels(direction)  # type: ignore[return-value]
+
+    def gateway_bytes_counter(self, direction: str) -> Counter:
+        """Bytes crossing the data plane, by direction (``in`` / ``out``)."""
+        family = self.registry.counter(
+            "mobigate_gateway_bytes_total",
+            "Bytes read from (in) or written to (out) data sockets",
+            labels=("direction",),
+        )
+        return family.labels(direction)  # type: ignore[return-value]
+
+    def gateway_backpressure_counter(self, outcome: str) -> Counter:
+        """Backpressure dispositions (``parked`` / ``resumed`` / ``shed``)."""
+        family = self.registry.counter(
+            "mobigate_gateway_backpressure_total",
+            "Ingress frames that hit a full session "
+            "(parked: read paused; resumed: room freed; shed: park budget spent)",
+            labels=("outcome",),
+        )
+        return family.labels(outcome)  # type: ignore[return-value]
+
+    def gateway_frame_errors_counter(self) -> Counter:
+        """Connections dropped over malformed/unroutable frames."""
+        return self.registry.counter(
+            "mobigate_gateway_frame_errors_total",
+            "Malformed or unroutable frames received on the data plane",
+        ).unlabelled()  # type: ignore[return-value]
+
+    def gateway_outage_counter(self) -> Counter:
+        """Socket-boundary stalls injected by a link-outage fault."""
+        return self.registry.counter(
+            "mobigate_gateway_outage_stalls_total",
+            "Reads stalled at the socket boundary by an injected link outage",
+        ).unlabelled()  # type: ignore[return-value]
+
     # -- client side ---------------------------------------------------------------
 
     def client_counters(self) -> tuple[Counter, Counter]:
@@ -588,6 +644,34 @@ class NullTelemetry(Telemetry):
         return None
 
     def link_event_counter(self, link: str, event: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_connections_gauge(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_sessions_gauge(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_frames_counter(self, direction: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_bytes_counter(self, direction: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_backpressure_counter(self, outcome: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_frame_errors_counter(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_outage_counter(self) -> None:  # type: ignore[override]
         """No-op."""
         return None
 

@@ -1,0 +1,231 @@
+"""End-to-end data-plane tests over real loopback sockets."""
+
+import socket
+import time
+
+from repro.faults.plan import FaultPlan
+from repro.gateway import ERROR_HEADER, GatewayConfig, GatewayServer
+from repro.mime.message import MimeMessage
+from repro.mime.wire import FrameAssembler, serialize_message
+
+MCL = """main stream chain{
+  streamlet r0, r1 = new-streamlet (redirector);
+  connect (r0.po, r1.pi);
+}"""
+
+
+class WireClient:
+    """A blocking test client speaking the gateway's frame protocol."""
+
+    def __init__(self, address, timeout=10.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.assembler = FrameAssembler()
+        self.pending = []
+
+    def send(self, message: MimeMessage) -> None:
+        self.sock.sendall(serialize_message(message))
+
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def recv_frame(self) -> MimeMessage | None:
+        """The next frame, or None once the gateway closes the connection."""
+        while not self.pending:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.pending = self.assembler.feed(chunk)
+        return self.pending.pop(0)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def tagged(body: bytes, session: str | None) -> MimeMessage:
+    message = MimeMessage("application/octet-stream", body)
+    if session is not None:
+        message.headers.session = session
+    return message
+
+
+def deploy(handle, *, scheduler="threaded") -> str:
+    reply = handle.control({"op": "deploy", "mcl": MCL, "scheduler": scheduler})
+    assert reply["ok"], reply
+    return reply["session"]
+
+
+def poll_stats(handle, key, predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    stats = handle.control({"op": "stats", "session": key})
+    while not predicate(stats):
+        assert time.monotonic() < deadline, f"stats never converged: {stats}"
+        time.sleep(0.02)
+        stats = handle.control({"op": "stats", "session": key})
+    return stats
+
+
+class TestEcho:
+    def test_roundtrip_threaded(self):
+        with GatewayServer().run_in_thread() as handle:
+            key = deploy(handle)
+            client = WireClient(handle.data_address)
+            try:
+                client.send(tagged(b"ping", key))
+                echo = client.recv_frame()
+                assert echo is not None and echo.body == b"ping"
+                # the gateway's internal connection stamp must not leak out
+                assert echo.headers.get("X-MobiGATE-Connection") is None
+            finally:
+                client.close()
+            stats = poll_stats(
+                handle, key, lambda s: s["conservation"]["residual"] == 0
+            )
+            assert stats["conservation"]["balanced"], stats
+
+    def test_roundtrip_inline_scheduler(self):
+        with GatewayServer().run_in_thread() as handle:
+            key = deploy(handle, scheduler="inline")
+            client = WireClient(handle.data_address)
+            try:
+                for i in range(5):
+                    client.send(tagged(f"m{i}".encode(), key))
+                bodies = {client.recv_frame().body for _ in range(5)}
+                assert bodies == {f"m{i}".encode() for i in range(5)}
+            finally:
+                client.close()
+
+    def test_two_sessions_route_independently(self):
+        with GatewayServer().run_in_thread() as handle:
+            key_a, key_b = deploy(handle), deploy(handle)
+            assert key_a != key_b
+            a, b = WireClient(handle.data_address), WireClient(handle.data_address)
+            try:
+                a.send(tagged(b"for-a", key_a))
+                b.send(tagged(b"for-b", key_b))
+                assert a.recv_frame().body == b"for-a"
+                assert b.recv_frame().body == b"for-b"
+            finally:
+                a.close()
+                b.close()
+
+
+class TestProtocolErrors:
+    def test_unrouted_session_gets_error_frame_and_connection_survives(self):
+        with GatewayServer().run_in_thread() as handle:
+            key = deploy(handle)
+            client = WireClient(handle.data_address)
+            try:
+                client.send(tagged(b"lost", "ghost-session"))
+                error = client.recv_frame()
+                assert error is not None
+                assert "ghost-session" in error.headers.get(ERROR_HEADER)
+                # framing is intact: the same connection still works
+                client.send(tagged(b"found", key))
+                assert client.recv_frame().body == b"found"
+            finally:
+                client.close()
+
+    def test_missing_session_header_gets_error_frame(self):
+        with GatewayServer().run_in_thread() as handle:
+            deploy(handle)
+            client = WireClient(handle.data_address)
+            try:
+                client.send(tagged(b"anon", None))
+                error = client.recv_frame()
+                assert error.headers.get(ERROR_HEADER) is not None
+            finally:
+                client.close()
+
+    def test_malformed_frame_answers_error_and_closes(self):
+        with GatewayServer().run_in_thread() as handle:
+            deploy(handle)
+            client = WireClient(handle.data_address)
+            try:
+                client.send_raw(b"this is not a header line\n\n")
+                error = client.recv_frame()
+                assert error is not None
+                assert error.headers.get(ERROR_HEADER) is not None
+                assert client.recv_frame() is None  # gateway closed it
+            finally:
+                client.close()
+
+    def test_oversized_declaration_rejected(self):
+        config = GatewayConfig(max_frame_bytes=1024)
+        with GatewayServer(config=config).run_in_thread() as handle:
+            key = deploy(handle)
+            client = WireClient(handle.data_address)
+            try:
+                message = tagged(b"x", key)
+                raw = serialize_message(message)
+                head, _, _body = raw.partition(b"\n\n")
+                head = head.replace(b"Content-Length: 1", b"Content-Length: 999999")
+                client.send_raw(head + b"\n\n")
+                error = client.recv_frame()
+                assert error is not None
+                assert error.headers.get(ERROR_HEADER) is not None
+                assert client.recv_frame() is None
+            finally:
+                client.close()
+
+
+class TestBackpressure:
+    def test_saturated_session_parks_then_sheds_into_the_ledger(self):
+        config = GatewayConfig(
+            session_ingress_limit=2,
+            park_timeout=0.08,
+            park_poll_interval=0.005,
+        )
+        with GatewayServer(config=config).run_in_thread() as handle:
+            key = deploy(handle)
+            # freeze the stream: admitted messages stay resident, so the
+            # session saturates and later frames park and shed
+            paused = handle.control({"op": "reconfigure", "event": "PAUSE", "session": key})
+            assert paused["ok"] and paused["delivered"] == 1, paused
+            n_sent = 8
+            client = WireClient(handle.data_address)
+            try:
+                for i in range(n_sent):
+                    client.send(tagged(f"m{i}".encode(), key))
+                # every frame lands in the ledger: 2 resident + 6 shed
+                stats = poll_stats(
+                    handle, key,
+                    lambda s: s["conservation"]["admitted"] == n_sent,
+                )
+                assert stats["parked"] > 0
+                assert stats["shed"] == n_sent - 2
+                assert stats["conservation"]["queue_drops"] == n_sent - 2
+                assert stats["conservation"]["balanced"], stats
+
+                resumed = handle.control(
+                    {"op": "reconfigure", "event": "RESUME", "session": key}
+                )
+                assert resumed["ok"], resumed
+                survivors = {client.recv_frame().body for _ in range(2)}
+                assert survivors == {b"m0", b"m1"}
+            finally:
+                client.close()
+            stats = poll_stats(
+                handle, key, lambda s: s["conservation"]["residual"] == 0
+            )
+            assert stats["conservation"]["balanced"], stats
+
+
+class TestLinkOutage:
+    def test_scripted_outage_stalls_reads_then_recovers(self):
+        plan = FaultPlan()
+        plan.link_outage(at=0.0, duration=0.5)
+        gateway = GatewayServer(fault_plan=plan)
+        begin = time.monotonic()
+        with gateway.run_in_thread() as handle:
+            key = deploy(handle)
+            client = WireClient(handle.data_address)
+            try:
+                client.send(tagged(b"through the outage", key))
+                echo = client.recv_frame()
+                assert echo.body == b"through the outage"
+            finally:
+                client.close()
+            # the echo cannot have completed before the outage window closed
+            assert time.monotonic() - begin >= 0.45
+            assert gateway.fault_gate.stalls >= 1
+            assert plan.link_faults[0].applied

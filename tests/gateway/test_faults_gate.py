@@ -1,0 +1,54 @@
+"""LinkOutageGate window arithmetic (the e2e stall is in test_data_plane)."""
+
+import asyncio
+from types import SimpleNamespace
+
+from repro.faults.plan import FaultPlan
+from repro.gateway import LinkOutageGate
+
+
+def clock_at(t: float) -> SimpleNamespace:
+    return SimpleNamespace(time=lambda: t)
+
+
+class TestGate:
+    def test_unarmed_gate_never_blocks(self):
+        gate = LinkOutageGate(None)
+        assert not gate.armed
+        assert gate.blocked_for(123.0) == 0.0
+        asyncio.run(gate.wait_clear())  # returns immediately
+        assert gate.stalls == 0
+
+    def test_non_outage_link_faults_are_ignored(self):
+        plan = FaultPlan()
+        plan.link_collapse(at=0.0, duration=5.0)
+        assert not LinkOutageGate(plan).armed
+
+    def test_window_is_relative_to_start(self):
+        plan = FaultPlan()
+        plan.link_outage(at=1.0, duration=0.5)
+        gate = LinkOutageGate(plan)
+        gate.start(clock_at(100.0))
+        assert gate.blocked_for(100.9) == 0.0          # before the window
+        remaining = gate.blocked_for(101.2)             # 0.2s into it
+        assert abs(remaining - 0.3) < 1e-9
+        assert gate.blocked_for(101.6) == 0.0          # after it
+        assert plan.link_faults[0].applied
+
+    def test_origin_is_fixed_once(self):
+        plan = FaultPlan()
+        plan.link_outage(at=0.0, duration=1.0)
+        gate = LinkOutageGate(plan)
+        gate.start(clock_at(50.0))
+        gate.start(clock_at(999.0))  # must not re-anchor
+        assert gate.blocked_for(50.5) > 0.0
+
+    def test_overlapping_windows_pick_the_active_one(self):
+        plan = FaultPlan()
+        plan.link_outage(at=2.0, duration=1.0)
+        plan.link_outage(at=0.0, duration=0.5)
+        gate = LinkOutageGate(plan)
+        gate.start(clock_at(0.0))
+        assert abs(gate.blocked_for(0.25) - 0.25) < 1e-9
+        assert gate.blocked_for(1.0) == 0.0
+        assert abs(gate.blocked_for(2.5) - 0.5) < 1e-9

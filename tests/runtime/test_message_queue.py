@@ -269,3 +269,58 @@ def test_order_preserved_property(sizes):
             break
         fetched.append(msg)
     assert fetched == posted
+
+
+class TestTryPost:
+    """The non-blocking fast path used by the gateway's event loop."""
+
+    def test_success_enqueues_and_counts_posted(self):
+        q = MessageQueue(1000)
+        assert q.try_post("a", 10) is True
+        assert q.posted == 1
+        assert q.fetch_message() == "a"
+
+    def test_full_reports_false_and_never_counts_drops(self):
+        q = MessageQueue(10, drop_timeout=30.0)  # timeout must not apply
+        q.post_message("a", 10)
+        begin = time.perf_counter()
+        assert q.try_post("b", 10) is False
+        assert time.perf_counter() - begin < 1.0  # did not serve the timeout
+        assert q.dropped == 0  # probe contract: the caller owns accounting
+        assert q.posted == 1
+
+    def test_contended_lock_reports_none_without_blocking(self):
+        q = MessageQueue(1000)
+        held = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with q._lock:
+                held.set()
+                release.wait(5)
+
+        t = threading.Thread(target=hold)
+        t.start()
+        assert held.wait(5)
+        try:
+            begin = time.perf_counter()
+            assert q.try_post("a", 10) is None
+            assert time.perf_counter() - begin < 1.0
+        finally:
+            release.set()
+            t.join(timeout=5)
+        assert q.posted == 0
+        assert q.try_post("a", 10) is True  # uncontended retry succeeds
+
+    def test_closed_queue_raises(self):
+        q = MessageQueue(100)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.try_post("a", 10)
+
+    def test_success_signals_waiters(self):
+        q = MessageQueue(1000)
+        wake = threading.Event()
+        q.add_waiter(wake)
+        assert q.try_post("a", 10) is True
+        assert wake.wait(1.0)
