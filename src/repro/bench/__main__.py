@@ -119,8 +119,23 @@ def main(argv: list[str]) -> int:
         result.print()
         emit("adaptivity", result)
     if "telemetry" in targets:
+        from repro.bench.reporting import flag_regressions
+
         result = run_telemetry_overhead(rounds=10 if quick else 40)
         result.print()
+        # the subsystem's acceptance budget; advisory, like the baseline
+        # comparisons below (hosts differ, CI surfaces it, a human judges)
+        if result.overhead_fraction > 0.10:
+            print(
+                f"[bench] ADVISORY telemetry: observer overhead "
+                f"{result.overhead_fraction * 100:.1f}% exceeds the 10% budget",
+                file=sys.stderr,
+            )
+        for warning in flag_regressions(
+            "telemetry", result, key="config",
+            metric="pass_seconds", direction="lower",
+        ):
+            print(warning, file=sys.stderr)
         emit("telemetry", result)
     if "faults" in targets:
         from repro.bench.faults import run_faults

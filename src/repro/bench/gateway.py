@@ -31,6 +31,7 @@ from repro.bench.reporting import print_series
 from repro.gateway import GatewayConfig, GatewayServer
 from repro.mime.message import MimeMessage
 from repro.mime.wire import FrameAssembler, serialize_message
+from repro.telemetry import MetricsRegistry, Telemetry
 
 #: fds beyond the sockets themselves (listeners, pipes, stdio, slack)
 _FD_SLACK = 64
@@ -144,6 +145,7 @@ def run_gateway_bench(
     chain_length: int = 2,
     scheduler: str = "threaded",
     scenario: str | None = None,
+    attribution: bool = False,
 ) -> GatewayBenchResult:
     """Throughput and round-trip latency for one loopback scenario."""
     # each client costs two fds in-process (client socket + accepted socket)
@@ -160,7 +162,10 @@ def run_gateway_bench(
         session_ingress_limit=max(2 * n_clients, 256),
         park_timeout=5.0,
     )
-    gateway = GatewayServer(config=config)
+    telemetry = (
+        Telemetry(registry=MetricsRegistry()) if attribution else None
+    )
+    gateway = GatewayServer(config=config, telemetry=telemetry)
     result = GatewayBenchResult()
     with gateway.run_in_thread() as handle:
         deployed = handle.control({
@@ -185,6 +190,14 @@ def run_gateway_bench(
         stats = handle.control({"op": "stats", "session": key}, timeout=30.0)
         if not stats.get("ok"):
             raise RuntimeError(f"gateway stats failed: {stats}")
+        decomposition = None
+        if attribution:
+            attrib = handle.control(
+                {"op": "attribution", "session": key}, timeout=30.0
+            )
+            if not attrib.get("ok"):
+                raise RuntimeError(f"gateway attribution failed: {attrib}")
+            decomposition = attrib["decomposition"]
     conservation = stats["conservation"]
     if not conservation["balanced"]:
         raise RuntimeError(f"conservation violated: {conservation['ledger']}")
@@ -209,6 +222,11 @@ def run_gateway_bench(
         "scheduler": scheduler,
         "payload_bytes": payload_bytes,
     })
+    if decomposition is not None:
+        result.rows[-1].update({
+            "attribution": decomposition,
+            "attribution_coverage": decomposition.get("coverage"),
+        })
     return result
 
 
@@ -222,6 +240,16 @@ def run_gateway(*, quick: bool = False) -> GatewayBenchResult:
     result = run_gateway_bench(
         n_clients=100, messages_per_client=5, scenario="loopback_quick"
     )
+    # the attribution scenario keeps quick size: its point is the latency
+    # decomposition (queue_wait + service + egress vs gateway e2e), not
+    # peak throughput
+    attrib = run_gateway_bench(
+        n_clients=100,
+        messages_per_client=5,
+        scenario="loopback_attributed",
+        attribution=True,
+    )
+    result.rows.extend(attrib.rows)
     if not quick:
         full = run_gateway_bench(
             n_clients=1000, messages_per_client=10, scenario="loopback_1000"

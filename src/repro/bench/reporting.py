@@ -151,18 +151,19 @@ def flag_regressions(
             continue
         if then <= 0:
             continue
+        # %.4g keeps sub-millisecond metrics (pass_seconds) readable
         if direction == "higher" and now < then * (1.0 - threshold):
             drop = (1.0 - now / then) * 100.0
             warnings.append(
                 f"[bench] REGRESSION {name}/{row.get(key)}: {metric} "
-                f"{now:.1f} is {drop:.1f}% below baseline {then:.1f} "
+                f"{now:.4g} is {drop:.1f}% below baseline {then:.4g} "
                 f"(threshold {threshold * 100:.0f}%)"
             )
         elif direction == "lower" and now > then * (1.0 + threshold):
             rise = (now / then - 1.0) * 100.0
             warnings.append(
                 f"[bench] REGRESSION {name}/{row.get(key)}: {metric} "
-                f"{now:.1f} is {rise:.1f}% above baseline {then:.1f} "
+                f"{now:.4g} is {rise:.1f}% above baseline {then:.4g} "
                 f"(threshold {threshold * 100:.0f}%)"
             )
     return warnings

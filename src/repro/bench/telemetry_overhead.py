@@ -18,11 +18,12 @@ the default sampling interval.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bench.harness import deploy_chain
 from repro.mime.message import MimeMessage
 from repro.telemetry import NULL_TELEMETRY, MetricsRegistry, Telemetry
+from repro.telemetry.attribution import summarize
 from repro.workloads.content import synthetic_text_message
 
 
@@ -36,6 +37,12 @@ class TelemetryOverheadResult:
     noop_pass_seconds: float
     enabled_pass_seconds: float
     trace_sample_interval: int
+    #: attribution observations folded while enabled (proof it was live)
+    attribution_samples: int = 0
+    #: flight-recorder events recorded while enabled
+    recorder_events: int = 0
+    #: per-config rows in the shape ``flag_regressions(key="config")`` expects
+    rows: list[dict] = field(default_factory=list)
 
     @property
     def delta_per_hop_seconds(self) -> float:
@@ -62,6 +69,10 @@ class TelemetryOverheadResult:
             f"delta/hop: {self.delta_per_hop_seconds * 1e6:.2f} us, "
             f"overhead: {self.overhead_fraction * 100:.1f} % (budget: <10 %)"
         )
+        print(
+            f"attribution samples: {self.attribution_samples}, "
+            f"recorder events: {self.recorder_events}"
+        )
 
 
 def run_telemetry_overhead(
@@ -75,17 +86,18 @@ def run_telemetry_overhead(
 ) -> TelemetryOverheadResult:
     """Time the fig7-2 chain with telemetry enabled and disabled, interleaved."""
     body = synthetic_text_message(message_kb * 1024, seed=1).body
-    _ns, noop_stream, noop_sched = deploy_chain(chain_length, telemetry=NULL_TELEMETRY)
-    _es, enab_stream, enab_sched = deploy_chain(
-        chain_length,
-        telemetry=Telemetry(
-            registry=MetricsRegistry(), trace_sample_interval=trace_sample_interval
-        ),
+    telemetry = Telemetry(
+        registry=MetricsRegistry(), trace_sample_interval=trace_sample_interval
     )
+    _ns, noop_stream, noop_sched = deploy_chain(chain_length, telemetry=NULL_TELEMETRY)
+    _es, enab_stream, enab_sched = deploy_chain(chain_length, telemetry=telemetry)
     pairs = {"noop": (noop_stream, noop_sched), "enabled": (enab_stream, enab_sched)}
 
     def one_pass(which: str) -> None:
         stream, scheduler = pairs[which]
+        # one recorder event per pass so the enabled timing includes the
+        # flight recorder's hot-path cost (the null twin no-ops this)
+        stream.tm.recorder.record("bench_pass", stream=stream.name)
         stream.post(MimeMessage("text/plain", body))
         scheduler.pump()
         stream.collect()
@@ -109,11 +121,36 @@ def run_telemetry_overhead(
 
     noop_stream.end()
     enab_stream.end()
-    return TelemetryOverheadResult(
+    telemetry.flush()
+    tables = summarize(telemetry.registry)
+    attribution_samples = sum(
+        row["count"]
+        for component in ("queue_wait", "service", "egress")
+        for row in tables[component]["rows"]
+    )
+    result = TelemetryOverheadResult(
         chain_length=chain_length,
         rounds=rounds,
         passes_per_round=passes_per_round,
         noop_pass_seconds=best["noop"],
         enabled_pass_seconds=best["enabled"],
         trace_sample_interval=trace_sample_interval,
+        attribution_samples=attribution_samples,
+        recorder_events=telemetry.recorder.recorded,
     )
+    result.rows = [
+        {
+            "config": "noop",
+            "pass_seconds": result.noop_pass_seconds,
+            "per_hop_us": result.noop_pass_seconds / chain_length * 1e6,
+        },
+        {
+            "config": "enabled",
+            "pass_seconds": result.enabled_pass_seconds,
+            "per_hop_us": result.enabled_pass_seconds / chain_length * 1e6,
+            "overhead_fraction": result.overhead_fraction,
+            "attribution_samples": attribution_samples,
+            "recorder_events": result.recorder_events,
+        },
+    ]
+    return result

@@ -62,6 +62,12 @@ class FaultInjector:
         self._collapse_heals: list[tuple[float, "WirelessLink", float]] = []
         self.applied = 0
 
+    def _record(self, category: str, **detail) -> None:
+        """Note a scripted action in the armed stream's flight recorder."""
+        stream = self._stream
+        if stream is not None and stream.tm.enabled:
+            stream.tm.recorder.record(category, stream=stream.name, **detail)
+
     # -- arming ------------------------------------------------------------------------
 
     def arm(self, stream: "RuntimeStream") -> None:
@@ -87,10 +93,19 @@ class FaultInjector:
     def _wrap_process(self, streamlet, faults) -> None:
         original = streamlet.process
         rng = self.plan.rng
+        # capture at wrap time: the wrapper may outlive disarm's _stream reset
+        tm = self._stream.tm
+        stream_name = self._stream.name
+        recorder = tm.recorder if tm.enabled else None
 
         def faulting_process(port, message, ctx):
             for fault in faults:
                 if fault.should_fire(rng):
+                    if recorder is not None:
+                        recorder.record(
+                            "fault_injected", stream=stream_name,
+                            instance=fault.instance, mode=fault.mode,
+                        )
                     raise fault.make_exception()
             return original(port, message, ctx)
 
@@ -148,6 +163,10 @@ class FaultInjector:
                 channel.queue.close()
             else:
                 self._stall(channel, now, fault.duration)
+            self._record(
+                "fault_injected", kind="channel",
+                channel=fault.channel, action=fault.action,
+            )
             fault.applied = True
             actions += 1
         # stalls past their duration heal themselves
@@ -192,6 +211,10 @@ class FaultInjector:
                         (fault.at + fault.duration, link, link.bandwidth_bps)
                     )
                     link.set_bandwidth(fault.bandwidth_bps)
+                self._record(
+                    "fault_injected", kind=f"link_{fault.kind}",
+                    duration_seconds=fault.duration,
+                )
                 fault.applied = True
                 actions += 1
         for restore_at, c_link, saved in list(self._collapse_heals):
@@ -209,6 +232,10 @@ class FaultInjector:
             if self._handoff is None:
                 raise FaultPlanError("handoff storms need a handoff= at construction")
             self._handoff.storm(storm.interfaces, rounds=storm.rounds)
+            self._record(
+                "fault_injected", kind="handoff_storm",
+                interfaces=list(storm.interfaces), rounds=storm.rounds,
+            )
             storm.applied = True
             actions += 1
         return actions

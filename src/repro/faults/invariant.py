@@ -112,18 +112,41 @@ def check_conservation(stream: "RuntimeStream") -> ConservationReport:
     )
 
 
+def _dump_flight(stream: "RuntimeStream", reason: str) -> str:
+    """Auto-dump the flight recorder on an invariant failure; '' if disabled.
+
+    The dump turns a red conservation check into a self-explaining trace:
+    the artifact holds every recent drop/retry/fault/reconfig event in
+    sequence order, so the postmortem starts from *what happened*, not
+    from a bare imbalance number.
+    """
+    recorder = stream.tm.recorder
+    if not recorder.enabled:
+        return ""
+    recorder.record("conservation_violation", stream=stream.name, reason=reason)
+    return recorder.dump(stream.name, reason=reason)
+
+
 def assert_conservation(stream: "RuntimeStream", *, zero_loss: bool = False) -> ConservationReport:
     """Raise :class:`ConservationError` unless the ledger balances.
 
     With ``zero_loss`` the check also demands that no message fell into a
     drop bucket — the guarantee BK-category chains make when a recovery
-    supervisor is attached.
+    supervisor is attached.  On failure the stream's flight recorder (when
+    enabled) is dumped to ``FLIGHT_<stream>.json`` and the artifact path
+    rides in the error message.
     """
     report = check_conservation(stream)
     if not report.balanced:
-        raise ConservationError(f"conservation violated: {report.describe()}")
+        detail = f"conservation violated: {report.describe()}"
+        path = _dump_flight(stream, detail)
+        if path:
+            detail += f" [flight recorder: {path}]"
+        raise ConservationError(detail)
     if zero_loss and report.lost:
-        raise ConservationError(
-            f"zero-loss violated ({report.lost} dropped): {report.describe()}"
-        )
+        detail = f"zero-loss violated ({report.lost} dropped): {report.describe()}"
+        path = _dump_flight(stream, detail)
+        if path:
+            detail += f" [flight recorder: {path}]"
+        raise ConservationError(detail)
     return report

@@ -225,6 +225,12 @@ class Supervisor:
             due = self._clock.now() + self.policy.delay_for(attempt, self.rng)
             self._pending.append((due, self._seq, msg_id, instance, port))
             self._seq += 1
+            tm = self._stream.tm
+            if tm.enabled:
+                tm.recorder.record(
+                    "retry_scheduled", stream=self._stream.name,
+                    msg_id=msg_id, instance=instance, attempt=attempt + 1,
+                )
             self._notify_probation(instance)
             return True
         self._dead_letter(msg_id, instance, port, reason=f"retries exhausted: {exc}")
@@ -258,14 +264,29 @@ class Supervisor:
             port=port, attempts=attempts, reason=reason,
         ))
         stream.stats.inc("dead_letters")  # fault handlers run on worker threads
-        if stream.tm.enabled:
-            stream.tm.forget(msg_id)
+        tm = stream.tm
+        if tm.enabled:
+            tm.forget(msg_id)
+            tm.recorder.record(
+                "dead_letter", stream=stream.name,
+                msg_id=msg_id, instance=instance, attempts=attempts, reason=reason,
+            )
         if self._gauge is not None:
             self._gauge.set(float(len(self.dead_letters)))
         if self._outcome is not None:
             self._outcome("exhausted")
         if self._events is not None:
+            if tm.enabled:
+                tm.recorder.record(
+                    "supervisor_escalation", stream=stream.name,
+                    event="RETRY_EXHAUSTED", instance=instance,
+                )
             self._events.raise_event("RETRY_EXHAUSTED", source=stream.name)
+            if tm.enabled:
+                # the escalation is the postmortem moment: persist the ring
+                tm.recorder.dump(
+                    stream.name, reason=f"supervisor escalation: RETRY_EXHAUSTED ({reason})"
+                )
 
     def _bypass(self, instance: str) -> None:
         """Heal the chain around a repeatedly-failing optional instance."""
@@ -279,8 +300,19 @@ class Supervisor:
         self.bypassed.append(instance)
         if self._outcome is not None:
             self._outcome("bypassed")
+        tm = self._stream.tm
         if self._events is not None:
+            if tm.enabled:
+                tm.recorder.record(
+                    "supervisor_escalation", stream=self._stream.name,
+                    event="STREAMLET_BYPASSED", instance=instance,
+                )
             self._events.raise_event("STREAMLET_BYPASSED", source=self._stream.name)
+            if tm.enabled:
+                tm.recorder.dump(
+                    self._stream.name,
+                    reason=f"supervisor escalation: STREAMLET_BYPASSED ({instance})",
+                )
 
     # -- the retry pump ---------------------------------------------------------------
 
@@ -313,6 +345,10 @@ class Supervisor:
                 stream.stats.inc("retries")
                 if self._outcome is not None:
                     self._outcome("retried")
+                if stream.tm.enabled:
+                    stream.tm.recorder.record(
+                        "retry", stream=stream.name, msg_id=msg_id, instance=instance
+                    )
                 reposted += 1
             else:
                 self._dead_letter(msg_id, instance, port, reason="retry channel full or closed")

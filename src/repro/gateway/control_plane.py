@@ -31,6 +31,19 @@ Request: ``{"op": <verb>, ...}``.  Response: ``{"ok": true, ...}`` or
 ``telemetry``
     A JSON snapshot of the metrics registry (empty when telemetry is the
     null twin).
+``introspect``
+    Live-state snapshot: per-session queue depths/watermarks, worker
+    states and utilization, RCU snapshot versions, the session table,
+    data-plane connection counts, and flight-recorder health.
+``attribution``
+    ``{"session"?: key}`` — the per-hop latency attribution tables
+    (queue_wait / service / egress histogram summaries) plus the
+    component decomposition against the measured end-to-end latency.
+``events``
+    ``{"cursor"?: n, "limit"?: n}`` — the flight recorder's tail: events
+    with seq > cursor, the cursor to resume from, and the eviction gap.
+``metrics``
+    The registry rendered in Prometheus text format.
 ``undeploy``
     ``{"session": key}`` — close a session and release its stream.
 
@@ -216,6 +229,57 @@ class ControlPlane:
         loop = asyncio.get_running_loop()
         snapshot = await loop.run_in_executor(None, telemetry.snapshot)
         return {"ok": True, "enabled": True, "snapshot": snapshot}
+
+    async def _op_introspect(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        state = await loop.run_in_executor(None, self._gateway.introspect)
+        return {"ok": True, **state}
+
+    async def _op_attribution(self, request: dict) -> dict:
+        from repro.telemetry.attribution import decompose, summarize
+
+        telemetry = self._gateway.telemetry
+        if not telemetry.enabled:
+            return {"ok": True, "enabled": False, "components": {}, "decomposition": {}}
+        key = request.get("session")
+        stream_name = None
+        if key is not None:
+            session = self._gateway.route(key)
+            if session is None:
+                self.request_failures += 1
+                return {"ok": False, "error": f"no session {key!r}"}
+            stream_name = session.stream.name
+        loop = asyncio.get_running_loop()
+
+        def _gather() -> dict:
+            telemetry.flush()
+            registry = telemetry.registry
+            return {
+                "components": summarize(registry, stream=stream_name),
+                "decomposition": decompose(registry, stream=stream_name),
+            }
+
+        tables = await loop.run_in_executor(None, _gather)
+        return {"ok": True, "enabled": True, **tables}
+
+    async def _op_events(self, request: dict) -> dict:
+        cursor = request.get("cursor", 0)
+        limit = request.get("limit")
+        if not isinstance(cursor, int) or cursor < 0:
+            return {"ok": False, "error": "'cursor' must be a non-negative integer"}
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            return {"ok": False, "error": "'limit' must be a non-negative integer"}
+        recorder = self._gateway.telemetry.recorder
+        tail = recorder.tail(cursor, limit=limit)
+        return {"ok": True, "enabled": recorder.enabled, **tail}
+
+    async def _op_metrics(self, request: dict) -> dict:
+        telemetry = self._gateway.telemetry
+        if not telemetry.enabled:
+            return {"ok": True, "enabled": False, "metrics": ""}
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(None, telemetry.prometheus)
+        return {"ok": True, "enabled": True, "metrics": text}
 
     async def _op_undeploy(self, request: dict) -> dict:
         key = request["session"]

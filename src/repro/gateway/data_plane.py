@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 
 from repro.errors import MimeError, QueueClosedError
 from repro.gateway.config import GatewayConfig
@@ -69,12 +70,16 @@ class DataPlane:
             self._bytes_out = telemetry.gateway_bytes_counter("out")
             self._bp_counter = telemetry.gateway_backpressure_counter
             self._error_counter = telemetry.gateway_frame_errors_counter()
+            self._admission_hist = telemetry.gateway_admission_histogram()
+            self._egress_write_hist = telemetry.gateway_egress_write_histogram()
         else:
             self._conn_gauge = None
             self._frames_in = self._frames_out = None
             self._bytes_in = self._bytes_out = None
             self._bp_counter = None
             self._error_counter = None
+            self._admission_hist = None
+            self._egress_write_hist = None
         # observability independent of telemetry (bench + control plane)
         self.connections_served = 0
         self.frame_errors = 0
@@ -161,6 +166,9 @@ class DataPlane:
     async def _ingest(
         self, conn_id: str, message: MimeMessage, writer: asyncio.StreamWriter
     ) -> None:
+        admission_hist = self._admission_hist
+        if admission_hist is not None:
+            t0 = time.perf_counter()
         if self._frames_in is not None:
             self._frames_in.inc()
         key = message.session
@@ -179,6 +187,8 @@ class DataPlane:
             writer.write(_error_frame(f"session {key!r} is closed"))
             return
         if ticket.status in (ADMITTED, SHED):
+            if ticket.status == ADMITTED and admission_hist is not None:
+                admission_hist.observe(time.perf_counter() - t0)
             return
         # park: this await IS the socket read pause — no further bytes are
         # read from this connection until the session makes room or the
@@ -197,8 +207,12 @@ class DataPlane:
                 self._count_error()
                 return
             if ticket.status in (ADMITTED, SHED):
-                if ticket.status == ADMITTED and self._bp_counter is not None:
-                    self._bp_counter("resumed").inc()
+                if ticket.status == ADMITTED:
+                    if self._bp_counter is not None:
+                        self._bp_counter("resumed").inc()
+                    if admission_hist is not None:
+                        # the park wait is part of the admission latency
+                        admission_hist.observe(time.perf_counter() - t0)
                 return
         session.abandon(ticket, message)
         if self._bp_counter is not None:
@@ -215,11 +229,23 @@ class DataPlane:
         """Install the egress bridge: pump thread → loop → socket write."""
 
         def on_egress(conn_id: str | None, frame: bytes) -> None:
-            loop.call_soon_threadsafe(self._write_frame, session, conn_id, frame)
+            # stamp on the pump thread so the measured egress-write latency
+            # includes the loop hop the handoff pays
+            loop.call_soon_threadsafe(
+                self._write_frame, session, conn_id, frame, time.perf_counter()
+            )
 
         session.on_egress = on_egress
 
-    def _write_frame(self, session: GatewaySession, conn_id: str | None, frame: bytes) -> None:
+    def _write_frame(
+        self,
+        session: GatewaySession,
+        conn_id: str | None,
+        frame: bytes,
+        handoff_at: float | None = None,
+    ) -> None:
+        if handoff_at is not None and self._egress_write_hist is not None:
+            self._egress_write_hist.observe(time.perf_counter() - handoff_at)
         writer = self._writers.get(conn_id) if conn_id else None
         if writer is None or writer.transport.is_closing():
             session.stats.inc("orphans")

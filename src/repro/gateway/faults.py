@@ -34,11 +34,12 @@ class LinkOutageGate:
             outages = [f for f in plan.link_faults if f.kind == "outage"]
         self._outages = sorted(outages, key=lambda f: f.at)
         self._origin: float | None = None
-        self._counter = (
-            telemetry.gateway_outage_counter()
-            if telemetry is not None and telemetry.enabled
-            else None
-        )
+        if telemetry is not None and telemetry.enabled:
+            self._counter = telemetry.gateway_outage_counter()
+            self._recorder = telemetry.recorder
+        else:
+            self._counter = None
+            self._recorder = None
         #: outage windows observed blocking at least one read
         self.stalls = 0
 
@@ -77,4 +78,8 @@ class LinkOutageGate:
                 self.stalls += 1
                 if self._counter is not None:
                     self._counter.inc()
+                if self._recorder is not None:
+                    self._recorder.record(
+                        "link_outage", remaining_seconds=round(remaining, 6)
+                    )
             await asyncio.sleep(min(remaining, self._POLL))

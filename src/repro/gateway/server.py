@@ -161,6 +161,7 @@ class GatewayServer:
                     ingress_limit=self.config.session_ingress_limit,
                     egress_wake_timeout=self.config.egress_wake_timeout,
                     inline=(scheduler == "inline"),
+                    telemetry=self.telemetry,
                 )
             except Exception:
                 self.mobigate.undeploy(runtime_stream.name)
@@ -243,6 +244,40 @@ class GatewayServer:
                 "missing": report.missing,
                 "balanced": report.balanced,
                 "ledger": report.describe(),
+            },
+        }
+
+    def introspect(self) -> dict:
+        """The live-state snapshot behind the ``introspect`` control verb.
+
+        Per session: queue depths/watermarks, worker states (threaded
+        schedulers), the RCU snapshot version, and the session ledger —
+        plus data-plane connection counts and flight-recorder health.
+        """
+        sessions: dict[str, dict] = {}
+        for key, session in list(self.sessions.items()):
+            stream = session.stream
+            entry = {
+                **session.describe(),
+                "snapshot_version": stream.snapshot_version,
+                "queues": stream.queue_introspect(),
+            }
+            worker_states = getattr(session.scheduler, "worker_states", None)
+            if worker_states is not None:
+                entry["workers"] = worker_states()
+            sessions[key] = entry
+        recorder = self.telemetry.recorder
+        return {
+            "sessions": sessions,
+            "open_connections": self.data.open_connections,
+            "connections_served": self.data.connections_served,
+            "uptime_seconds": self.uptime(),
+            "recorder": {
+                "enabled": recorder.enabled,
+                "recorded": recorder.recorded,
+                "dropped": recorder.dropped,
+                "retained": len(recorder),
+                "dumps": dict(recorder.dumps),
             },
         }
 

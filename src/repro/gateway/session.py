@@ -28,6 +28,7 @@ its own thread and touches only thread-safe runtime surfaces
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import QueueClosedError
@@ -38,6 +39,12 @@ from repro.runtime.stream import RuntimeStream
 #: gateway-internal header naming the data-plane connection a message
 #: arrived on; stamped at admission, stripped before the echo leaves
 CONNECTION_HEADER = "X-MobiGATE-Connection"
+
+#: gateway-internal header carrying the admission perf_counter timestamp;
+#: stamped/stripped like :data:`CONNECTION_HEADER`, it survives the whole
+#: streamlet chain (redirectors included) so delivery can observe the
+#: gateway-internal end-to-end latency — the attribution ground truth
+INGRESS_HEADER = "X-MobiGATE-Ingress"
 
 #: offer outcomes
 ADMITTED = "admitted"
@@ -98,12 +105,17 @@ class GatewaySession:
         ingress_limit: int = 256,
         egress_wake_timeout: float = 0.05,
         inline: bool = False,
+        telemetry=None,
     ):
         self.key = key
         self.stream = stream
         self.scheduler = scheduler
         self.ingress_limit = ingress_limit
         self.stats = SessionStats()
+        #: end-to-end latency histogram (None disables the ingress stamp)
+        self._e2e_hist = (
+            telemetry.gateway_e2e_histogram() if telemetry is not None else None
+        )
         #: installed by the data plane: called from the pump thread as
         #: ``on_egress(conn_id | None, frame_bytes)``
         self.on_egress = None
@@ -160,6 +172,8 @@ class GatewaySession:
             message.headers.session = stream.session
         if stream.epoch:
             message.headers.set_epoch(stream.epoch)
+        if self._e2e_hist is not None:
+            message.headers.set(INGRESS_HEADER, repr(time.perf_counter()))
         traced = stream.tm.enabled and stream.tm.admit(message)
         size = message.total_size()
         msg_id = stream.pool.admit(message)
@@ -231,6 +245,16 @@ class GatewaySession:
     def _deliver(self, message: MimeMessage) -> None:
         raw_conn = message.headers.get(CONNECTION_HEADER)
         message.headers.remove(CONNECTION_HEADER)
+        stamped = message.headers.get(INGRESS_HEADER)
+        if stamped is not None:
+            message.headers.remove(INGRESS_HEADER)
+            if self._e2e_hist is not None:
+                try:
+                    admitted_at = float(stamped)
+                except ValueError:
+                    pass  # a corrupted stamp just goes unattributed
+                else:
+                    self._e2e_hist.observe(time.perf_counter() - admitted_at)
         frame = serialize_message(message)
         self.stats.inc("frames_out")
         callback = self.on_egress

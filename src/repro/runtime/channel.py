@@ -45,14 +45,6 @@ class Channel:
     ):
         self.name = name
         self.definition = definition
-        # queue-wait observation: enabled streams bind their telemetry so
-        # post/fetch can sample how long ids sit in this queue
-        if telemetry is not None and telemetry.enabled:
-            self._tm = telemetry
-            self._wait_hist = telemetry.channel_wait_histogram(name)
-        else:
-            self._tm = None
-            self._wait_hist = None
         if definition.sync is ast.ChannelSync.SYNC or definition.category is ast.ChannelCategory.S:
             # zero-length buffer, realised as a single rendezvous slot; the
             # S category *guarantees* no pending units, so it gets the same
@@ -61,6 +53,18 @@ class Channel:
         else:
             capacity = definition.buffer_kb * 1024
         self.queue = MessageQueue(capacity, drop_timeout=drop_timeout)
+        # queue-wait observation: enabled streams bind their telemetry so
+        # post/fetch can sample how long ids sit in this queue, and the
+        # queue itself records every message's wait + depth/watermark
+        if telemetry is not None and telemetry.enabled:
+            self._tm = telemetry
+            self._wait_hist = telemetry.channel_wait_histogram(name)
+            self.queue.record_waits = True
+            self.queue.depth_gauge = telemetry.queue_depth_gauge(name)
+            self.queue.watermark_gauge = telemetry.queue_watermark_gauge(name)
+        else:
+            self._tm = None
+            self._wait_hist = None
         self.source: ast.PortRef | None = None
         self.sink: ast.PortRef | None = None
 

@@ -74,6 +74,22 @@ class MessageQueue:
         self.posted = 0
         self.fetched = 0
         self.dropped = 0
+        #: deepest the queue has ever been, in entries (always maintained;
+        #: an int compare per post is within the no-telemetry budget)
+        self.watermark = 0
+        #: when True, post times ride in a parallel deque so every fetch
+        #: can report its queue wait (set by telemetry-enabled channels;
+        #: the entry tuples stay ``(msg_id, size)`` for snapshot/restore)
+        self.record_waits = False
+        self._post_times: deque[float] = deque()
+        #: raw ``perf_counter`` post time of the most recent fetch (None
+        #: when waits are not recorded); single-consumer channels read it
+        #: post-fetch and subtract it from their own clock sample, so the
+        #: queue never pays a second ``perf_counter`` call on the claim
+        self.last_post_at: float | None = None
+        #: optional pre-bound gauges (plain stores under the queue lock)
+        self.depth_gauge = None
+        self.watermark_gauge = None
 
     # -- attachment (setIn / setOut of Figure 6-2) ---------------------------------
 
@@ -196,6 +212,17 @@ class MessageQueue:
             self._entries.append((msg_id, size))
             self._bytes += size
             self.posted += 1
+            # attribution bookkeeping, inlined: this is the hottest lock
+            # region in the runtime, so no helper-call overhead
+            depth = len(self._entries)
+            if depth > self.watermark:
+                self.watermark = depth
+                if self.watermark_gauge is not None:
+                    self.watermark_gauge.value = float(depth)
+            if self.record_waits:
+                self._post_times.append(time.perf_counter())
+            if self.depth_gauge is not None:
+                self.depth_gauge.value = float(depth)
             # one consumer per channel end: a targeted notify suffices
             self._not_empty.notify()
             self._signal_waiters()
@@ -229,6 +256,15 @@ class MessageQueue:
             self._entries.append((msg_id, size))
             self._bytes += size
             self.posted += 1
+            depth = len(self._entries)
+            if depth > self.watermark:
+                self.watermark = depth
+                if self.watermark_gauge is not None:
+                    self.watermark_gauge.value = float(depth)
+            if self.record_waits:
+                self._post_times.append(time.perf_counter())
+            if self.depth_gauge is not None:
+                self.depth_gauge.value = float(depth)
             self._not_empty.notify()
             self._signal_waiters()
             return True
@@ -254,6 +290,11 @@ class MessageQueue:
             msg_id, size = self._entries.popleft()
             self._bytes -= size
             self.fetched += 1
+            if self.record_waits:
+                times = self._post_times
+                self.last_post_at = times.popleft() if times else None
+            if self.depth_gauge is not None:
+                self.depth_gauge.value = float(len(self._entries))
             # room freed: wake every blocked producer — sizes vary, so the
             # space one post cannot use may fit another's message
             self._not_full.notify_all()
@@ -281,6 +322,9 @@ class MessageQueue:
             ids = [msg_id for msg_id, _ in self._entries]
             self._entries.clear()
             self._bytes = 0
+            self._post_times.clear()
+            if self.depth_gauge is not None:
+                self.depth_gauge.value = 0.0
             self._not_full.notify_all()
             return ids
 
@@ -324,9 +368,14 @@ class MessageQueue:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            # restored entries carry no usable post times: drop the stale
+            # ones rather than attribute a transaction's span to a wait
+            self._post_times.clear()
             if with_entries:
                 self._entries.extend(entries)
                 self._bytes = sum(size for _id, size in entries)
+            if self.depth_gauge is not None:
+                self.depth_gauge.value = float(len(self._entries))
             self._closed = closed
             self.producer_count = producers
             self.consumer_count = consumers

@@ -745,6 +745,10 @@ class ReconfigTransaction:
         except ReconfigValidationError:
             if stream.tm.enabled:
                 stream.tm.reconfig_outcome("validation_failed")
+                stream.tm.recorder.record(
+                    "reconfig_validation_failed",
+                    stream=stream.name, label=self.label,
+                )
             raise
         self.state = TxnState.VALIDATED
         return table
@@ -801,6 +805,10 @@ class ReconfigTransaction:
                 if stream.tm.enabled:
                     stream.tm.reconfig_outcome("rolled_back")
                     stream.tm.reconfig_latency("rollback", rollback_seconds)
+                    stream.tm.recorder.record(
+                        "reconfig_rollback", stream=stream.name,
+                        label=self.label, action_index=index, error=str(exc),
+                    )
                 raise ReconfigAbortedError(
                     f"{self.label}: action {index} "
                     f"({type(action).__name__}) failed mid-apply; "
@@ -834,6 +842,10 @@ class ReconfigTransaction:
                 stream.tm.reconfig_outcome("committed")
                 stream.tm.reconfig_latency("commit", time.perf_counter() - t_commit)
                 stream.tm.epoch(stream.epoch)
+                stream.tm.recorder.record(
+                    "reconfig_commit", stream=stream.name,
+                    label=self.label, epoch=stream.epoch,
+                )
         return timing
 
     def _rollback(self, snapshot: _StructuralSnapshot) -> None:
@@ -1105,6 +1117,9 @@ class ProbationMonitor:
         if stream.tm.enabled:
             stream.tm.reconfig_outcome("rolled_back")
             stream.tm.epoch(stream.epoch)
+            stream.tm.recorder.record(
+                "probation_rollback", stream=stream.name, epoch=stream.epoch
+            )
         if self._events is not None:
             self._events.raise_event("RECONFIG_ROLLED_BACK", source=stream.name)
         elif stream.escalation_hook is not None:

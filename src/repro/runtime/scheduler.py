@@ -54,6 +54,7 @@ def _step_node(
     if view.streamlet.state is not StreamletState.ACTIVE:
         return 0
     moved = 0
+    queue_wait_hist = view.queue_wait_hist
     for port, channel in view.inputs:  # frozen tuple: no per-step copy
         try:
             msg_id = channel.fetch(0.0)
@@ -61,19 +62,32 @@ def _step_node(
             continue
         if msg_id is None:
             continue
-        moved += _process_message(stream, name, view, port, msg_id, stalled)
+        if queue_wait_hist is not None:
+            # post-to-claim delay: the queue stored the raw post time; one
+            # clock sample here is both the claim stamp and the service
+            # start, so attribution costs a single perf_counter per hop
+            claimed_at = time.perf_counter()
+            posted_at = channel.queue.last_post_at
+            if posted_at is not None:
+                queue_wait_hist.observe(claimed_at - posted_at)
+            moved += _process_message(
+                stream, name, view, port, msg_id, stalled, t0=claimed_at
+            )
+        else:
+            moved += _process_message(stream, name, view, port, msg_id, stalled)
     return moved
 
 
 def _process_message(
     stream: RuntimeStream, name: str, view: _NodeView, port: str, msg_id: str,
     stalled: list[_Stalled] | None = None,
+    t0: float | None = None,
 ) -> int:
     pool = stream.pool
     stats = stream.stats
     tm = stream.tm
     timed = tm.enabled
-    if timed:
+    if timed and t0 is None:
         t0 = time.perf_counter()
     message = pool.checkout(msg_id)
     view.ctx.session = message.session
@@ -317,6 +331,10 @@ class ThreadedScheduler:
         self.idle_spins = 0
         #: wakeups delivered by queue posts / reconfig / stop signals
         self.event_wakeups = 0
+        #: per-worker time accounting (busy / blocked / snapshot-refresh
+        #: seconds + steps), maintained only when telemetry is enabled;
+        #: each dict has a single writer (its worker), so plain stores
+        self._utilization: dict[str, dict] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -339,6 +357,9 @@ class ThreadedScheduler:
             name=f"streamlet-{name}", daemon=True,
         )
         self._threads[name] = thread
+        tm = self._stream.tm
+        if tm.enabled:
+            tm.recorder.record("worker_spawn", stream=self._stream.name, worker=name)
         thread.start()
 
     def _on_topology_wakeup(self) -> None:
@@ -362,6 +383,12 @@ class ThreadedScheduler:
         snap: TopologySnapshot | None = None
         view: _NodeView | None = None
         registered: list = []   # queues currently carrying our wake event
+        # per-worker utilization: this worker is the dict's only writer,
+        # so plain float adds need no lock; skipped entirely when disabled
+        timed = stream.tm.enabled
+        util = {"busy": 0.0, "blocked": 0.0, "refresh": 0.0, "steps": 0}
+        if timed:
+            self._utilization[name] = util
         try:
             while not stop.is_set() and not kill.is_set():
                 # RCU read side: register in the gate FIRST, then check the
@@ -373,6 +400,8 @@ class ThreadedScheduler:
                 current = stream._snapshot
                 if current is not snap or view is None:
                     gate.exit()
+                    if timed:
+                        r0 = time.perf_counter()
                     current = stream.topology_snapshot()  # may wait out a writer
                     snap = current
                     view = current.nodes.get(name)
@@ -387,6 +416,8 @@ class ThreadedScheduler:
                         if not any(queue is q for q in registered):
                             queue.add_waiter(wake)
                     registered = queues
+                    if timed:
+                        util["refresh"] += time.perf_counter() - r0
                     if view is None:
                         return  # instance was removed by a reconfiguration
                     continue
@@ -395,6 +426,8 @@ class ThreadedScheduler:
                 # mid-step re-arms it (edge-triggered, no lost signals).
                 wake.clear()
                 self._busy[name] = True
+                if timed:
+                    b0 = time.perf_counter()
                 stalled: list[_Stalled] = []
                 try:
                     moved = _step_node(stream, name, view, stalled)
@@ -407,13 +440,22 @@ class ThreadedScheduler:
                 if stalled:
                     _retry_stalled(stream, stalled, (stop, kill))
                 self._busy[name] = False
+                if timed:
+                    util["busy"] += time.perf_counter() - b0
+                    util["steps"] += moved
                 with self._activity:
                     self._activity.notify_all()
                 if moved or stalled:
                     continue
                 # idle: block until an input posts, a reconfiguration
                 # commits, stop/kill — or the heartbeat as a backstop
-                if wake.wait(self._IDLE_WAIT):
+                if timed:
+                    w0 = time.perf_counter()
+                    signalled = wake.wait(self._IDLE_WAIT)
+                    util["blocked"] += time.perf_counter() - w0
+                else:
+                    signalled = wake.wait(self._IDLE_WAIT)
+                if signalled:
                     self._count("event_wakeups")
                 else:
                     self._count("idle_spins")
@@ -454,7 +496,38 @@ class ThreadedScheduler:
             wake.set()  # a sleeping worker must notice the kill now
         thread.join(join_timeout)
         self.workers_killed += 1
+        tm = self._stream.tm
+        if tm.enabled:
+            tm.recorder.record("worker_kill", stream=self._stream.name, worker=name)
         return True
+
+    def worker_states(self) -> dict[str, dict]:
+        """Per-worker liveness plus time accounting (when telemetry is on).
+
+        ``utilization`` is busy time over accounted time (busy + blocked
+        + snapshot-refresh); accounting fields appear only for workers of
+        a telemetry-enabled stream.  Served by the gateway's
+        ``introspect`` control verb.
+        """
+        states: dict[str, dict] = {}
+        for name, thread in self._threads.items():
+            entry: dict = {
+                "alive": thread.is_alive(),
+                "busy": bool(self._busy.get(name)),
+            }
+            util = self._utilization.get(name)
+            if util is not None:
+                busy = util["busy"]
+                total = busy + util["blocked"] + util["refresh"]
+                entry.update(
+                    busy_seconds=busy,
+                    blocked_seconds=util["blocked"],
+                    refresh_seconds=util["refresh"],
+                    steps=util["steps"],
+                    utilization=busy / total if total else 0.0,
+                )
+            states[name] = entry
+        return states
 
     # -- quiescence ---------------------------------------------------------------
 

@@ -71,6 +71,8 @@ class _Node:
     outputs: dict[str, Channel] = field(default_factory=dict)
     #: hop-latency histogram pre-bound at creation (None when telemetry off)
     hop_hist: object | None = None
+    #: queue-wait histogram pre-bound at creation (None when telemetry off)
+    queue_wait_hist: object | None = None
 
 
 @dataclass
@@ -201,7 +203,10 @@ class _NodeView:
     without the per-step ``list(dict.items())`` allocation.
     """
 
-    __slots__ = ("name", "streamlet", "ctx", "inputs", "outputs", "consumers", "hop_hist")
+    __slots__ = (
+        "name", "streamlet", "ctx", "inputs", "outputs", "consumers",
+        "hop_hist", "queue_wait_hist",
+    )
 
     def __init__(self, name: str, node: "_Node", consumers: tuple[str, ...]):
         self.name = name
@@ -212,6 +217,7 @@ class _NodeView:
         #: downstream instance names (for worklist seeding)
         self.consumers = consumers
         self.hop_hist = node.hop_hist
+        self.queue_wait_hist = node.queue_wait_hist
 
 
 class TopologySnapshot:
@@ -264,6 +270,8 @@ class RuntimeStream:
             table.stream_name
         )
         self.tm.attach_stats(self.stats)
+        #: egress pickup-delay histogram (None when telemetry is off)
+        self._egress_wait_hist = self.tm.egress_wait_histogram()
         self.topology_lock = threading.RLock()
 
         self._nodes: dict[str, _Node] = {}
@@ -360,6 +368,7 @@ class RuntimeStream:
             definition=definition,
             ctx=ctx,
             hop_hist=self.tm.hop_histogram(name),
+            queue_wait_hist=self.tm.queue_wait_histogram(name),
         )
         self._nodes[name] = node
         self._invalidate_topology()
@@ -622,6 +631,42 @@ class RuntimeStream:
         """Names of the live channel instances."""
         return list(self._channels)
 
+    @property
+    def snapshot_version(self) -> int:
+        """The RCU topology snapshot version (bumped on every rebuild)."""
+        return self._snapshot_version
+
+    def queue_introspect(self) -> list[dict]:
+        """Depth/watermark/counters for every live channel queue.
+
+        Covers internal channels plus the ingress/egress edge carriers
+        (deduplicated by queue identity), so the control plane's
+        ``introspect`` verb sees the whole buffering picture.
+        """
+        rows: list[dict] = []
+        with self.topology_lock:
+            named: list[tuple[str, Channel]] = list(self._channels.items())
+            named += [(f"ingress:{key}", ch) for key, ch in self.ingress.items()]
+            named += [(f"egress:{ref}", ch) for ref, ch in self.egress]
+            seen: set[int] = set()
+            for name, channel in named:
+                queue = channel.queue
+                if id(queue) in seen:
+                    continue
+                seen.add(id(queue))
+                rows.append({
+                    "channel": name,
+                    "depth": len(queue),
+                    "watermark": queue.watermark,
+                    "capacity_bytes": queue.capacity_bytes,
+                    "pending_bytes": queue.pending_bytes,
+                    "posted": queue.posted,
+                    "fetched": queue.fetched,
+                    "dropped": queue.dropped,
+                    "closed": queue.closed,
+                })
+        return rows
+
     def processing_order(self) -> list[str]:
         """Topological-ish order for the inline scheduler (cached)."""
         if not self._order_dirty:
@@ -703,6 +748,8 @@ class RuntimeStream:
         if self.session is not None and message.session is None:
             message.headers.session = self.session
         msg_id = self.pool.admit(message)
+        if self.tm.enabled:
+            self.tm.recorder.record("shed", stream=self.name, msg_id=msg_id)
         self._release_dropped([msg_id])
         return msg_id
 
@@ -710,11 +757,18 @@ class RuntimeStream:
         """Drain every egress channel; returns delivered messages in order."""
         out: list[MimeMessage] = []
         tm = self.tm if self.tm.enabled else None
+        egress_hist = self._egress_wait_hist
         for _ref, channel in self.egress:
             while True:
                 msg_id = channel.fetch(0.0)
                 if msg_id is None:
                     break
+                if egress_hist is not None:
+                    # how long the finished message sat on the egress
+                    # carrier before this drain picked it up
+                    posted_at = channel.queue.last_post_at
+                    if posted_at is not None:
+                        egress_hist.observe(time.perf_counter() - posted_at)
                 out.append(self.pool.release(msg_id))
                 if tm is not None:
                     tm.forget(msg_id)
@@ -1067,6 +1121,7 @@ class RuntimeStream:
                     self.drop_hook(msg_id, message)
             if self.tm.enabled:
                 self.tm.forget(msg_id)
+                self.tm.recorder.record("drop", stream=self.name, msg_id=msg_id)
             self.stats.inc("queue_drops")
 
     # -- event-driven reconfiguration (section 6.4 / 7.4) ---------------------------------------------------

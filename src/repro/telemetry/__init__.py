@@ -51,6 +51,7 @@ from repro.telemetry.metrics import (
     exponential_buckets,
     global_registry,
 )
+from repro.telemetry.recorder import NULL_RECORDER, FlightRecorder, NullFlightRecorder
 from repro.telemetry.trace import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,11 +61,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "NULL_RECORDER",
     "NULL_TELEMETRY",
+    "NullFlightRecorder",
     "NullStreamTelemetry",
     "NullTelemetry",
     "Span",
@@ -114,6 +118,11 @@ class StreamTelemetry:
         "_counters",
         "_hop_family",
         "_wait_family",
+        "_queue_wait_family",
+        "_egress_wait_hist",
+        "_queue_depth_family",
+        "_queue_watermark_family",
+        "recorder",
         "_reconfig_family",
         "_epoch_gauge",
         "_txn_family",
@@ -153,6 +162,27 @@ class StreamTelemetry:
             "Time a message id waited in a channel queue (sampled)",
             labels=("stream", "channel"),
         )
+        self._queue_wait_family = registry.histogram(
+            "mobigate_hop_queue_wait_seconds",
+            "Queue-post to claim delay per instance (every message)",
+            labels=("stream", "instance"),
+        )
+        self._egress_wait_hist = registry.histogram(
+            "mobigate_hop_egress_seconds",
+            "Egress-channel post to collect() drain delay (every message)",
+            labels=("stream",),
+        ).labels(stream)
+        self._queue_depth_family = registry.gauge(
+            "mobigate_queue_depth",
+            "Messages currently resident in a channel queue",
+            labels=("stream", "channel"),
+        )
+        self._queue_watermark_family = registry.gauge(
+            "mobigate_queue_watermark",
+            "High-watermark of a channel queue's depth since creation",
+            labels=("stream", "channel"),
+        )
+        self.recorder = telemetry.recorder
         self._reconfig_family = registry.histogram(
             "mobigate_reconfig_seconds",
             "End-to-end duration of one reconfiguration epoch (Eq 7-1)",
@@ -264,6 +294,28 @@ class StreamTelemetry:
                 if out is not message and out.headers.get(CONTENT_TRACE) == raw:
                     out.headers.set(CONTENT_TRACE, updated)
 
+    def queue_wait_histogram(self, instance: str) -> Histogram:
+        """The queue-wait histogram for one instance (bind once per node).
+
+        Unlike :meth:`channel_wait_histogram` (sampled, follows traced
+        ids), this family is fed for *every* claimed message from the
+        queue's own post-time deque — see
+        :attr:`~repro.runtime.message_queue.MessageQueue.last_post_at`.
+        """
+        return self._queue_wait_family.labels(self.stream, instance)  # type: ignore[return-value]
+
+    def egress_wait_histogram(self) -> Histogram:
+        """The egress pickup-delay histogram (one per stream)."""
+        return self._egress_wait_hist  # type: ignore[return-value]
+
+    def queue_depth_gauge(self, channel_name: str) -> Gauge:
+        """The live-depth gauge bound to one channel queue."""
+        return self._queue_depth_family.labels(self.stream, channel_name)  # type: ignore[return-value]
+
+    def queue_watermark_gauge(self, channel_name: str) -> Gauge:
+        """The high-watermark gauge bound to one channel queue."""
+        return self._queue_watermark_family.labels(self.stream, channel_name)  # type: ignore[return-value]
+
     # -- channel waits -----------------------------------------------------------
 
     def channel_wait_histogram(self, channel_name: str) -> Histogram:
@@ -317,6 +369,8 @@ class NullStreamTelemetry:
     __slots__ = ()
 
     enabled = False
+    #: shared no-op recorder; call sites read ``tm.recorder`` uniformly
+    recorder = NULL_RECORDER
 
     def attach_stats(self, stats) -> None:
         """No-op."""
@@ -340,6 +394,22 @@ class NullStreamTelemetry:
 
     def hop_span(self, instance, raw, message, emissions, duration, failed=False) -> None:
         """No-op."""
+
+    def queue_wait_histogram(self, instance: str) -> None:
+        """No-op: nodes bound to this twin record no queue waits."""
+        return None
+
+    def egress_wait_histogram(self) -> None:
+        """No-op."""
+        return None
+
+    def queue_depth_gauge(self, channel_name: str) -> None:
+        """No-op."""
+        return None
+
+    def queue_watermark_gauge(self, channel_name: str) -> None:
+        """No-op."""
+        return None
 
     def channel_wait_histogram(self, channel_name: str) -> None:
         """No-op: channels bound to this twin record no waits."""
@@ -398,6 +468,23 @@ class Telemetry:
         self.tracer = tracer if tracer is not None else Tracer(max_spans=max_spans)
         self.trace_sample_interval = trace_sample_interval
         self._streams: list[StreamTelemetry] = []
+        #: the flight recorder every bound component shares (NullTelemetry
+        #: instances see ``enabled = False`` here and get the no-op twin)
+        self.recorder: "FlightRecorder | NullFlightRecorder" = (
+            FlightRecorder() if self.enabled else NULL_RECORDER
+        )
+        if self.enabled:
+            # the observer's own loss, mirrored at flush() time
+            self._span_counter = self.registry.counter(
+                "mobigate_trace_spans_total", "Spans recorded by the tracer"
+            ).unlabelled()
+            self._span_drop_counter = self.registry.counter(
+                "mobigate_trace_spans_dropped_total",
+                "Spans evicted from the tracer ring before export",
+            ).unlabelled()
+        else:
+            self._span_counter = None
+            self._span_drop_counter = None
 
     # -- component bindings ------------------------------------------------------
 
@@ -522,6 +609,31 @@ class Telemetry:
             "Reads stalled at the socket boundary by an injected link outage",
         ).unlabelled()  # type: ignore[return-value]
 
+    def gateway_e2e_histogram(self) -> Histogram:
+        """Gateway-internal end-to-end latency (admission -> egress delivery).
+
+        The ground truth the attribution components are checked against —
+        see :func:`repro.telemetry.attribution.decompose`.
+        """
+        return self.registry.histogram(
+            "mobigate_gateway_e2e_seconds",
+            "Gateway-internal latency from session admission to egress delivery",
+        ).unlabelled()  # type: ignore[return-value]
+
+    def gateway_admission_histogram(self) -> Histogram:
+        """Socket-read to session-admission latency (park loop included)."""
+        return self.registry.histogram(
+            "mobigate_gateway_admission_seconds",
+            "Data-plane latency from frame decode to session admission",
+        ).unlabelled()  # type: ignore[return-value]
+
+    def gateway_egress_write_histogram(self) -> Histogram:
+        """Egress pump handoff to socket-write latency (loop hop included)."""
+        return self.registry.histogram(
+            "mobigate_gateway_egress_write_seconds",
+            "Latency from egress pump handoff to the data-plane socket write",
+        ).unlabelled()  # type: ignore[return-value]
+
     # -- client side ---------------------------------------------------------------
 
     def client_counters(self) -> tuple[Counter, Counter]:
@@ -587,6 +699,9 @@ class Telemetry:
         """Mirror every bound stream's plain stats into registry counters."""
         for bound in self._streams:
             bound.flush()
+        if self._span_counter is not None:
+            self._span_counter.value = self.tracer.recorded
+            self._span_drop_counter.value = self.tracer.dropped
 
     def snapshot(self) -> dict:
         """JSON-ready snapshot of the registry (see ``telemetry.export``)."""
@@ -672,6 +787,18 @@ class NullTelemetry(Telemetry):
         return None
 
     def gateway_outage_counter(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_e2e_histogram(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_admission_histogram(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_egress_write_histogram(self) -> None:  # type: ignore[override]
         """No-op."""
         return None
 

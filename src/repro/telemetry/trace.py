@@ -58,6 +58,9 @@ class Tracer:
         self._span_ids = itertools.count()
         self._spans: deque[Span] = deque(maxlen=max_spans)
         self.recorded = 0
+        #: spans evicted by the ring bound — the observer's own loss,
+        #: mirrored into ``mobigate_trace_spans_dropped_total`` at export
+        self.dropped = 0
 
     # -- ids -----------------------------------------------------------------
 
@@ -87,11 +90,19 @@ class Tracer:
         )
 
     def end_span(self, span: Span, **attrs: object) -> Span:
-        """Close a span, merge ``attrs``, and record it."""
+        """Close a span, merge ``attrs``, and record it.
+
+        When the ring is full the append silently evicts the oldest
+        span; that eviction is counted in :attr:`dropped` so exporters
+        can surface the observer's own loss.
+        """
         span.end = time.perf_counter()
         if attrs:
             span.attrs.update(attrs)
-        self._spans.append(span)
+        spans = self._spans
+        if spans.maxlen is not None and len(spans) == spans.maxlen:
+            self.dropped += 1
+        spans.append(span)
         self.recorded += 1
         return span
 

@@ -1,0 +1,14 @@
+"""Shared fixtures for the whole suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _flight_dump_dir(tmp_path, monkeypatch):
+    """Route flight-recorder dumps into the test's tmp dir.
+
+    Supervisor escalations and conservation failures auto-dump
+    ``FLIGHT_<stream>.json``; without this redirect every fault test
+    would litter the working directory.
+    """
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
