@@ -28,14 +28,39 @@ from repro.bench.fig7_2 import run_fig7_2
 from repro.bench.fig7_3 import run_fig7_3
 from repro.bench.fig7_6 import run_fig7_6
 from repro.bench.fig7_7 import run_fig7_7
-from repro.bench.reporting import write_bench_json
+from repro.bench.reporting import flag_regressions, write_bench_json
 from repro.bench.telemetry_overhead import run_telemetry_overhead
 
 ALL_TARGETS = (
     "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
     "adaptivity", "telemetry", "faults", "reconfig", "scheduler_parallel",
-    "gateway",
+    "gateway", "fusion",
 )
+
+#: every committed-baseline comparison CI runs, as (row key, metric,
+#: direction) triples per target.  ``direction`` states which way is
+#: *better* — "higher" for throughput-like metrics (a drop regresses),
+#: "lower" for latency-like ones (a rise regresses) — so a p99 blow-up
+#: can never slip through as an "improvement".  Advisory: hosts differ,
+#: CI surfaces the warnings, a human judges them.
+REGRESSION_CHECKS: dict[str, tuple[tuple[str, str, str], ...]] = {
+    "telemetry": (("config", "pass_seconds", "lower"),),
+    "scheduler_parallel": (("engine", "throughput_msgs_per_sec", "higher"),),
+    "gateway": (
+        ("scenario", "throughput_msgs_per_sec", "higher"),
+        ("scenario", "p99_ms", "lower"),
+    ),
+    "fusion": (("mode", "throughput_msgs_per_sec", "higher"),),
+}
+
+
+def check_regressions(target: str, result: object) -> None:
+    """Print every registered baseline warning for ``target`` to stderr."""
+    for key, metric, direction in REGRESSION_CHECKS.get(target, ()):
+        for warning in flag_regressions(
+            target, result, key=key, metric=metric, direction=direction
+        ):
+            print(warning, file=sys.stderr)
 
 
 def main(argv: list[str]) -> int:
@@ -119,8 +144,6 @@ def main(argv: list[str]) -> int:
         result.print()
         emit("adaptivity", result)
     if "telemetry" in targets:
-        from repro.bench.reporting import flag_regressions
-
         result = run_telemetry_overhead(rounds=10 if quick else 40)
         result.print()
         # the subsystem's acceptance budget; advisory, like the baseline
@@ -131,11 +154,7 @@ def main(argv: list[str]) -> int:
                 f"{result.overhead_fraction * 100:.1f}% exceeds the 10% budget",
                 file=sys.stderr,
             )
-        for warning in flag_regressions(
-            "telemetry", result, key="config",
-            metric="pass_seconds", direction="lower",
-        ):
-            print(warning, file=sys.stderr)
+        check_regressions("telemetry", result)
         emit("telemetry", result)
     if "faults" in targets:
         from repro.bench.faults import run_faults
@@ -157,7 +176,6 @@ def main(argv: list[str]) -> int:
         result.print()
         emit("reconfig", result)
     if "scheduler_parallel" in targets:
-        from repro.bench.reporting import flag_regressions
         from repro.bench.scheduler_parallel import run_scheduler_parallel
 
         result = run_scheduler_parallel(
@@ -167,24 +185,27 @@ def main(argv: list[str]) -> int:
         result.print()
         # compare against the baseline committed in the working directory;
         # warnings are advisory (hosts differ), never a failed exit
-        for warning in flag_regressions("scheduler_parallel", result):
-            print(warning, file=sys.stderr)
+        check_regressions("scheduler_parallel", result)
         emit("scheduler_parallel", result)
     if "gateway" in targets:
         from repro.bench.gateway import run_gateway
-        from repro.bench.reporting import flag_regressions
 
         result = run_gateway(quick=quick)
         result.print()
         # advisory, like scheduler_parallel: throughput must not drop and
         # round-trip p99 must not rise by more than the threshold
-        for warning in flag_regressions("gateway", result, key="scenario"):
-            print(warning, file=sys.stderr)
-        for warning in flag_regressions(
-            "gateway", result, key="scenario", metric="p99_ms", direction="lower"
-        ):
-            print(warning, file=sys.stderr)
+        check_regressions("gateway", result)
         emit("gateway", result)
+    if "fusion" in targets:
+        from repro.bench.fusion import run_fusion
+
+        result = run_fusion(
+            chains=(10, 30),
+            n_messages=600 if quick else 3000,
+        )
+        result.print()
+        check_regressions("fusion", result)
+        emit("fusion", result)
     return 0
 
 

@@ -116,6 +116,9 @@ class GatewaySession:
         self._e2e_hist = (
             telemetry.gateway_e2e_histogram() if telemetry is not None else None
         )
+        self._delivery_hist = (
+            telemetry.gateway_delivery_histogram() if telemetry is not None else None
+        )
         #: installed by the data plane: called from the pump thread as
         #: ``on_egress(conn_id | None, frame_bytes)``
         self.on_egress = None
@@ -221,8 +224,11 @@ class GatewaySession:
                 delivered = self.stream.collect()
             except QueueClosedError:
                 return  # the stream ended under us: nothing left to deliver
+            # one pickup stamp per batch: each message's delivery component
+            # covers its wait behind earlier messages of the same batch
+            picked = time.perf_counter()
             for message in delivered:
-                self._deliver(message)
+                self._deliver(message, picked)
 
     def _register_waiters(self, event: threading.Event) -> None:
         """(Re-)hook the wakeup event onto the current egress queues.
@@ -242,7 +248,7 @@ class GatewaySession:
         except QueueClosedError:  # pragma: no cover - teardown race
             pass
 
-    def _deliver(self, message: MimeMessage) -> None:
+    def _deliver(self, message: MimeMessage, picked: float | None = None) -> None:
         raw_conn = message.headers.get(CONNECTION_HEADER)
         message.headers.remove(CONNECTION_HEADER)
         stamped = message.headers.get(INGRESS_HEADER)
@@ -254,7 +260,12 @@ class GatewaySession:
                 except ValueError:
                     pass  # a corrupted stamp just goes unattributed
                 else:
-                    self._e2e_hist.observe(time.perf_counter() - admitted_at)
+                    now = time.perf_counter()
+                    self._e2e_hist.observe(now - admitted_at)
+                    if self._delivery_hist is not None and picked is not None:
+                        # same instant as the e2e observation, so the
+                        # component set sums to what e2e measures
+                        self._delivery_hist.observe(now - picked)
         frame = serialize_message(message)
         self.stats.inc("frames_out")
         callback = self.on_egress

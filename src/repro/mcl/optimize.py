@@ -1,0 +1,132 @@
+"""Post-compile optimizer: plan fusion of synchronous streamlet chains.
+
+The compiler emits a :class:`~repro.mcl.config.ConfigurationTable` that
+maps one streamlet instance to one runtime node and one channel to one
+``MessageQueue``.  That is the faithful execution model, but it taxes
+every hop with a queue post/claim and a scheduler dispatch even when the
+channel is a zero-length rendezvous that can never buffer anything.
+:func:`optimize` runs right after compilation (and after
+:func:`repro.semantics.verify`, which it assumes has passed) and plans
+which maximal synchronous chains the runtime may collapse into single
+fused nodes, stepping the whole chain in one dispatch with the interior
+channels elided.
+
+The plan is *advisory metadata*, not a table rewrite: the configuration
+table keeps every instance, channel, and link, so reconfiguration
+handlers, semantic re-verification, and introspection keep seeing the
+structure the script declared.  The runtime applies the same legality
+query (:mod:`repro.semantics.fusion`) to its live wiring when it builds
+each topology snapshot, so the plan here always agrees with what the
+stream actually fuses — and a reconfiguration that invalidates a chain
+simply makes the next snapshot stop fusing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mcl.config import ConfigurationTable
+from repro.semantics import fusion
+
+__all__ = ["FusedGroup", "FusionPlan", "optimize"]
+
+
+@dataclass(frozen=True)
+class FusedGroup:
+    """One maximal fusable chain: its members and the channels it elides."""
+
+    members: tuple[str, ...]
+    #: interior channel instances (len(members) - 1 of them, in hop order)
+    elided_channels: tuple[str, ...]
+
+    @property
+    def head(self) -> str:
+        """The member that keeps receiving from outside the group."""
+        return self.members[0]
+
+    @property
+    def tail(self) -> str:
+        """The member whose emissions leave the group."""
+        return self.members[-1]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """Everything :func:`optimize` decided about one configuration table."""
+
+    stream_name: str
+    groups: tuple[FusedGroup, ...] = ()
+    #: instance → reason it can never join a fused chain (diagnostics)
+    barred: dict[str, str] = field(default_factory=dict)
+
+    def group_of(self, instance: str) -> FusedGroup | None:
+        """The fused group containing ``instance``, or None."""
+        for group in self.groups:
+            if instance in group.members:
+                return group
+        return None
+
+    @property
+    def fused_instances(self) -> frozenset[str]:
+        """Every instance that is a member of some fused group."""
+        return frozenset(m for g in self.groups for m in g.members)
+
+    @property
+    def elided_hop_count(self) -> int:
+        """Total queue hops the plan removes."""
+        return sum(len(g.elided_channels) for g in self.groups)
+
+
+def _interior_channels(table: ConfigurationTable, members: tuple[str, ...]) -> tuple[str, ...]:
+    """The channel instance joining each consecutive member pair."""
+    channels: list[str] = []
+    for source, sink in zip(members, members[1:]):
+        for link in table.links:
+            if link.source.instance == source and link.sink.instance == sink:
+                channels.append(link.channel)
+                break
+        else:  # pragma: no cover - legality guarantees the link exists
+            raise ValueError(f"no link between fused members {source!r} and {sink!r}")
+    return tuple(channels)
+
+
+def optimize(table: ConfigurationTable) -> FusionPlan:
+    """Plan fusion for one compiled, verified configuration table.
+
+    Returns a :class:`FusionPlan` whose groups are the maximal chains of
+    synchronously-coupled streamlets with no feedback loop, no mutual
+    exclusion inside a chain, and no optional/extractable member.  The
+    ``barred`` map explains — per instance that sits on at least one
+    synchronous link but was not fused — which condition stopped it.
+    """
+    chains = fusion.fusable_chains(table)
+    groups = tuple(
+        FusedGroup(members=chain, elided_channels=_interior_channels(table, chain))
+        for chain in chains
+    )
+    fused = {m for g in groups for m in g.members}
+    optional = fusion.optional_instances(table.handlers)
+
+    barred: dict[str, str] = {}
+    for link in table.links:
+        entry = table.channels.get(link.channel)
+        if entry is None or not fusion.is_synchronous(entry.definition):
+            continue
+        for name in (link.source.instance, link.sink.instance):
+            if name in fused or name in barred:
+                continue
+            if name in optional:
+                barred[name] = "optional: extracted by a reconfiguration handler"
+            elif len(table.links_from(name)) + sum(
+                1 for r in table.exposed_out if r.instance == name
+            ) > 1 or len(table.links_to(name)) + sum(
+                1 for r in table.exposed_in if r.instance == name
+            ) > 1:
+                barred[name] = "fan: more than one wired input or output"
+            else:
+                barred[name] = "chain too short or blocked by a neighbour"
+
+    return FusionPlan(stream_name=table.stream_name, groups=groups, barred=barred)

@@ -17,7 +17,7 @@ combines both.
 from __future__ import annotations
 
 import re
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 
 from repro.errors import MediaTypeParseError
 
@@ -36,6 +36,40 @@ _PARAM_RE = re.compile(
 
 def _is_token(text: str) -> bool:
     return bool(_TOKEN_RE.match(text))
+
+
+@lru_cache(maxsize=4096)
+def _parse_cached(cls: type, text: str) -> "MediaType":
+    """The uncached grammar walk behind :meth:`MediaType.parse`.
+
+    Keyed on the constructing class so a subclass never receives a
+    memoized base-class instance.  Parse *errors* are never cached —
+    ``lru_cache`` re-invokes on every raising call.
+    """
+    head, sep, rest = text.partition(";")
+    head = head.strip()
+    if "/" in head:
+        maintype, _, subtype = head.partition("/")
+        if "/" in subtype:
+            raise MediaTypeParseError(f"too many '/' in {text!r}")
+        if not maintype.strip() or not subtype.strip():
+            raise MediaTypeParseError(f"missing type or subtype in {text!r}")
+    else:
+        maintype, subtype = head, "*"
+    params: dict[str, str] = {}
+    if sep:
+        remainder = ";" + rest
+        pos = 0
+        while pos < len(remainder):
+            match = _PARAM_RE.match(remainder, pos)
+            if not match:
+                raise MediaTypeParseError(f"bad parameter syntax in {text!r}")
+            value = match.group("value")
+            if value.startswith('"'):
+                value = value[1:-1]
+            params[match.group("attr")] = value
+            pos = match.end()
+    return cls(maintype, subtype, params)
 
 
 @total_ordering
@@ -70,34 +104,17 @@ class MediaType:
 
     @classmethod
     def parse(cls, text: str) -> "MediaType":
-        """Parse a media-type string; a bare name becomes ``name/*``."""
+        """Parse a media-type string; a bare name becomes ``name/*``.
+
+        Results are memoized per (class, string): headers re-parse their
+        raw ``Content-Type`` on every typed access, which makes this the
+        hottest single call on a streamlet chain — and since instances
+        are immutable, handing the same object back is free sharing, not
+        aliasing.
+        """
         if not isinstance(text, str) or not text.strip():
             raise MediaTypeParseError(f"empty media type: {text!r}")
-        text = text.strip()
-        head, sep, rest = text.partition(";")
-        head = head.strip()
-        if "/" in head:
-            maintype, _, subtype = head.partition("/")
-            if "/" in subtype:
-                raise MediaTypeParseError(f"too many '/' in {text!r}")
-            if not maintype.strip() or not subtype.strip():
-                raise MediaTypeParseError(f"missing type or subtype in {text!r}")
-        else:
-            maintype, subtype = head, "*"
-        params: dict[str, str] = {}
-        if sep:
-            remainder = ";" + rest
-            pos = 0
-            while pos < len(remainder):
-                match = _PARAM_RE.match(remainder, pos)
-                if not match:
-                    raise MediaTypeParseError(f"bad parameter syntax in {text!r}")
-                value = match.group("value")
-                if value.startswith('"'):
-                    value = value[1:-1]
-                params[match.group("attr")] = value
-                pos = match.end()
-        return cls(maintype, subtype, params)
+        return _parse_cached(cls, text.strip())
 
     # -- accessors -----------------------------------------------------------
 

@@ -143,7 +143,14 @@ class MessageQueue:
             return self._bytes
 
     def is_empty(self) -> bool:
-        """True when nothing is queued."""
+        """True when nothing is queued.
+
+        Deliberately lock-free (a deque truthiness read is atomic under
+        the GIL), so it may be stale by one racing post/fetch.  Callers
+        use it only to *skip optional work* — the schedulers probe it
+        before paying the mutex round-trip of a speculative batched
+        claim — never as a correctness guarantee.
+        """
         return not self._entries
 
     def _has_room(self, size: int) -> bool:

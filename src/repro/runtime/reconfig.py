@@ -35,6 +35,17 @@ transaction is applying are *deferred* (a rollback puts the ids back on
 their queues; a commit releases and counts them), and a probation
 rollback re-posts swept in-flight ids onto the restored channels, dropping
 (with accounting) only those whose channel did not survive the epoch.
+
+Reconfiguration composes with chain **fusion** without special cases:
+fusion groups live only in the RCU execution snapshot (see
+:meth:`repro.runtime.stream.RuntimeStream._fusion_chains`), never in the
+configuration table a transaction rewires.  A commit that splices a
+streamlet into the middle of a fused region simply rebuilds the snapshot
+— the new async auto-channel splits the region into two smaller groups,
+and a later commit that restores a synchronous link re-fuses them.
+Residual messages left on an interior channel by a split are drained
+downstream-first before the head claims new work, so FIFO order survives
+the fuse/split/re-fuse transitions.
 """
 
 from __future__ import annotations

@@ -46,43 +46,109 @@ _TRACE_KEY = CONTENT_TRACE.lower()
 _Stalled = tuple["Channel", str, int]
 
 
+def _bump(stats, acc: dict[str, int] | None, name: str) -> None:
+    """Count into the step accumulator when one is live, else directly.
+
+    Batched steps collect their counter bumps in a plain dict and flush
+    them through :meth:`StreamStats.inc_many` once per dispatch, so a
+    batch of N messages pays one stats lock instead of N.
+    """
+    if acc is None:
+        stats.inc(name)
+    else:
+        acc[name] = acc.get(name, 0) + 1
+
+
+def _has_headroom(outputs: dict[str, Channel]) -> bool:
+    """True while every output queue can absorb another batched emission.
+
+    The batching stop rule: a rendezvous queue (capacity 0) holding any
+    pending unit vetoes further claims — its single slot is the
+    synchronisation point, and racing past it would turn backpressure
+    into drops — and a bounded queue stops the batch at half capacity so
+    a concurrent producer still fits.  The *first* claim of a visit never
+    consults this, preserving the one-message-per-visit contract exactly.
+    """
+    for channel in outputs.values():
+        queue = channel.queue
+        capacity = queue.capacity_bytes
+        if capacity == 0:
+            if len(queue):
+                return False
+        elif queue.pending_bytes * 2 > capacity:
+            return False
+    return True
+
+
 def _step_node(
     stream: RuntimeStream, name: str, view: _NodeView,
     stalled: list[_Stalled] | None = None,
+    batch: int = 1,
+    acc: dict[str, int] | None = None,
 ) -> int:
-    """Move at most one message through each of the node's input ports."""
+    """Move up to ``batch`` messages through each of the node's input ports.
+
+    The first claim per port is unconditional (the historical one-message
+    step); further claims in the same visit happen only while no emission
+    has stalled and every output queue keeps headroom, so batching can
+    never convert a backpressure signal into drops.  Fused views dispatch
+    to :func:`_step_fused`, which runs the whole member chain per claim.
+    """
+    if view.fused:
+        return _step_fused(stream, view, stalled, batch=batch, acc=acc)
     if view.streamlet.state is not StreamletState.ACTIVE:
         return 0
     moved = 0
     queue_wait_hist = view.queue_wait_hist
     for port, channel in view.inputs:  # frozen tuple: no per-step copy
-        try:
-            msg_id = channel.fetch(0.0)
-        except QueueClosedError:
-            continue
-        if msg_id is None:
-            continue
-        if queue_wait_hist is not None:
-            # post-to-claim delay: the queue stored the raw post time; one
-            # clock sample here is both the claim stamp and the service
-            # start, so attribution costs a single perf_counter per hop
-            claimed_at = time.perf_counter()
-            posted_at = channel.queue.last_post_at
-            if posted_at is not None:
-                queue_wait_hist.observe(claimed_at - posted_at)
-            moved += _process_message(
-                stream, name, view, port, msg_id, stalled, t0=claimed_at
-            )
-        else:
-            moved += _process_message(stream, name, view, port, msg_id, stalled)
+        for claim in range(batch):
+            # extra claims first probe the queue lock-free: a fetch miss
+            # costs a mutex round-trip, and on latency-bound traffic
+            # (one message in flight) every claim after the first misses
+            if claim and (
+                stalled or channel.queue.is_empty()
+                or not _has_headroom(view.outputs)
+            ):
+                break
+            try:
+                msg_id = channel.fetch(0.0)
+            except QueueClosedError:
+                break
+            if msg_id is None:
+                break
+            if queue_wait_hist is not None:
+                # post-to-claim delay: the queue stored the raw post time;
+                # one clock sample here is both the claim stamp and the
+                # service start, so attribution costs a single
+                # perf_counter per hop
+                claimed_at = time.perf_counter()
+                posted_at = channel.queue.last_post_at
+                if posted_at is not None:
+                    queue_wait_hist.observe(claimed_at - posted_at)
+                moved += _process_message(
+                    stream, name, view, port, msg_id, stalled,
+                    t0=claimed_at, acc=acc,
+                )
+            else:
+                moved += _process_message(
+                    stream, name, view, port, msg_id, stalled, acc=acc
+                )
     return moved
 
 
-def _process_message(
-    stream: RuntimeStream, name: str, view: _NodeView, port: str, msg_id: str,
-    stalled: list[_Stalled] | None = None,
+def _process_one(
+    stream: RuntimeStream, name: str, view, port: str, msg_id: str,
+    acc: dict[str, int] | None = None,
     t0: float | None = None,
-) -> int:
+):
+    """Checkout → process → account for one message at one streamlet.
+
+    Returns the id-assigned emissions as ``(out_port, out_id, out_msg)``
+    triples ready for routing — to output channels for an ordinary node
+    (:func:`_route_emissions`), or to the next member of a fused chain
+    (:func:`_run_chain`) — or None when the message terminated here
+    (failure or absorption).
+    """
     pool = stream.pool
     stats = stream.stats
     tm = stream.tm
@@ -100,23 +166,24 @@ def _process_message(
             entry = message.headers._fields.get(_TRACE_KEY)
             if entry is not None:
                 tm.hop_span(name, entry[1], message, None, duration, failed=True)
-        stats.inc("processing_failures")  # (section 3.3.5)
+        _bump(stats, acc, "processing_failures")  # (section 3.3.5)
         handler = stream.fault_handler
         retained = handler is not None and handler(name, port, msg_id, exc)
         if not retained:  # no supervisor claimed the id: release and count
             pool.release(msg_id)
-            stats.inc("failure_drops")
+            _bump(stats, acc, "failure_drops")
             if timed:
                 tm.forget(msg_id)
         if stream.failure_hook is not None:
             stream.failure_hook(name, exc)
-        return 1
+        return None
     view.streamlet.processed += 1
-    stats.inc("processed")
+    _bump(stats, acc, "processed")
     if timed:
-        # span before any post: once an emission is enqueued a concurrent
-        # consumer may read its headers, so the trace context (the parent
-        # advance) must be in place first
+        # span before any routing: once an emission is enqueued (or handed
+        # to the next fused member) a concurrent consumer may read its
+        # headers, so the trace context (the parent advance) must be in
+        # place first
         duration = time.perf_counter() - t0
         view.hop_hist.observe(duration)
         entry = message.headers._fields.get(_TRACE_KEY)
@@ -124,12 +191,12 @@ def _process_message(
             tm.hop_span(name, entry[1], message, emissions, duration)
     if not emissions:
         pool.release(msg_id)  # absorbed (cache hit, filter, ...)
-        stats.inc("absorbed")
+        _bump(stats, acc, "absorbed")
         if timed:
             tm.forget(msg_id)
-        return 1
+        return None
     peer = view.streamlet.peer_id
-    outputs = view.outputs
+    routed = []
     reused_id = False
     for out_port, out_msg in emissions:
         if peer is not None:
@@ -141,13 +208,27 @@ def _process_message(
             reused_id = True
         else:
             out_id = pool.admit(out_msg)
+        routed.append((out_port, out_id, out_msg))
+    return routed
+
+
+def _route_emissions(
+    stream: RuntimeStream, view, routed,
+    stalled: list[_Stalled] | None = None,
+    acc: dict[str, int] | None = None,
+) -> None:
+    """Post id-assigned emissions to the view's output channels."""
+    stats = stream.stats
+    timed = stream.tm.enabled
+    outputs = view.outputs
+    for out_port, out_id, out_msg in routed:
         out_channel: Channel | None = outputs.get(out_port)
         if out_channel is None:
             # open circuit at runtime: the message has nowhere to go
-            pool.release(out_id)
-            stats.inc("open_circuit_drops")
+            stream.pool.release(out_id)
+            _bump(stats, acc, "open_circuit_drops")
             if timed:
-                tm.forget(out_id)
+                stream.tm.forget(out_id)
             continue
         # never block mid-step: a waiting producer would starve the
         # consumer that could free the space.  Once a channel has a
@@ -170,7 +251,148 @@ def _process_message(
                 stalled.append((out_channel, out_id, size))
             else:
                 _drop(stream, out_id)
+
+
+def _process_message(
+    stream: RuntimeStream, name: str, view: _NodeView, port: str, msg_id: str,
+    stalled: list[_Stalled] | None = None,
+    t0: float | None = None,
+    acc: dict[str, int] | None = None,
+) -> int:
+    routed = _process_one(stream, name, view, port, msg_id, acc, t0)
+    if routed is not None:
+        _route_emissions(stream, view, routed, stalled, acc)
     return 1
+
+
+def _run_chain(
+    stream: RuntimeStream, view, index: int, port: str, msg_id: str,
+    stalled: list[_Stalled] | None = None,
+    acc: dict[str, int] | None = None,
+    t0: float | None = None,
+) -> int:
+    """Run one claimed message through fused members ``index`` onward.
+
+    Interior emissions hop member-to-member in memory (the elided
+    channels are never posted); only the tail's emissions go through the
+    normal channel-post path with the stalled-retry machinery.  Each
+    member still gets its own pool checkout (VALUE-mode copy semantics
+    survive fusion), service-time observation, and failure containment —
+    a supervisor that retains a failed id can re-post it to the member's
+    still-wired input channel, where the residual drain picks it up.
+    """
+    members = view.members
+    last = len(members) - 1
+    i = index
+    pending: list | None = None  # lazily built: only multi-emission needs it
+    while True:
+        member = members[i]
+        routed = _process_one(stream, member.name, member, port, msg_id, acc, t0)
+        advanced = False
+        if routed is not None:
+            if i == last:
+                _route_emissions(stream, member, routed, stalled, acc)
+            elif len(routed) == 1 and routed[0][0] in member.outputs:
+                # the common shape — one emission on the wired port — hops
+                # straight to the next member, no worklist traffic
+                msg_id = routed[0][1]
+                port = members[i + 1].inputs[0][0]
+                i += 1
+                t0 = None
+                advanced = True
+            else:
+                next_port = members[i + 1].inputs[0][0]
+                outputs = member.outputs
+                for out_port, out_id, out_msg in routed:
+                    if out_port not in outputs:
+                        # open circuit mid-chain: identical to the unfused drop
+                        stream.pool.release(out_id)
+                        _bump(stream.stats, acc, "open_circuit_drops")
+                        if stream.tm.enabled:
+                            stream.tm.forget(out_id)
+                        continue
+                    if pending is None:
+                        pending = []
+                    pending.append((i + 1, next_port, out_id))
+        if advanced:
+            continue
+        if not pending:
+            return 1
+        i, port, msg_id = pending.pop(0)
+        t0 = None
+
+
+def _step_fused(
+    stream: RuntimeStream, view,
+    stalled: list[_Stalled] | None = None,
+    *, batch: int = 1,
+    acc: dict[str, int] | None = None,
+) -> int:
+    """Step a fused chain: claim at the head, run every member per dispatch.
+
+    Residual units parked on an interior channel — traffic admitted
+    before the chain fused (or re-posted by a supervisor retry) — drain
+    first, downstream-first, so end-to-end FIFO order survives fuse/split
+    transitions.  A single paused member parks the whole chain: one
+    dispatch cannot honour a suspension boundary mid-run, so messages
+    wait at the head until every member is active again.
+    """
+    members = view.members
+    for member in members:
+        if member.streamlet.state is not StreamletState.ACTIVE:
+            return 0
+    moved = 0
+    interior = view.interior
+    for idx in range(len(interior) - 1, -1, -1):
+        channel = interior[idx]
+        if channel.queue.is_empty():
+            # lock-free probe: interior queues hold traffic only across a
+            # fuse/split transition, so skip the fetch-miss mutex cost
+            continue
+        entry = members[idx + 1]
+        entry_port = entry.inputs[0][0]
+        wait_hist = entry.queue_wait_hist
+        while not stalled:
+            try:
+                msg_id = channel.fetch(0.0)
+            except QueueClosedError:
+                break
+            if msg_id is None:
+                break
+            t0 = None
+            if wait_hist is not None:
+                t0 = time.perf_counter()
+                posted_at = channel.queue.last_post_at
+                if posted_at is not None:
+                    wait_hist.observe(t0 - posted_at)
+            moved += _run_chain(stream, view, idx + 1, entry_port, msg_id,
+                                stalled, acc, t0)
+    head = members[0]
+    tail_outputs = members[-1].outputs
+    wait_hist = head.queue_wait_hist
+    for port, channel in head.inputs:
+        for claim in range(batch):
+            if stalled or (
+                claim and (
+                    channel.queue.is_empty()
+                    or not _has_headroom(tail_outputs)
+                )
+            ):
+                break
+            try:
+                msg_id = channel.fetch(0.0)
+            except QueueClosedError:
+                break
+            if msg_id is None:
+                break
+            t0 = None
+            if wait_hist is not None:
+                t0 = time.perf_counter()
+                posted_at = channel.queue.last_post_at
+                if posted_at is not None:
+                    wait_hist.observe(t0 - posted_at)
+            moved += _run_chain(stream, view, 0, port, msg_id, stalled, acc, t0)
+    return moved
 
 
 def _drop(stream: RuntimeStream, msg_id: str) -> None:
@@ -223,8 +445,11 @@ class InlineScheduler:
     snapshot's deterministic processing order.
     """
 
-    def __init__(self, stream: RuntimeStream):
+    #: messages claimed per input port per visit; the headroom rule in
+    #: :func:`_step_node` keeps batching invisible to bounded channels
+    def __init__(self, stream: RuntimeStream, *, batch: int = 8):
         self._stream = stream
+        self._batch = max(1, batch)
 
     def _seed(self, snap: TopologySnapshot) -> set[str]:
         """Nodes worth visiting: active with pending input traffic."""
@@ -243,6 +468,8 @@ class InlineScheduler:
         """Process until quiescent (or ``max_rounds``); returns moves made."""
         stream = self._stream
         gate = stream._read_gate
+        batch = self._batch
+        acc: dict[str, int] = {}  # flushed once per round (one stats lock)
         total = 0
         rounds = 0
         snap = stream.topology_snapshot()
@@ -266,7 +493,7 @@ class InlineScheduler:
                 dirty.discard(name)
                 view = snap.nodes[name]
                 try:
-                    moved = _step_node(stream, name, view)
+                    moved = _step_node(stream, name, view, None, batch, acc)
                 finally:
                     gate.exit()
                 if moved:
@@ -276,6 +503,9 @@ class InlineScheduler:
                         if not channel.queue.is_empty():
                             dirty.add(name)
                             break
+            if acc:
+                stream.stats.inc_many(acc)
+                acc.clear()
             if restart:
                 continue  # an interrupted walk is not a round
             total += moved_round
@@ -312,11 +542,16 @@ class ThreadedScheduler:
     #: corners); it is NOT the scheduling latency, which is event-driven
     _IDLE_WAIT = 0.05
 
-    def __init__(self, stream: RuntimeStream, *, poll_interval: float = 0.001):
+    def __init__(
+        self, stream: RuntimeStream, *,
+        poll_interval: float = 0.001, batch: int = 8,
+    ):
         self._stream = stream
         #: retained for API compatibility; used only as the drain()
         #: re-check cadence floor, never as a busy-poll period
         self._poll = poll_interval
+        #: messages claimed per input port per step (see _step_node)
+        self._batch = max(1, batch)
         self._threads: dict[str, threading.Thread] = {}
         self._stop = threading.Event()
         self._kills: dict[str, threading.Event] = {}   # per-worker kill switch
@@ -389,6 +624,8 @@ class ThreadedScheduler:
         util = {"busy": 0.0, "blocked": 0.0, "refresh": 0.0, "steps": 0}
         if timed:
             self._utilization[name] = util
+        batch = self._batch
+        acc: dict[str, int] = {}  # flushed after every step (one stats lock)
         try:
             while not stop.is_set() and not kill.is_set():
                 # RCU read side: register in the gate FIRST, then check the
@@ -430,9 +667,12 @@ class ThreadedScheduler:
                     b0 = time.perf_counter()
                 stalled: list[_Stalled] = []
                 try:
-                    moved = _step_node(stream, name, view, stalled)
+                    moved = _step_node(stream, name, view, stalled, batch, acc)
                 finally:
                     gate.exit()
+                if acc:
+                    stream.stats.inc_many(acc)
+                    acc.clear()
                 # full-queue posts retry OUTSIDE the read gate so a writer
                 # is never blocked behind a backpressure stall; the busy
                 # flag spans the retry so drain() cannot observe a fake

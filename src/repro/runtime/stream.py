@@ -131,6 +131,17 @@ class StreamStats:
         with self._lock:
             setattr(self, name, getattr(self, name) + n)
 
+    def inc_many(self, counts: dict[str, int]) -> None:
+        """Atomically apply a batch of counter bumps under one lock.
+
+        The schedulers' batched steps accumulate their per-message bumps
+        in a plain dict and flush here once per dispatch, amortising the
+        lock from per-message to per-batch.
+        """
+        with self._lock:
+            for name, n in counts.items():
+                setattr(self, name, getattr(self, name) + n)
+
 
 class _ReadGate:
     """Tracks threads mid-step on a published topology snapshot (RCU read side).
@@ -203,6 +214,10 @@ class _NodeView:
     without the per-step ``list(dict.items())`` allocation.
     """
 
+    #: class attribute, not a slot: scheduler dispatch probes this on every
+    #: step, and only :class:`_FusedView` overrides it
+    fused = False
+
     __slots__ = (
         "name", "streamlet", "ctx", "inputs", "outputs", "consumers",
         "hop_hist", "queue_wait_hist",
@@ -218,6 +233,46 @@ class _NodeView:
         self.consumers = consumers
         self.hop_hist = node.hop_hist
         self.queue_wait_hist = node.queue_wait_hist
+
+
+class _FusedView:
+    """A fused chain of synchronously-coupled members, stepped as one node.
+
+    Published in the snapshot under the *head* member's name; the other
+    members get parked :class:`_NodeView`s (no inputs, no consumers) so
+    their scheduler workers stay alive idling and re-acquire real wiring
+    if a reconfiguration splits the chain.  ``inputs`` is the head's
+    external inputs plus the interior (elided) channels — so worklist
+    seeding and worker wakeup registration notice residual units parked
+    mid-chain — but the fused step claims new traffic only at the head.
+    Fusion lives entirely at the snapshot level: the structural graph
+    (``_Node`` wiring, channel instances) is untouched, which is what
+    lets every composition primitive split a fused region for free and
+    the next snapshot rebuild re-fuse whatever is still legal.
+    """
+
+    fused = True
+
+    __slots__ = (
+        "name", "members", "interior", "streamlet", "ctx", "inputs",
+        "outputs", "consumers", "hop_hist", "queue_wait_hist",
+    )
+
+    def __init__(self, members: tuple[_NodeView, ...], interior: tuple[Channel, ...]):
+        head, tail = members[0], members[-1]
+        self.name = head.name
+        self.members = members
+        #: the elided channels, in hop order (len(members) - 1 of them)
+        self.interior = interior
+        self.streamlet = head.streamlet
+        self.ctx = head.ctx
+        self.inputs: tuple[tuple[str, Channel], ...] = head.inputs + tuple(
+            (f"__fused{i}", channel) for i, channel in enumerate(interior)
+        )
+        self.outputs: dict[str, Channel] = tail.outputs
+        self.consumers = tail.consumers
+        self.hop_hist = head.hop_hist
+        self.queue_wait_hist = head.queue_wait_hist
 
 
 class TopologySnapshot:
@@ -254,6 +309,7 @@ class RuntimeStream:
         session: str | None = None,
         drop_timeout: float = 0.0,
         telemetry: Telemetry | None = None,
+        fuse: bool = True,
     ):
         self.table = table
         self.name = table.stream_name
@@ -287,6 +343,12 @@ class RuntimeStream:
         #: GIL (see docs/performance.md for the memory-ordering argument)
         self._snapshot: TopologySnapshot | None = None
         self._snapshot_version = 0
+        #: collapse synchronous chains into fused nodes at snapshot build
+        #: time (the repro.mcl.optimize execution model); off = one node
+        #: per instance, the pre-optimizer behaviour
+        self._fuse = fuse
+        #: the chains the last snapshot fused, for change detection
+        self._fusion_sig: tuple[tuple[str, ...], ...] = ()
         self._read_gate = _ReadGate()
         self._write_depth = 0
         #: callbacks fired after a write section closes (and on resume):
@@ -388,6 +450,50 @@ class RuntimeStream:
         self._order_dirty = True
         self._snapshot = None
 
+    def _fusion_chains(self) -> list[tuple[str, ...]]:
+        """Maximal fusable chains of the *live* wiring (caller holds the lock).
+
+        The same legality as :func:`repro.semantics.fusion.fusable_chains`,
+        read off the runtime graph instead of the compiled table: an edge
+        fuses when its channel is synchronous, the producer's only output
+        feeds it, the consumer's only input is it, neither endpoint is an
+        optional (extractable) member, no feedback loop closes through it,
+        and no mutual exclusion holds inside the resulting chain.
+        """
+        from repro.semantics import fusion
+
+        if not self._fuse or len(self._nodes) < 2:
+            return []
+        barred = fusion.optional_instances(self.table.handlers)
+        successors: dict[str, str] = {}
+        for name, node in self._nodes.items():
+            if name in barred or len(node.outputs) != 1:
+                continue
+            channel = next(iter(node.outputs.values()))
+            if not fusion.is_synchronous(channel.definition):
+                continue
+            sink = channel.sink
+            if sink is None or sink.instance not in self._nodes or sink.instance in barred:
+                continue
+            if len(self._nodes[sink.instance].inputs) != 1:
+                continue
+            successors[name] = sink.instance
+        if not successors:
+            return []
+        definitions = {name: node.definition for name, node in self._nodes.items()}
+        chains: list[tuple[str, ...]] = []
+        for chain in fusion.chain_edges(successors, self._nodes):
+            accepted: list[str] = []
+            for member in chain:
+                if accepted and fusion.exclusion_conflict(definitions, accepted, member):
+                    if len(accepted) >= 2:
+                        chains.append(tuple(accepted))
+                    accepted = []
+                accepted.append(member)
+            if len(accepted) >= 2:
+                chains.append(tuple(accepted))
+        return chains
+
     def _build_snapshot(self) -> TopologySnapshot:
         # caller holds the topology lock
         order = tuple(self.processing_order())
@@ -402,6 +508,28 @@ class RuntimeStream:
             views[name] = _NodeView(name, node, tuple(consumers))
             for channel in node.inputs.values():
                 queues[id(channel.queue)] = channel.queue
+        chains = tuple(self._fusion_chains())
+        for chain in chains:
+            member_views = tuple(views[m] for m in chain)
+            interior = tuple(
+                next(iter(self._nodes[m].outputs.values())) for m in chain[:-1]
+            )
+            views[chain[0]] = _FusedView(member_views, interior)
+            for m in chain[1:]:
+                # parked: the member's worker idles (no inputs to claim, no
+                # waiters to register) until a split hands its wiring back
+                parked = _NodeView(m, self._nodes[m], ())
+                parked.inputs = ()
+                views[m] = parked
+        if chains != self._fusion_sig:
+            # fuse/split transitions are reconfiguration-relevant history:
+            # make them visible in the flight recorder
+            if self.tm.enabled:
+                self.tm.recorder.record(
+                    "fusion", stream=self.name,
+                    groups=["+".join(c) for c in chains],
+                )
+            self._fusion_sig = chains
         self._snapshot_version += 1
         return TopologySnapshot(
             self._snapshot_version, self.epoch, order, views, tuple(queues.values())
@@ -635,6 +763,23 @@ class RuntimeStream:
     def snapshot_version(self) -> int:
         """The RCU topology snapshot version (bumped on every rebuild)."""
         return self._snapshot_version
+
+    def fusion_groups(self) -> tuple[tuple[str, ...], ...]:
+        """The chains the current snapshot runs fused, head first.
+
+        Empty when fusion is disabled or no chain qualifies.  Because
+        fusion is recomputed on every snapshot rebuild, this reflects any
+        committed reconfiguration: splicing into a fused region splits it
+        here immediately, and re-fusing shows up as soon as the spliced
+        shape is legal again.
+        """
+        snap = self.topology_snapshot()
+        groups: list[tuple[str, ...]] = []
+        for name in snap.order:
+            view = snap.nodes.get(name)
+            if view is not None and view.fused and view.name == name:
+                groups.append(tuple(m.name for m in view.members))
+        return tuple(groups)
 
     def queue_introspect(self) -> list[dict]:
         """Depth/watermark/counters for every live channel queue.

@@ -620,6 +620,18 @@ class Telemetry:
             "Gateway-internal latency from session admission to egress delivery",
         ).unlabelled()  # type: ignore[return-value]
 
+    def gateway_delivery_histogram(self) -> Histogram:
+        """Egress ``collect()`` pickup to delivery-callback latency.
+
+        The last attribution component: serialization plus the pump's
+        per-batch handoff, closing the gap between the hop egress family
+        (which ends at ``collect()``) and the end-to-end observation.
+        """
+        return self.registry.histogram(
+            "mobigate_hop_delivery_seconds",
+            "Latency from egress collect() pickup to the delivery callback",
+        ).unlabelled()  # type: ignore[return-value]
+
     def gateway_admission_histogram(self) -> Histogram:
         """Socket-read to session-admission latency (park loop included)."""
         return self.registry.histogram(
@@ -791,6 +803,10 @@ class NullTelemetry(Telemetry):
         return None
 
     def gateway_e2e_histogram(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def gateway_delivery_histogram(self) -> None:  # type: ignore[override]
         """No-op."""
         return None
 

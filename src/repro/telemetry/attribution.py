@@ -15,6 +15,9 @@ families into per-(stream, streamlet) summaries:
                                           (the **service** component)
 ``mobigate_hop_egress_seconds``           egress-channel post → ``collect()``
                                           drain — the pump pickup delay
+``mobigate_hop_delivery_seconds``         ``collect()`` pickup → delivery
+                                          callback — serialization and the
+                                          pump's per-batch handoff
 ``mobigate_gateway_e2e_seconds``          gateway admission → egress delivery
                                           (the decomposition's ground truth)
 ========================================  =====================================
@@ -27,8 +30,8 @@ are complete, not sampled; only spans stay sampled.
 
 :func:`summarize` renders the per-instance table the control plane's
 ``attribution`` verb serves; :func:`decompose` reduces a stream to its
-three component sums and checks them against the measured end-to-end
-histogram — the bench's acceptance gate (components within 10% of e2e).
+component sums and checks them against the measured end-to-end
+histogram — the bench's acceptance gate (components within 5% of e2e).
 """
 
 from __future__ import annotations
@@ -44,12 +47,14 @@ if TYPE_CHECKING:  # pragma: no cover
 HOP_QUEUE_WAIT = "mobigate_hop_queue_wait_seconds"
 HOP_SERVICE = "mobigate_hop_seconds"
 HOP_EGRESS = "mobigate_hop_egress_seconds"
+HOP_DELIVERY = "mobigate_hop_delivery_seconds"
 GATEWAY_E2E = "mobigate_gateway_e2e_seconds"
 
 _COMPONENTS = (
     ("queue_wait", HOP_QUEUE_WAIT),
     ("service", HOP_SERVICE),
     ("egress", HOP_EGRESS),
+    ("delivery", HOP_DELIVERY),
 )
 
 
@@ -96,8 +101,8 @@ def decompose(registry: MetricsRegistry, *, stream: str | None = None) -> dict:
     round-trips (so a chain's N service hops per message add up instead
     of averaging away), and reports ``coverage`` — the component sum as a
     fraction of the measured end-to-end mean.  Coverage near 1.0 means
-    the three components explain the pipeline; a big residual means time
-    is going somewhere unattributed.
+    the components explain the pipeline; a big residual means time is
+    going somewhere unattributed.
     """
     sums = {}
     counts = {}

@@ -146,16 +146,26 @@ class FlightRecorder:
         Repeated dumps for the same label overwrite the artifact (the
         latest ring supersedes earlier ones), so a retry storm cannot
         litter the filesystem.
+
+        Event ``t`` fields are ``perf_counter`` readings — a different
+        clock domain than the wall-clock ``dumped_at``.  The payload
+        therefore anchors both: ``dumped_at_monotonic`` is the
+        ``perf_counter`` reading taken at the same instant as
+        ``dumped_at``, so any event's wall time is
+        ``dumped_at - (dumped_at_monotonic - event.t)``.
         """
         safe = _LABEL_SANITIZE.sub("_", label) or "recorder"
         target = Path(directory) if directory is not None else flight_dump_dir()
         try:
             target.mkdir(parents=True, exist_ok=True)
             path = target / f"FLIGHT_{safe}.json"
+            # both clocks sampled back-to-back: the pair is the conversion
+            # anchor between the events' monotonic domain and wall time
             payload = {
                 "label": label,
                 "reason": reason,
                 "dumped_at": time.time(),
+                "dumped_at_monotonic": time.perf_counter(),
                 "recorded": self.recorded,
                 "dropped": self.dropped,
                 "events": self.events(),

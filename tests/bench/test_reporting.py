@@ -3,6 +3,9 @@
 import json
 import math
 from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
 
 from repro.bench.reporting import (
     bench_output_dir,
@@ -140,6 +143,115 @@ class TestBaselineRegressions:
         )
         result = _BenchResult(rows=[_BenchRow("threaded", 1.0)])
         assert flag_regressions("demo", result, directory=directory) == []
+
+
+@dataclass
+class _LatencyRow:
+    scenario: str
+    p99_ms: float
+
+
+class TestDirectionHandling:
+    """``direction`` decides which way a delta regresses — a p99 rise must
+    warn under ``"lower"`` even though the same delta would pass as an
+    improvement under the throughput default."""
+
+    def baseline(self, tmp_path, rows):
+        write_bench_json("demo", {"rows": rows}, tmp_path)
+        return tmp_path
+
+    def latency_result(self, p99):
+        return _BenchResult(rows=[_LatencyRow("burst", p99)])
+
+    def test_lower_flags_a_rise(self, tmp_path):
+        directory = self.baseline(tmp_path, [{"scenario": "burst", "p99_ms": 10.0}])
+        warnings = flag_regressions(
+            "demo", self.latency_result(14.0), directory=directory,
+            key="scenario", metric="p99_ms", direction="lower",
+        )
+        assert len(warnings) == 1
+        assert "REGRESSION" in warnings[0] and "above baseline" in warnings[0]
+
+    def test_lower_passes_a_drop(self, tmp_path):
+        # latency *improving* must never warn
+        directory = self.baseline(tmp_path, [{"scenario": "burst", "p99_ms": 10.0}])
+        assert flag_regressions(
+            "demo", self.latency_result(4.0), directory=directory,
+            key="scenario", metric="p99_ms", direction="lower",
+        ) == []
+
+    def test_lower_passes_a_rise_within_threshold(self, tmp_path):
+        directory = self.baseline(tmp_path, [{"scenario": "burst", "p99_ms": 10.0}])
+        assert flag_regressions(
+            "demo", self.latency_result(10.5), directory=directory,
+            key="scenario", metric="p99_ms", direction="lower",
+        ) == []
+
+    def test_higher_passes_a_rise(self, tmp_path):
+        directory = self.baseline(
+            tmp_path, [{"engine": "threaded", "throughput_msgs_per_sec": 100.0}]
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 150.0)])
+        assert flag_regressions("demo", result, directory=directory) == []
+
+    def test_unknown_direction_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="direction"):
+            flag_regressions(
+                "demo", _BenchResult(rows=[]), directory=tmp_path,
+                direction="sideways",
+            )
+
+
+class TestRegressionRegistry:
+    """Every CI-wired baseline comparison declares the correct direction and
+    actually fires through ``flag_regressions``."""
+
+    def registry(self):
+        from repro.bench.__main__ import REGRESSION_CHECKS
+
+        return REGRESSION_CHECKS
+
+    def test_every_target_is_known_and_ci_wired(self):
+        from repro.bench.__main__ import ALL_TARGETS
+
+        ci = Path(__file__).parents[2] / ".github" / "workflows" / "ci.yml"
+        smoke = next(
+            line for line in ci.read_text().splitlines()
+            if "python -m repro.bench" in line
+        )
+        for target in self.registry():
+            assert target in ALL_TARGETS
+            assert f" {target} " in smoke or smoke.rstrip().endswith(target)
+
+    def test_directions_match_metric_semantics(self):
+        for target, checks in self.registry().items():
+            for key, metric, direction in checks:
+                assert direction in ("higher", "lower"), (target, metric)
+                latency_like = (
+                    metric.endswith("_ms") or metric.endswith("_seconds")
+                )
+                assert direction == ("lower" if latency_like else "higher"), (
+                    f"{target}/{metric}: latency-like metrics must be "
+                    f"'lower', throughput-like 'higher'"
+                )
+
+    def test_gateway_p99_is_checked_lower(self):
+        # the registry's reason to exist: a p99 blow-up must not be able
+        # to ride through as an "improvement"
+        assert ("scenario", "p99_ms", "lower") in self.registry()["gateway"]
+
+    def test_each_registered_check_fires_on_a_regression(self, tmp_path):
+        for target, checks in self.registry().items():
+            for key, metric, direction in checks:
+                baseline_row = {key: "probe", metric: 100.0}
+                write_bench_json(target, {"rows": [baseline_row]}, tmp_path)
+                regressed = 50.0 if direction == "higher" else 200.0
+                warnings = flag_regressions(
+                    target, {"rows": [{key: "probe", metric: regressed}]},
+                    directory=tmp_path, key=key, metric=metric,
+                    direction=direction,
+                )
+                assert len(warnings) == 1, (target, metric)
 
 
 class TestTelemetryOverheadBench:

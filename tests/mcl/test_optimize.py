@@ -1,0 +1,99 @@
+"""The post-compile fusion planner: groups, elided channels, diagnostics."""
+
+from repro.mcl.compiler import compile_script
+from repro.mcl.optimize import FusedGroup, FusionPlan, optimize
+
+DEFS = """
+streamlet stage{
+  port{ in pi : */*; out po : */*; }
+}
+streamlet splitter{
+  port{ in pi : */*; out po1 : */*; out po2 : */*; }
+}
+channel syncChan{
+  port{ in cin : */*; out cout : */*; }
+  attribute{ type = SYNC; buffer = 0; }
+}
+channel asyncChan{
+  port{ in cin : */*; out cout : */*; }
+  attribute{ type = ASYNC; buffer = 64; }
+}
+"""
+
+
+def table_of(body: str):
+    return compile_script(DEFS + f"stream s{{ {body} }}").tables["s"]
+
+
+def sync_chain(n: int) -> str:
+    names = [f"n{i}" for i in range(n)]
+    chans = [f"c{i}" for i in range(n - 1)]
+    body = (
+        f"streamlet {', '.join(names)} = new-streamlet (stage);"
+        f"channel {', '.join(chans)} = new-channel (syncChan);"
+    )
+    for i, (a, b) in enumerate(zip(names, names[1:])):
+        body += f"connect ({a}.po, {b}.pi, c{i});"
+    return body
+
+
+class TestOptimize:
+    def test_plans_one_group_over_a_sync_chain(self):
+        plan = optimize(table_of(sync_chain(4)))
+        assert isinstance(plan, FusionPlan)
+        assert plan.stream_name == "s"
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.members == ("n0", "n1", "n2", "n3")
+        assert group.head == "n0" and group.tail == "n3"
+        assert len(group) == 4
+        assert group.elided_channels == ("c0", "c1", "c2")
+        assert plan.elided_hop_count == 3
+        assert plan.fused_instances == {"n0", "n1", "n2", "n3"}
+        assert plan.barred == {}
+
+    def test_group_of_maps_members_and_outsiders(self):
+        plan = optimize(table_of(sync_chain(3)))
+        group = plan.group_of("n1")
+        assert isinstance(group, FusedGroup)
+        assert "n1" in group.members
+        assert plan.group_of("nope") is None
+
+    def test_async_table_plans_nothing(self):
+        plan = optimize(table_of(
+            "streamlet a, b = new-streamlet (stage);"
+            "connect (a.po, b.pi);"
+        ))
+        assert plan.groups == ()
+        assert plan.elided_hop_count == 0
+        assert plan.fused_instances == frozenset()
+
+    def test_extracted_member_is_barred_with_a_reason(self):
+        plan = optimize(table_of(
+            sync_chain(3) + "when (LOW_BANDWIDTH) { remove (n1); }"
+        ))
+        assert plan.groups == ()
+        assert plan.barred["n1"].startswith("optional")
+
+    def test_fan_out_is_barred_with_a_reason(self):
+        plan = optimize(table_of(
+            "streamlet sp = new-streamlet (splitter);"
+            "streamlet a, b = new-streamlet (stage);"
+            "channel c0, c1 = new-channel (syncChan);"
+            "connect (sp.po1, a.pi, c0);"
+            "connect (sp.po2, b.pi, c1);"
+        ))
+        assert plan.groups == ()
+        assert plan.barred["sp"].startswith("fan")
+
+    def test_async_interruption_yields_two_groups(self):
+        plan = optimize(table_of(
+            "streamlet n0, n1, n2, n3 = new-streamlet (stage);"
+            "channel c0, c2 = new-channel (syncChan);"
+            "channel c1 = new-channel (asyncChan);"
+            "connect (n0.po, n1.pi, c0);"
+            "connect (n1.po, n2.pi, c1);"
+            "connect (n2.po, n3.pi, c2);"
+        ))
+        assert tuple(g.members for g in plan.groups) == (("n0", "n1"), ("n2", "n3"))
+        assert [g.elided_channels for g in plan.groups] == [("c0",), ("c2",)]

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 
 from repro.telemetry import NULL_RECORDER, FlightRecorder, NullFlightRecorder
 from repro.telemetry.recorder import flight_dump_dir
@@ -93,6 +94,26 @@ class TestDump:
         assert data["reason"] == "test escalation"
         assert data["events"][0]["category"] == "fault_injected"
         assert recorder.dumps["s"] == path
+
+    def test_dump_anchors_both_clock_domains(self, tmp_path):
+        """Event times are convertible to wall clock via the dual anchor.
+
+        Ring events carry ``perf_counter`` timestamps while ``dumped_at``
+        is wall clock; the payload pairs the two clocks sampled at the
+        same instant (``dumped_at_monotonic``) so any event's wall time
+        is ``dumped_at - (dumped_at_monotonic - event.t)``.
+        """
+        recorder = FlightRecorder()
+        before_wall, before_mono = time.time(), time.perf_counter()
+        recorder.record("tick")
+        recorder.dump("anchor", reason="r", directory=tmp_path)
+        after_wall, after_mono = time.time(), time.perf_counter()
+        data = json.loads((tmp_path / "FLIGHT_anchor.json").read_text())
+        assert before_mono <= data["dumped_at_monotonic"] <= after_mono
+        assert before_wall <= data["dumped_at"] <= after_wall
+        event = data["events"][0]
+        wall = data["dumped_at"] - (data["dumped_at_monotonic"] - event["t"])
+        assert before_wall <= wall <= after_wall
 
     def test_dump_label_is_sanitized(self, tmp_path):
         recorder = FlightRecorder()
