@@ -34,7 +34,7 @@ from repro.bench.telemetry_overhead import run_telemetry_overhead
 ALL_TARGETS = (
     "fig7_2", "fig7_3", "fig7_6", "fig7_7", "ablations", "wtcp",
     "adaptivity", "telemetry", "faults", "reconfig", "scheduler_parallel",
-    "gateway", "fusion",
+    "gateway", "fusion", "durability",
 )
 
 #: every committed-baseline comparison CI runs, as (row key, metric,
@@ -51,6 +51,7 @@ REGRESSION_CHECKS: dict[str, tuple[tuple[str, str, str], ...]] = {
         ("scenario", "p99_ms", "lower"),
     ),
     "fusion": (("mode", "throughput_msgs_per_sec", "higher"),),
+    "durability": (("mode", "throughput_msgs_per_sec", "higher"),),
 }
 
 
@@ -206,6 +207,15 @@ def main(argv: list[str]) -> int:
         result.print()
         check_regressions("fusion", result)
         emit("fusion", result)
+    if "durability" in targets:
+        from repro.bench.durability import run_durability
+
+        result = run_durability(quick=quick)
+        result.print()
+        # ledger overhead is advisory; lost acked messages or an
+        # unbalanced cross-crash fold raise inside run_durability
+        check_regressions("durability", result)
+        emit("durability", result)
     return 0
 
 

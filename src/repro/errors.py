@@ -216,3 +216,12 @@ class NetSimError(MobiGateError):
 
 class WorkloadError(MobiGateError):
     """Invalid workload specification."""
+
+
+# ---------------------------------------------------------------------------
+# Durable state plane (repro.store)
+# ---------------------------------------------------------------------------
+
+
+class StoreError(MobiGateError):
+    """A durable state store refused an operation or is misconfigured."""

@@ -94,14 +94,35 @@ class DeadLetter:
 
 
 class DeadLetterPool:
-    """Ordered, inspectable store of messages recovery gave up on."""
+    """Ordered, inspectable store of messages recovery gave up on.
 
-    def __init__(self) -> None:
+    The pool is **bounded**: when ``capacity`` entries are parked, adding
+    another evicts the oldest (insertion order) so a sustained fault
+    storm cannot grow the gateway's memory without limit.  Evictions are
+    counted and reported through ``on_evict`` so the supervisor can keep
+    the ledger and the ``mobigate_dead_letters_evicted_total`` counter
+    honest.  ``capacity=None`` leaves the pool unbounded (the historical
+    behaviour, still right for short deterministic tests).
+    """
+
+    def __init__(self, capacity: int | None = None, *, on_evict=None) -> None:
+        if capacity is not None and capacity < 1:
+            raise FaultPlanError(f"dead-letter capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.on_evict = on_evict
+        #: entries displaced by the capacity bound since construction
+        self.evicted = 0
         self._entries: dict[str, DeadLetter] = {}
 
     def add(self, entry: DeadLetter) -> None:
-        """Park one entry (keyed by its pool id)."""
+        """Park one entry (keyed by its pool id), evicting the oldest at capacity."""
         self._entries[entry.msg_id] = entry
+        while self.capacity is not None and len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            victim = self._entries.pop(oldest)
+            self.evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
 
     def take(self, msg_id: str) -> DeadLetter:
         """Remove and return one entry (for manual re-injection)."""
@@ -140,7 +161,12 @@ class Supervisor:
         optional: tuple[str, ...] = (),
         telemetry: "Telemetry | None" = None,
         seed: int = 0,
+        ledger=None,
+        scope: str | None = None,
+        dead_letter_capacity: int | None = None,
     ):
+        from repro.store.ledger import NULL_LEDGER
+
         self._stream = stream
         self.policy = policy if policy is not None else RecoveryPolicy()
         self._clock = stream._clock
@@ -150,7 +176,14 @@ class Supervisor:
         #: compressor is not)
         self._optional = frozenset(optional)
         self.rng = random.Random(seed)
-        self.dead_letters = DeadLetterPool()
+        #: where durable ledger records land; the scope names this
+        #: supervisor's session/stream in them (gateway sessions pass
+        #: their routing key, standalone supervisors get the stream name)
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
+        self.scope = scope if scope is not None else stream.name
+        self.dead_letters = DeadLetterPool(
+            dead_letter_capacity, on_evict=self._on_evict
+        )
         self._pending: list[_Retry] = []
         self._seq = 0          # tie-breaker keeping equal-due retries FIFO
         self._attempts: dict[str, int] = {}
@@ -167,9 +200,11 @@ class Supervisor:
         if telemetry is not None and telemetry.enabled:
             self._gauge = telemetry.dead_letter_gauge(stream.name)
             self._outcome = lambda o: telemetry.fault_counter(stream.name, o).inc()
+            self._evictions = telemetry.dead_letters_evicted_counter(stream.name)
         else:
             self._gauge = None
             self._outcome = None
+            self._evictions = None
 
     # -- wiring -------------------------------------------------------------------
 
@@ -225,6 +260,11 @@ class Supervisor:
             due = self._clock.now() + self.policy.delay_for(attempt, self.rng)
             self._pending.append((due, self._seq, msg_id, instance, port))
             self._seq += 1
+            if self.ledger.enabled:
+                self.ledger.retry_scheduled(
+                    self.scope, msg_id, instance=instance, port=port,
+                    attempt=attempt + 1, frame=self._frame_of(msg_id),
+                )
             tm = self._stream.tm
             if tm.enabled:
                 tm.recorder.record(
@@ -255,14 +295,45 @@ class Supervisor:
 
     # -- dispositions ----------------------------------------------------------------
 
+    def _frame_of(self, msg_id: str) -> bytes | None:
+        """Serialise a pooled message for the ledger (None when impossible)."""
+        from repro.mime.wire import serialize_message
+
+        try:
+            return serialize_message(self._stream.pool.peek(msg_id))
+        except Exception:
+            return None  # released under us, or an unserialisable body
+
+    def _on_evict(self, victim: DeadLetter) -> None:
+        """Account a capacity eviction (ledger, counter, flight recorder)."""
+        if self.ledger.enabled:
+            self.ledger.dead_letter_evicted(self.scope, victim.msg_id)
+        if self._evictions is not None:
+            self._evictions.inc()
+        if self._gauge is not None:
+            self._gauge.set(float(len(self.dead_letters)))
+        tm = self._stream.tm
+        if tm.enabled:
+            tm.recorder.record(
+                "dead_letter_evicted", stream=self._stream.name,
+                msg_id=victim.msg_id, reason=victim.reason,
+            )
+
     def _dead_letter(self, msg_id: str, instance: str, port: str, *, reason: str) -> None:
         stream = self._stream
         attempts = self._attempts.pop(msg_id, 0)
+        frame = self._frame_of(msg_id) if self.ledger.enabled else None
         message = stream.pool.release(msg_id) if msg_id in stream.pool else None
         self.dead_letters.add(DeadLetter(
             msg_id=msg_id, message=message, instance=instance,
             port=port, attempts=attempts, reason=reason,
         ))
+        if self.ledger.enabled:
+            # settle any pending retry schedule first, then park durably
+            self.ledger.retry_settled(self.scope, msg_id)
+            self.ledger.dead_letter(
+                self.scope, msg_id, stream=stream.name, reason=reason, frame=frame,
+            )
         stream.stats.inc("dead_letters")  # fault handlers run on worker threads
         tm = stream.tm
         if tm.enabled:
@@ -343,6 +414,8 @@ class Supervisor:
                 posted = False
             if posted:
                 stream.stats.inc("retries")
+                if self.ledger.enabled:
+                    self.ledger.retry_settled(self.scope, msg_id)
                 if self._outcome is not None:
                     self._outcome("retried")
                 if stream.tm.enabled:

@@ -54,6 +54,23 @@ class GatewayConfig:
     #: the queue waiter; this bounds staleness if a rewire loses the waiter
     egress_wake_timeout: float = 0.05
 
+    #: durable state plane: ledger backend (None disables durability;
+    #: "memory" / "file" / "sqlite" per :func:`repro.store.base.open_store`)
+    store_backend: str | None = None
+    #: ledger path for the durable backends (file / sqlite)
+    store_path: str | None = None
+    #: store fsync policy ("always" / "batch" / "never")
+    store_fsync: str = "batch"
+    #: attach a recovery Supervisor (retry + dead-letter plane) to every
+    #: deployed session; off by default — supervision claims the stream's
+    #: fault hooks, which standalone embedders may want for themselves
+    supervise: bool = False
+    #: per-session dead-letter pool bound (oldest-first eviction);
+    #: None leaves the pool unbounded
+    dead_letter_capacity: int | None = 1024
+    #: drain(): how long to wait for sessions to quiesce before closing
+    drain_timeout: float = 5.0
+
     def __post_init__(self) -> None:
         if self.session_ingress_limit < 1:
             raise ValueError(
@@ -71,3 +88,17 @@ class GatewayConfig:
             raise ValueError(
                 f"egress_wake_timeout must be > 0, got {self.egress_wake_timeout}"
             )
+        if self.store_backend not in (None, "memory", "file", "sqlite"):
+            raise ValueError(f"unknown store backend {self.store_backend!r}")
+        if self.store_backend in ("file", "sqlite") and not self.store_path:
+            raise ValueError(
+                f"store backend {self.store_backend!r} requires store_path"
+            )
+        if self.store_fsync not in ("always", "batch", "never"):
+            raise ValueError(f"unknown store fsync policy {self.store_fsync!r}")
+        if self.dead_letter_capacity is not None and self.dead_letter_capacity < 1:
+            raise ValueError(
+                f"dead_letter_capacity must be >= 1, got {self.dead_letter_capacity}"
+            )
+        if self.drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {self.drain_timeout}")

@@ -46,6 +46,25 @@ Request: ``{"op": <verb>, ...}``.  Response: ``{"ok": true, ...}`` or
     The registry rendered in Prometheus text format.
 ``undeploy``
     ``{"session": key}`` — close a session and release its stream.
+    Writes the ledger's ``undeployed`` record: crash recovery will not
+    restore a deliberately undeployed session.
+``dead_letters``
+    ``{"session": key}`` — list the session supervisor's parked dead
+    letters (id, failing instance/port, attempts, reason) plus the
+    pool's capacity bound and eviction count.
+``requeue``
+    ``{"session": key, "msg_id": id}`` — take one parked dead letter
+    and re-inject it through the ordinary admission path (gateway
+    headers stripped), without restarting anything.  A session at its
+    ingress bound re-parks the entry and reports the refusal.
+``recovery``
+    ``{"reconcile"?: true}`` — what crash recovery did at boot (per
+    session: restored?, frozen in-flight, re-parked, re-injected); with
+    ``reconcile`` also folds the ledger and balances the cross-crash
+    conservation equation against live residency.
+``drain``
+    Graceful shutdown: stop intake, wait for sessions to quiesce,
+    flush and close the ledger.  Responds first, then drains.
 
 Mutating verbs run in the default executor: deployment takes runtime
 locks and joins threads, which must not stall the event loop that is
@@ -288,6 +307,112 @@ class ControlPlane:
         if not removed:
             return {"ok": False, "error": f"no session {key!r}"}
         return {"ok": True, "session": key}
+
+    async def _op_dead_letters(self, request: dict) -> dict:
+        session = self._require_session(request)
+        if isinstance(session, dict):
+            return session
+        supervisor = session.supervisor
+        if supervisor is None:
+            return {
+                "ok": True,
+                "session": session.key,
+                "supervised": False,
+                "dead_letters": [],
+            }
+        pool = supervisor.dead_letters
+        return {
+            "ok": True,
+            "session": session.key,
+            "supervised": True,
+            "capacity": pool.capacity,
+            "evicted": pool.evicted,
+            "dead_letters": [
+                {
+                    "msg_id": entry.msg_id,
+                    "instance": entry.instance,
+                    "port": entry.port,
+                    "attempts": entry.attempts,
+                    "reason": entry.reason,
+                    "has_message": entry.message is not None,
+                }
+                for entry in pool
+            ],
+        }
+
+    async def _op_requeue(self, request: dict) -> dict:
+        from repro.gateway.session import (
+            ADMITTED,
+            CONNECTION_HEADER,
+            FULL,
+            INGRESS_HEADER,
+            RETRY,
+        )
+
+        session = self._require_session(request)
+        if isinstance(session, dict):
+            return session
+        msg_id = request["msg_id"]
+        supervisor = session.supervisor
+        if supervisor is None:
+            return {"ok": False, "error": f"session {session.key!r} is not supervised"}
+        if msg_id not in supervisor.dead_letters:
+            return {"ok": False, "error": f"no dead letter with id {msg_id!r}"}
+        entry = supervisor.dead_letters.take(msg_id)
+        message = entry.message
+        if message is None:
+            supervisor.dead_letters.add(entry)  # keep it inspectable
+            return {
+                "ok": False,
+                "error": f"dead letter {msg_id!r} carries no message payload",
+            }
+        message.headers.remove(CONNECTION_HEADER)
+        message.headers.remove(INGRESS_HEADER)
+        # admission must happen on this (the event-loop) thread; the
+        # non-blocking offer path makes that safe without an executor
+        ticket = session.offer(message)
+        attempts = 0
+        while ticket.status == RETRY and attempts < 64:
+            await asyncio.sleep(0.002)
+            ticket = session.retry(ticket, message)
+            attempts += 1
+        if ticket.status in (FULL, RETRY):
+            supervisor.dead_letters.add(entry)  # no room: park it again
+            return {
+                "ok": False,
+                "error": f"session {session.key!r} refused the requeue "
+                f"({ticket.status}); the entry is parked again",
+            }
+        # ADMITTED or SHED: the copy re-entered the stream (a shed is
+        # re-admitted then dropped with accounting) — settle the park
+        if session.ledger.enabled:
+            session.ledger.requeue(session.key, msg_id)
+        return {
+            "ok": True,
+            "session": session.key,
+            "msg_id": msg_id,
+            "status": ticket.status,
+        }
+
+    async def _op_recovery(self, request: dict) -> dict:
+        gateway = self._gateway
+        report = gateway.recovery.last_report
+        response: dict = {
+            "ok": True,
+            "enabled": gateway.ledger.enabled,
+            "recovery": report.describe() if report is not None else None,
+        }
+        if request.get("reconcile"):
+            loop = asyncio.get_running_loop()
+            reconciled = await loop.run_in_executor(None, gateway.recovery.reconcile)
+            response["reconcile"] = reconciled.describe()
+        return response
+
+    async def _op_drain(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        # respond first: the drain closes this very listener
+        loop.call_later(0.05, lambda: loop.create_task(self._gateway.drain()))
+        return {"ok": True, "draining": True}
 
     def _require_session(self, request: dict):
         key = request["session"]

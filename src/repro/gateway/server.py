@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import signal
 import threading
 from dataclasses import fields, replace
 from typing import TYPE_CHECKING
@@ -44,6 +45,9 @@ from repro.gateway.faults import LinkOutageGate
 from repro.gateway.session import GatewaySession
 from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
 from repro.runtime.server import MobiGateServer
+from repro.store.base import open_store
+from repro.store.ledger import NULL_LEDGER, Ledger
+from repro.store.recovery import RecoveryManager
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
@@ -74,6 +78,18 @@ class GatewayServer:
         self.data = DataPlane(self, self.config)
         self.control = ControlPlane(self, self.config)
         self.fault_gate = LinkOutageGate(fault_plan, telemetry=self.telemetry)
+        #: durable state plane (NULL_LEDGER when config names no backend)
+        if self.config.store_backend is not None:
+            store = open_store(
+                self.config.store_backend,
+                self.config.store_path,
+                fsync=self.config.store_fsync,
+                telemetry=self.telemetry,
+            )
+            self.ledger = Ledger(store)
+        else:
+            self.ledger = NULL_LEDGER
+        self.recovery = RecoveryManager(self, self.ledger)
         self._sessions_gauge = (
             self.telemetry.gateway_sessions_gauge() if self.telemetry.enabled else None
         )
@@ -85,10 +101,19 @@ class GatewayServer:
     # -- lifecycle (event-loop thread) --------------------------------------------------
 
     async def start(self) -> None:
-        """Bind both planes on the running loop."""
+        """Bind both planes on the running loop.
+
+        With a durable ledger, crash recovery runs first — before the
+        data plane listens — so restored sessions exist (and their
+        pending retries are re-injected) before any new frame can race
+        them.  Recovery takes the deploy lock and joins threads, so it
+        runs in the executor.
+        """
         loop = asyncio.get_running_loop()
         self._loop = loop
         self.fault_gate.start(loop)
+        if self.ledger.enabled:
+            await loop.run_in_executor(None, self.recovery.recover)
         await self.data.start()
         await self.control.start()
         self._started_at = loop.time()
@@ -98,11 +123,42 @@ class GatewayServer:
             self.data.attach_session(session, loop)
 
     async def stop(self) -> None:
-        """Close both planes, then every session and its stream."""
+        """Close both planes, then every session and its stream.
+
+        A stop is a *clean* exit, not a decommissioning: sessions are
+        closed without ``undeployed`` ledger records, so a later restart
+        against the same store recovers them.
+        """
         await self.control.stop()
         await self.data.stop()
         for key in list(self.sessions):
-            self.undeploy(key)
+            self.undeploy(key, record=False)
+        self.ledger.close()
+
+    async def drain(self) -> dict:
+        """Graceful shutdown: quiesce, flush the ledger, then stop.
+
+        Stops intake first (the data plane closes, so nothing new is
+        admitted), waits up to ``config.drain_timeout`` for every
+        session's pool to empty, mirrors final counters, and closes
+        everything — the SIGTERM path for a durable gateway.  Returns
+        the per-session residency left when the wait ended (all zero on
+        a clean drain).
+        """
+        await self.data.stop()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while loop.time() < deadline:
+            if all(s.resident == 0 for s in self.sessions.values()):
+                break
+            await asyncio.sleep(0.02)
+        leftover = {key: s.resident for key, s in self.sessions.items()}
+        await self.control.stop()
+        for key in list(self.sessions):
+            self.undeploy(key, record=False)
+        self.ledger.flush()
+        self.ledger.close()
+        return leftover
 
     def uptime(self) -> float:
         """Seconds since :meth:`start` bound the planes (0 before that)."""
@@ -162,24 +218,48 @@ class GatewayServer:
                     egress_wake_timeout=self.config.egress_wake_timeout,
                     inline=(scheduler == "inline"),
                     telemetry=self.telemetry,
+                    ledger=self.ledger,
                 )
+                if self.config.supervise:
+                    from repro.faults.supervisor import Supervisor
+
+                    supervisor = Supervisor(
+                        runtime_stream,
+                        events=self.mobigate.events,
+                        telemetry=self.telemetry,
+                        ledger=self.ledger,
+                        scope=key,
+                        dead_letter_capacity=self.config.dead_letter_capacity,
+                    )
+                    supervisor.attach()
+                    session.attach_supervisor(supervisor)
             except Exception:
                 self.mobigate.undeploy(runtime_stream.name)
                 raise
             self.sessions[key] = session
+        if self.ledger.enabled:
+            self.ledger.deployed(key, mcl=mcl, scheduler=scheduler)
         if self._sessions_gauge is not None:
             self._sessions_gauge.inc()
         if self._loop is not None:
             self.data.attach_session(session, self._loop)
         return session
 
-    def undeploy(self, key: str) -> bool:
-        """Close one session and release its stream; False if unknown."""
+    def undeploy(self, key: str, *, record: bool = True) -> bool:
+        """Close one session and release its stream; False if unknown.
+
+        ``record=True`` (the operator/default path) writes the ledger's
+        ``undeployed`` record, so crash recovery will *not* restore the
+        session.  Internal shutdown paths (stop, drain) pass False —
+        a stopped session is still recoverable.
+        """
         with self._deploy_lock:
             session = self.sessions.pop(key, None)
         if session is None:
             return False
         session.close()
+        if record and self.ledger.enabled:
+            self.ledger.undeployed(key)
         try:
             self.mobigate.undeploy(session.stream.name)
         except MobiGateError:  # already released (e.g. double shutdown)
@@ -287,7 +367,11 @@ class GatewayServer:
         """Start the gateway on a fresh event loop in a daemon thread.
 
         Blocks until both planes are bound (or raises the boot error), and
-        returns a :class:`GatewayHandle` for synchronous callers.
+        returns a :class:`GatewayHandle` for synchronous callers.  When
+        called from the main thread, ``SIGTERM`` is wired to
+        :meth:`drain` — a terminated gateway process quiesces and
+        flushes its ledger instead of abandoning in-flight state; the
+        previous handler is restored by :meth:`GatewayHandle.stop`.
         """
         loop = asyncio.new_event_loop()
         started = threading.Event()
@@ -313,7 +397,21 @@ class GatewayServer:
             raise MobiGateError("gateway failed to start within the timeout")
         if boot_error:
             raise MobiGateError(f"gateway failed to start: {boot_error[0]}")
-        return GatewayHandle(self, loop, thread)
+        previous_term = None
+        if threading.current_thread() is threading.main_thread():
+
+            def _on_term(signum, frame) -> None:
+                def _drain_then_stop() -> None:
+                    task = loop.create_task(self.drain())
+                    task.add_done_callback(lambda _t: loop.stop())
+
+                loop.call_soon_threadsafe(_drain_then_stop)
+
+            try:
+                previous_term = signal.signal(signal.SIGTERM, _on_term)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                previous_term = None
+        return GatewayHandle(self, loop, thread, previous_term=previous_term)
 
 
 class GatewayHandle:
@@ -324,11 +422,14 @@ class GatewayHandle:
         gateway: GatewayServer,
         loop: asyncio.AbstractEventLoop,
         thread: threading.Thread,
+        *,
+        previous_term=None,
     ):
         self.gateway = gateway
         self._loop = loop
         self._thread = thread
         self._stopped = False
+        self._previous_term = previous_term
 
     @property
     def data_address(self) -> tuple[str, int]:
@@ -347,6 +448,15 @@ class GatewayHandle:
         if self._stopped:
             return
         self._stopped = True
+        if (
+            self._previous_term is not None
+            and threading.current_thread() is threading.main_thread()
+        ):
+            try:
+                signal.signal(signal.SIGTERM, self._previous_term)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+            self._previous_term = None
         future = asyncio.run_coroutine_threadsafe(self.gateway.stop(), self._loop)
         try:
             future.result(timeout)

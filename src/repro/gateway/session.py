@@ -35,6 +35,7 @@ from repro.errors import QueueClosedError
 from repro.mime.message import MimeMessage
 from repro.mime.wire import serialize_message
 from repro.runtime.stream import RuntimeStream
+from repro.store.ledger import NULL_LEDGER
 
 #: gateway-internal header naming the data-plane connection a message
 #: arrived on; stamped at admission, stripped before the echo leaves
@@ -106,12 +107,22 @@ class GatewaySession:
         egress_wake_timeout: float = 0.05,
         inline: bool = False,
         telemetry=None,
+        ledger=NULL_LEDGER,
     ):
         self.key = key
         self.stream = stream
         self.scheduler = scheduler
         self.ingress_limit = ingress_limit
         self.stats = SessionStats()
+        #: durable state plane: counter deltas mirror here per pump batch
+        self.ledger = ledger
+        #: a recovery Supervisor, when the gateway runs with supervision
+        self.supervisor = None
+        self._mirror_lock = threading.Lock()
+        self._mirrored = {
+            "admitted": 0, "delivered": 0, "absorbed": 0,
+            "dead_letters": 0, "dropped": 0,
+        }
         #: end-to-end latency histogram (None disables the ingress stamp)
         self._e2e_hist = (
             telemetry.gateway_e2e_histogram() if telemetry is not None else None
@@ -210,6 +221,50 @@ class GatewaySession:
                 f"stream {stream.name} exposes no ingress port"
             ) from None
 
+    # -- the durable mirror -----------------------------------------------------------
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Adopt a recovery supervisor; its retries pump with the egress pump."""
+        self.supervisor = supervisor
+
+    def sync_ledger(self) -> None:
+        """Mirror counter *deltas* since the previous sync into the ledger.
+
+        Read order matters: the terminal counters (delivered, absorbed,
+        dead letters, drops) are read **before** the admission counter.
+        A message that reaches a terminal between the two reads has its
+        admission counted but not its fate — it folds as in-flight and
+        corrects on the next sync — whereas the opposite order could
+        fold a fate whose admission was missed, driving the running
+        in-flight tally negative.  Callable from any thread.
+        """
+        if not self.ledger.enabled:
+            return
+        stats = self.stream.stats
+        with self._mirror_lock:
+            delivered = stats.messages_out
+            absorbed = stats.absorbed
+            dead_letters = stats.dead_letters
+            dropped = (
+                stats.queue_drops + stats.open_circuit_drops
+                + stats.failure_drops + stats.end_drops
+            )
+            admitted = self.stream.pool.admitted
+            m = self._mirrored
+            self.ledger.counters(
+                self.key,
+                admitted=admitted - m["admitted"],
+                delivered=delivered - m["delivered"],
+                absorbed=absorbed - m["absorbed"],
+                dead_letters=dead_letters - m["dead_letters"],
+                dropped=dropped - m["dropped"],
+            )
+            m["admitted"] = admitted
+            m["delivered"] = delivered
+            m["absorbed"] = absorbed
+            m["dead_letters"] = dead_letters
+            m["dropped"] = dropped
+
     # -- egress pump (own thread) ------------------------------------------------------
 
     def _pump_loop(self) -> None:
@@ -221,9 +276,18 @@ class GatewaySession:
             try:
                 if self._inline:
                     self.scheduler.pump()
+                supervisor = self.supervisor
+                if supervisor is not None:
+                    supervisor.pump_retries()
                 delivered = self.stream.collect()
             except QueueClosedError:
                 return  # the stream ended under us: nothing left to deliver
+            if delivered and self.ledger.enabled:
+                # ack durability: the delivered counts hit the ledger —
+                # and the disk, per the fsync policy — *before* any echo
+                # frame leaves, so an acked message is never unaccounted
+                self.sync_ledger()
+                self.ledger.flush()
             # one pickup stamp per batch: each message's delivery component
             # covers its wait behind earlier messages of the same batch
             picked = time.perf_counter()
@@ -293,7 +357,13 @@ class GatewaySession:
         }
 
     def close(self) -> None:
-        """Stop the scheduler and pump, end the stream (idempotent)."""
+        """Stop the scheduler and pump, end the stream (idempotent).
+
+        A close is *not* an undeploy in the ledger's eyes: the final
+        counter sync lands, but no ``undeployed`` record — a session
+        that merely stopped (or whose process died right after) is
+        still recoverable.
+        """
         if self._closed:
             return
         self._closed = True
@@ -303,3 +373,6 @@ class GatewaySession:
         self._pump_wake.set()
         self._pump.join(timeout=2.0)
         self.stream.end()
+        if self.ledger.enabled:
+            self.sync_ledger()  # capture the end_drops the stream just took
+            self.ledger.flush()

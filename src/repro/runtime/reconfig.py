@@ -918,11 +918,19 @@ class LastKnownGoodStore:
     At most one record is held: adopting a new commit finalises the
     previous one (its limbo nodes are ended and released — the prior
     epoch is now two transitions old and unreachable).
+
+    The undo log itself is live object state and cannot be persisted,
+    but its *transitions* can: with a ``ledger``
+    (:class:`repro.store.ledger.Ledger`) every adopt / retire / take is
+    recorded under ``scope``, so after a crash the recovery plane knows
+    which epoch was last known good for the session.
     """
 
-    def __init__(self, stream: RuntimeStream):
+    def __init__(self, stream: RuntimeStream, *, ledger=None, scope: str | None = None):
         self._stream = stream
         self.record: CommitRecord | None = None
+        self._ledger = ledger
+        self._scope = scope if scope is not None else stream.name
 
     def adopt(self, txn: ReconfigTransaction) -> CommitRecord:
         """Retain a freshly committed transaction's undo log."""
@@ -933,6 +941,8 @@ class LastKnownGoodStore:
             limbo=txn.take_limbo(),
             committed_at=self._stream._clock.now(),
         )
+        if self._ledger is not None and self._ledger.enabled:
+            self._ledger.lkg(self._scope, "adopted", epoch=txn.epoch)
         return self.record
 
     def finalize(self) -> None:
@@ -942,10 +952,14 @@ class LastKnownGoodStore:
             return
         for node in record.limbo:
             _finalize_node(self._stream, node)
+        if self._ledger is not None and self._ledger.enabled:
+            self._ledger.lkg(self._scope, "retired", epoch=record.epoch)
 
     def take(self) -> CommitRecord | None:
         """Remove and return the record *without* finalising (rollback path)."""
         record, self.record = self.record, None
+        if record is not None and self._ledger is not None and self._ledger.enabled:
+            self._ledger.lkg(self._scope, "taken", epoch=record.epoch)
         return record
 
 
@@ -970,6 +984,8 @@ class ProbationMonitor:
         window: float = 5.0,
         fault_threshold: int = 3,
         events=None,
+        ledger=None,
+        scope: str | None = None,
     ):
         if window <= 0:
             raise ReconfigurationError(f"probation window must be > 0, got {window}")
@@ -981,7 +997,7 @@ class ProbationMonitor:
         self.window = window
         self.fault_threshold = fault_threshold
         self._events = events
-        self.store = LastKnownGoodStore(stream)
+        self.store = LastKnownGoodStore(stream, ledger=ledger, scope=scope)
         self._faults = 0
         self._armed = False
         self._supervisor = None

@@ -646,6 +646,53 @@ class Telemetry:
             "Latency from egress pump handoff to the data-plane socket write",
         ).unlabelled()  # type: ignore[return-value]
 
+    # -- durable state plane (repro.store) ------------------------------------------
+
+    def store_append_counter(self, backend: str) -> Counter:
+        """Ledger records appended to a state store, by backend."""
+        family = self.registry.counter(
+            "mobigate_store_appends_total",
+            "Ledger records appended to the durable state store",
+            labels=("backend",),
+        )
+        return family.labels(backend)  # type: ignore[return-value]
+
+    def store_fsync_counter(self, backend: str) -> Counter:
+        """Durability syncs (fsync / commit) a state store performed."""
+        family = self.registry.counter(
+            "mobigate_store_fsyncs_total",
+            "fsync/commit barriers performed by the durable state store",
+            labels=("backend",),
+        )
+        return family.labels(backend)  # type: ignore[return-value]
+
+    def store_replay_counter(self, backend: str) -> Counter:
+        """Ledger records replayed out of a state store during recovery."""
+        family = self.registry.counter(
+            "mobigate_store_replays_total",
+            "Ledger records replayed from the durable state store",
+            labels=("backend",),
+        )
+        return family.labels(backend)  # type: ignore[return-value]
+
+    def recovery_counter(self, outcome: str) -> Counter:
+        """Crash-recovery session outcomes (``restored`` / ``skipped``)."""
+        family = self.registry.counter(
+            "mobigate_store_recoveries_total",
+            "Sessions processed by crash recovery, by outcome",
+            labels=("outcome",),
+        )
+        return family.labels(outcome)  # type: ignore[return-value]
+
+    def dead_letters_evicted_counter(self, stream: str) -> Counter:
+        """Dead letters evicted oldest-first by the pool's capacity bound."""
+        family = self.registry.counter(
+            "mobigate_dead_letters_evicted_total",
+            "Dead letters evicted by the pool capacity bound",
+            labels=("stream",),
+        )
+        return family.labels(stream)  # type: ignore[return-value]
+
     # -- client side ---------------------------------------------------------------
 
     def client_counters(self) -> tuple[Counter, Counter]:
@@ -815,6 +862,26 @@ class NullTelemetry(Telemetry):
         return None
 
     def gateway_egress_write_histogram(self) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def store_append_counter(self, backend: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def store_fsync_counter(self, backend: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def store_replay_counter(self, backend: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def recovery_counter(self, outcome: str) -> None:  # type: ignore[override]
+        """No-op."""
+        return None
+
+    def dead_letters_evicted_counter(self, stream: str) -> None:  # type: ignore[override]
         """No-op."""
         return None
 
