@@ -12,10 +12,26 @@ import dataclasses
 import json
 import math
 import os
+import platform as _platform
+import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.util.stats import RunningStats
+
+
+def host_metadata() -> dict:
+    """The machine fingerprint stamped into every ``BENCH_*.json``.
+
+    Absolute numbers only mean something against the machine that
+    produced them; :func:`flag_regressions` refuses to compare runs
+    whose fingerprints differ instead of raising false alarms.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": _platform.platform(),
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+    }
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -134,6 +150,23 @@ def flag_regressions(
     current = jsonable(payload)
     if not isinstance(current, dict):
         return []
+    # different machine → numbers aren't comparable: refuse rather than
+    # raise false alarms.  Baselines predating the fingerprint (no
+    # "host" key) are compared as before.
+    base_host = baseline.get("host")
+    if isinstance(base_host, dict):
+        here = host_metadata()
+        mismatched = sorted(
+            field
+            for field in ("cpu_count", "platform", "python")
+            if base_host.get(field) is not None and base_host[field] != here[field]
+        )
+        if mismatched:
+            return [
+                f"[bench] SKIP {name}: baseline recorded on a different host "
+                f"({', '.join(f'{f}: {base_host[f]!r} != {here[f]!r}' for f in mismatched)})"
+                " — re-baseline on this machine to compare"
+            ]
     base_rows = {
         row.get(key): row
         for row in baseline.get("rows", ())
@@ -173,11 +206,16 @@ def write_bench_json(name: str, payload: object, directory: Path | str | None = 
     """Write ``BENCH_<name>.json`` and return its path.
 
     ``payload`` goes through :func:`jsonable` first, so result dataclasses
-    can be passed as-is.
+    can be passed as-is.  Dict-shaped payloads are stamped with the
+    producing machine's :func:`host_metadata` under ``"host"`` so later
+    runs can tell whether the baseline is comparable.
     """
     target = Path(directory) if directory is not None else bench_output_dir()
     target.mkdir(parents=True, exist_ok=True)
     path = target / f"BENCH_{name}.json"
-    text = json.dumps(jsonable(payload), indent=2, sort_keys=True, allow_nan=False)
+    body = jsonable(payload)
+    if isinstance(body, dict):
+        body.setdefault("host", host_metadata())
+    text = json.dumps(body, indent=2, sort_keys=True, allow_nan=False)
     path.write_text(text + "\n", encoding="utf-8")
     return path

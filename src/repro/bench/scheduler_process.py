@@ -1,0 +1,192 @@
+"""Process-plane bench: does sharding across processes escape the GIL?
+
+Drives the same CPU-bearing hasher chain as
+:mod:`repro.bench.scheduler_parallel` through three engines:
+
+* ``inline`` — the deterministic single-threaded pump (the floor);
+* ``threaded`` — the event-driven :class:`ThreadedScheduler`, whose
+  parallelism is bounded by the GIL except where a streamlet releases it;
+* ``process`` — the sharded :class:`ProcessScheduler`: the chain is cut
+  at asynchronous channel boundaries into one worker *process* per
+  shard, messages crossing shards through shared-memory rings.
+
+The drive is closed-loop with a window wide enough (≥16) to keep every
+shard busy at once — per-message latency includes a serialize/IPC hop,
+so the process plane only wins when the pipeline actually overlaps.
+
+On a single-core host the >2x acceptance figure is advisory (there is
+nothing to overlap on; the bench records ``cpu_count`` so the committed
+baseline says which case it measured), but conservation, delivery, and
+per-shard accounting are asserted unconditionally — a scheduler that
+loses messages is wrong on any core count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.scheduler_parallel import (
+    _closed_loop_inline,
+    _closed_loop_threaded,
+    _deploy,
+)
+from repro.faults.invariant import check_conservation
+from repro.runtime.process_scheduler import ProcessScheduler
+from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
+
+
+@dataclass
+class ProcessEngineRow:
+    """One engine's throughput + integrity figures."""
+
+    engine: str
+    wall_seconds: float
+    throughput_msgs_per_sec: float
+    delivered: int
+    conserved: bool
+    #: how the topology was partitioned (process engine only)
+    shard_plan: list[list[str]] | None = None
+    #: per-member execution accounting mirrored back from the workers
+    #: (process engine only): alive/pid/shard/busy_seconds/steps/...
+    workers: dict | None = None
+    #: cross-boundary dispatches the parent issued (process engine only)
+    dispatches: int | None = None
+
+
+@dataclass
+class SchedulerProcessResult:
+    """Inline vs threaded vs sharded-process, same host, same chain."""
+
+    stages: int
+    n_messages: int
+    payload_bytes: int
+    hash_rounds: int
+    window: int
+    shards: int
+    cpu_count: int
+    rows: list[ProcessEngineRow] = field(default_factory=list)
+    speedup_vs_inline: float = 0.0
+    speedup_vs_threaded: float = 0.0
+
+    def print(self) -> None:
+        """Print the engine comparison table."""
+        print("\n== Process plane: CPU chain sharded across worker processes ==")
+        print(
+            f"stages={self.stages}, messages={self.n_messages}, "
+            f"payload={self.payload_bytes}B, hash_rounds={self.hash_rounds}, "
+            f"window={self.window} (closed loop), shards={self.shards}, "
+            f"cpu_count={self.cpu_count}"
+        )
+        print(f"{'engine':>10} {'wall_s':>8} {'msg/s':>9} {'deliv':>6} "
+              f"{'conserved':>10} {'shards':>24}")
+        for row in self.rows:
+            plan = (
+                " | ".join("+".join(s) for s in row.shard_plan)
+                if row.shard_plan else "-"
+            )
+            print(
+                f"{row.engine:>10} {row.wall_seconds:8.3f} "
+                f"{row.throughput_msgs_per_sec:9.1f} {row.delivered:6d} "
+                f"{'yes' if row.conserved else 'NO':>10} {plan:>24}"
+            )
+        advisory = " (advisory: single core)" if self.cpu_count < 2 else ""
+        print(
+            f"process speedup: {self.speedup_vs_inline:.2f}x vs inline, "
+            f"{self.speedup_vs_threaded:.2f}x vs threaded{advisory}"
+        )
+
+
+def _run_engine(
+    engine: str, stages: int, n_messages: int, payload: bytes,
+    hash_rounds: int, window: int, shards: int,
+) -> ProcessEngineRow:
+    stream = _deploy(stages, hash_rounds)
+    plan = workers = dispatches = None
+    try:
+        if engine == "inline":
+            scheduler = InlineScheduler(stream)
+            wall, delivered = _closed_loop_inline(
+                stream, scheduler, n_messages, payload, window
+            )
+        elif engine == "threaded":
+            scheduler = ThreadedScheduler(stream)
+            scheduler.start()
+            try:
+                wall, delivered = _closed_loop_threaded(
+                    stream, n_messages, payload, window
+                )
+            finally:
+                scheduler.stop()
+        else:
+            scheduler = ProcessScheduler(stream, shards=shards, window=window)
+            scheduler.start()
+            try:
+                wall, delivered = _closed_loop_threaded(
+                    stream, n_messages, payload, window
+                )
+                scheduler.drain(timeout=10.0)
+                plan = [list(members) for members in scheduler.shard_plan.shards]
+                workers = scheduler.worker_states()
+                dispatches = scheduler.dispatches
+            finally:
+                scheduler.stop()
+        report = check_conservation(stream)
+        return ProcessEngineRow(
+            engine=engine,
+            wall_seconds=wall,
+            throughput_msgs_per_sec=n_messages / wall if wall > 0 else float("inf"),
+            delivered=delivered,
+            conserved=report.balanced and delivered == n_messages,
+            shard_plan=plan,
+            workers=workers,
+            dispatches=dispatches,
+        )
+    finally:
+        stream.end()
+
+
+def run_scheduler_process(
+    *,
+    stages: int = 4,
+    n_messages: int = 400,
+    payload_bytes: int = 8 * 1024,
+    hash_rounds: int = 3,
+    window: int = 16,
+    shards: int | None = None,
+) -> SchedulerProcessResult:
+    """Measure inline vs threaded vs sharded-process on an identical chain."""
+    if window < 16:
+        raise ValueError("closed-loop window must be >= 16 to overlap shards")
+    cpu_count = os.cpu_count() or 1
+    if shards is None:
+        # one worker per core when the host has them; at least two so the
+        # cross-process path (rings, custody, batching) is always exercised
+        shards = min(stages, max(2, cpu_count))
+    payload = b"\xa5" * payload_bytes
+    rows = [
+        _run_engine(
+            engine, stages, n_messages, payload, hash_rounds, window, shards
+        )
+        for engine in ("inline", "threaded", "process")
+    ]
+    by_name = {row.engine: row for row in rows}
+    bad = [row.engine for row in rows if not row.conserved]
+    if bad:
+        raise AssertionError(
+            f"conservation violated or deliveries lost under: {', '.join(bad)}"
+        )
+    new = by_name["process"].throughput_msgs_per_sec
+    return SchedulerProcessResult(
+        stages=stages,
+        n_messages=n_messages,
+        payload_bytes=payload_bytes,
+        hash_rounds=hash_rounds,
+        window=window,
+        shards=shards,
+        cpu_count=cpu_count,
+        rows=rows,
+        speedup_vs_inline=new / by_name["inline"].throughput_msgs_per_sec,
+        speedup_vs_threaded=new / by_name["threaded"].throughput_msgs_per_sec,
+    )

@@ -43,6 +43,7 @@ from repro.gateway.control_plane import ControlPlane, control_request
 from repro.gateway.data_plane import DataPlane
 from repro.gateway.faults import LinkOutageGate
 from repro.gateway.session import GatewaySession
+from repro.runtime.process_scheduler import ProcessScheduler
 from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
 from repro.runtime.server import MobiGateServer
 from repro.store.base import open_store
@@ -183,7 +184,7 @@ class GatewayServer:
         ``key`` (``session_key`` or the runtime's generated session id) is
         what clients must carry in ``Content-Session``.
         """
-        if scheduler not in ("threaded", "inline"):
+        if scheduler not in ("threaded", "inline", "process"):
             raise MobiGateError(f"unknown scheduler {scheduler!r}")
         with self._deploy_lock:
             if session_key is not None and session_key in self.sessions:
@@ -207,6 +208,9 @@ class GatewayServer:
                     raise MobiGateError(f"cannot key session as {key!r}")
                 if scheduler == "inline":
                     engine = InlineScheduler(runtime_stream)
+                elif scheduler == "process":
+                    engine = ProcessScheduler(runtime_stream)
+                    engine.start()
                 else:
                     engine = ThreadedScheduler(runtime_stream)
                     engine.start()

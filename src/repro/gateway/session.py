@@ -344,6 +344,14 @@ class GatewaySession:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def scheduler_kind(self) -> str:
+        """The engine flavour driving this session's stream."""
+        if self._inline:
+            return "inline"
+        name = type(self.scheduler).__name__
+        return "process" if name == "ProcessScheduler" else "threaded"
+
     def describe(self) -> dict:
         """A JSON-ready summary for the control plane."""
         return {
@@ -352,7 +360,7 @@ class GatewaySession:
             "epoch": self.stream.epoch,
             "resident": self.resident,
             "ingress_limit": self.ingress_limit,
-            "scheduler": "inline" if self._inline else "threaded",
+            "scheduler": self.scheduler_kind,
             **self.stats.snapshot(),
         }
 

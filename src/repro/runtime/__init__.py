@@ -34,6 +34,7 @@ from repro.runtime.reconfig import (
     TxnState,
 )
 from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
+from repro.runtime.process_scheduler import ProcessScheduler, ShardWorkerError
 from repro.runtime.coordination import CoordinationManager
 from repro.runtime.server import MobiGateServer
 
@@ -58,6 +59,8 @@ __all__ = [
     "RuntimeStream",
     "InlineScheduler",
     "ThreadedScheduler",
+    "ProcessScheduler",
+    "ShardWorkerError",
     "CoordinationManager",
     "MobiGateServer",
 ]

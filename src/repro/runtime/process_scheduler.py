@@ -1,0 +1,1248 @@
+"""Sharded multi-process execution plane — streamlets escape the GIL.
+
+:class:`ProcessScheduler` is the third engine next to the inline and
+threaded schedulers: it partitions a stream's topology into **shards**
+(:func:`repro.semantics.shards.plan_shards` cuts only at asynchronous
+channel boundaries — a synchronous rendezvous can never straddle a
+process) and runs each shard's streamlet chain inside a forked worker
+process, so CPU-bound streamlets on distinct shards execute truly in
+parallel.
+
+Topology custody stays entirely in the parent: the authoritative
+:class:`~repro.runtime.message_pool.MessagePool`, every
+:class:`~repro.runtime.channel.Channel`, the conservation ledger, fault
+handlers and supervisors all live here.  A shard child is nothing but a
+chain executor — it receives serialized messages over a shared-memory
+ring (:class:`~repro.runtime.shm.ShardSegment`), walks them through its
+member streamlets in memory, and ships every *terminal* (an emission
+leaving the shard, an absorption, an open circuit, a failure) back over
+the reverse ring where the parent applies the exact same accounting the
+in-process engines use.  Because the parent keeps pool custody of each
+dispatched id until its terminal arrives, killing a worker with SIGKILL
+loses nothing: the custody table is re-injected when the shard respawns
+and the conservation invariant balances throughout.
+
+Reconfiguration protocol (quiesce → version bump → resume):
+
+* the stream's write section retires the RCU snapshot and fires the
+  scheduler's *quiesce listener*; dispatchers stop issuing work the
+  moment ``stream._snapshot`` is ``None`` and the listener waits until
+  every already-dispatched message has returned — without ever touching
+  the topology lock, so it cannot deadlock against the writer;
+* streamlet states, params, and the new topology version/epoch are
+  broadcast **in-band** as control descriptors through the same ring
+  that carries dispatches, so a pause always reaches the child before
+  any message dispatched after it;
+* when the write changed the wiring, the wakeup listener rebuilds the
+  per-shard routing layout (and restarts children when the structure —
+  not just states — changed), then resumes dispatch against the
+  republished snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import signal
+import struct
+import threading
+import time
+from collections import deque
+from multiprocessing import Pipe, Process
+
+from repro.errors import MessagePoolError, QueueClosedError, RuntimeFault
+from repro.mime.wire import parse_message, serialize_message
+from repro.runtime.scheduler import _drop, _retry_stalled
+from repro.runtime.shm import Doorbell, ShardSegment, sweep_stale_segments
+from repro.runtime.stream import RuntimeStream
+from repro.runtime.streamlet import StreamletState
+from repro.semantics.fusion import is_synchronous
+from repro.semantics.shards import ShardPlan, plan_shards
+
+__all__ = ["ProcessScheduler", "ShardWorkerError"]
+
+# -- wire protocol over the shard rings ---------------------------------------
+# parent → child
+K_DISPATCH = 1  #: run a message: a = entry index, payload = wire frame
+K_STATE = 2     #: pickled control update: states / params / version / epoch
+# child → parent
+K_EXIT = 3      #: emission leaving the shard: a = channel index
+K_ABSORB = 4    #: a lineage terminated without emission: a = member index
+K_OC = 5        #: open-circuit drop inside the shard: a = member index
+K_FAIL = 6      #: process() raised: a = member index, b = input-port index
+K_DONE = 7      #: dispatch fully resolved — parent custody of the id ends
+
+F_ORIG = 1      #: descriptor settles the dispatched (original) pool id
+
+_LEN = struct.Struct("<I")
+
+#: truncation bound for failure text shipped across the ring
+_ERR_BYTES = 2048
+
+
+class ShardWorkerError(RuntimeFault):
+    """A streamlet raised inside a shard worker process.
+
+    The original traceback died with the child's stack frame; the
+    message carries the member name plus the remote ``type: text`` so
+    fault handlers and flight-recorder dumps stay attributable.
+    """
+
+
+# -- parent-side routing layout ------------------------------------------------
+
+
+class _Layout:
+    """One shard's routing view — and the blueprint its child is forked from.
+
+    Built under the topology lock by a *deterministic* walk (members in
+    plan order, ports sorted by name, channels indexed in first-encounter
+    order), so the channel indices the parent routes child returns by
+    always agree with the indices baked into the forked worker.  The
+    ``signature`` captures the structural part; when a rebuild produces a
+    different signature the child is stale and must be respawned.
+    """
+
+    __slots__ = (
+        "members", "streamlets", "ctxs", "entries", "entry_index",
+        "channels", "intra", "out_ports", "in_ports", "signature", "gen",
+    )
+
+
+def _build_layout(nodes: dict, names, gen: int) -> _Layout:
+    members = tuple(name for name in names if name in nodes)
+    member_set = set(members)
+    channels: list = []
+    seen: dict[int, int] = {}
+
+    def index_of(channel) -> int:
+        key = id(channel)
+        idx = seen.get(key)
+        if idx is None:
+            idx = len(channels)
+            seen[key] = idx
+            channels.append(channel)
+        return idx
+
+    streamlets: dict = {}
+    ctxs: dict = {}
+    entries: list = []
+    intra: dict[int, tuple[str, str]] = {}
+    out_ports: dict[str, dict[str, int]] = {}
+    in_ports: dict[str, tuple[str, ...]] = {}
+    signature: list = []
+    for name in members:
+        node = nodes[name]
+        streamlets[name] = node.streamlet
+        ctxs[name] = node.ctx
+        ins = sorted(node.inputs.items())
+        outs = sorted(node.outputs.items())
+        in_ports[name] = tuple(port for port, _channel in ins)
+        for port, channel in ins:
+            entries.append((channel, name, port, index_of(channel)))
+        ports: dict[str, int] = {}
+        for port, channel in outs:
+            idx = index_of(channel)
+            ports[port] = idx
+            sink = channel.sink
+            if sink is not None and sink.instance in member_set:
+                intra[idx] = (sink.instance, sink.port)
+        out_ports[name] = ports
+        signature.append((
+            name,
+            tuple((port, channel.name) for port, channel in ins),
+            tuple((port, channel.name, str(channel.sink)) for port, channel in outs),
+        ))
+
+    layout = _Layout()
+    layout.members = members
+    layout.streamlets = streamlets
+    layout.ctxs = ctxs
+    layout.entries = entries
+    layout.entry_index = {
+        (name, port): (position, channel)
+        for position, (channel, name, port, _idx) in enumerate(entries)
+    }
+    layout.channels = channels
+    layout.intra = intra
+    layout.out_ports = out_ports
+    layout.in_ports = in_ports
+    layout.signature = tuple(signature)
+    layout.gen = gen
+    return layout
+
+
+# -- the forked worker ---------------------------------------------------------
+
+
+class _ChildMember:
+    __slots__ = ("index", "streamlet", "ctx", "in_ports", "out_ports")
+
+    def __init__(self, index, streamlet, ctx, in_ports, out_ports):
+        self.index = index
+        self.streamlet = streamlet
+        self.ctx = ctx
+        self.in_ports = in_ports
+        self.out_ports = out_ports
+
+
+class _ChildSpec:
+    """Everything a shard worker needs, inherited across ``fork``."""
+
+    __slots__ = (
+        "index", "parent_pid", "entries", "members", "intra",
+        "tx", "rx", "bell_in", "bell_out", "conn", "parent_conn", "control",
+    )
+
+
+def _child_apply_control(spec: _ChildSpec, states: dict, control: dict) -> None:
+    states.clear()
+    states.update(control.get("states", {}))
+    for name, params in (control.get("params") or {}).items():
+        member = spec.members.get(name)
+        if member is not None:
+            member.ctx.params.clear()
+            member.ctx.params.update(params)
+
+
+def _child_post(spec: _ChildSpec, results: list) -> None:
+    """Ship a dispatch's result descriptors, waiting out a full ring.
+
+    The parent drains the return ring continuously, so a full ring or
+    arena is transient backpressure — except when the parent died, which
+    the periodic ``getppid`` probe turns into a clean worker exit.
+    """
+    rx = spec.rx
+    for msg_id, kind, flags, a, b, payload in results:
+        if payload and not rx.fits(len(payload)):
+            # can never fit the arena: degrade to an in-shard drop the
+            # parent can still account (the original id, when this
+            # lineage carried it, is released against open_circuit)
+            kind, payload = K_OC, b""
+        spins = 0
+        while not rx.send(msg_id, kind, flags, a, b, payload):
+            spec.bell_out.ring()
+            time.sleep(0.0005)
+            spins += 1
+            if spins % 200 == 0 and os.getppid() != spec.parent_pid:
+                raise SystemExit(1)
+    spec.bell_out.ring()
+
+
+def _child_run(spec: _ChildSpec, states: dict, stats: dict,
+               msg_id: str, entry_idx: int, frame: bytes, results: list) -> None:
+    """Walk one dispatched message through the shard's member chain.
+
+    Exactly one ``F_ORIG``-flagged terminal is emitted per dispatch (the
+    first emission at every hop inherits the original lineage), so the
+    parent can settle pool custody of the dispatched id unambiguously;
+    ``K_DONE`` always closes the dispatch.
+    """
+    try:
+        name, port, park_idx = spec.entries[entry_idx]
+        message = parse_message(frame)
+    except Exception:
+        results.append((msg_id, K_DONE, 0, 0, 0, b""))
+        return
+    worklist = [(name, port, message, True, park_idx)]
+    while worklist:
+        name, port, message, original, via = worklist.pop(0)
+        member = spec.members.get(name)
+        if member is None or not states.get(name, False):
+            # paused (or stale-spec) member: park the unit back on the
+            # channel it arrived by; the parent re-posts it there and
+            # re-dispatches after the next state broadcast
+            results.append((
+                msg_id, K_EXIT, F_ORIG if original else 0, via, 0,
+                serialize_message(message),
+            ))
+            continue
+        member.ctx.session = message.session
+        try:
+            emissions = member.streamlet.process(port, message, member.ctx)
+        except Exception as exc:
+            wire = serialize_message(message)
+            text = f"{type(exc).__name__}: {exc}".encode("utf-8", "replace")
+            try:
+                port_idx = member.in_ports.index(port)
+            except ValueError:
+                port_idx = 0
+            results.append((
+                msg_id, K_FAIL, F_ORIG if original else 0, member.index,
+                port_idx, _LEN.pack(len(wire)) + wire + text[:_ERR_BYTES],
+            ))
+            continue
+        member.streamlet.processed += 1
+        counts = stats["processed"]
+        counts[name] = counts.get(name, 0) + 1
+        stats["steps"] += 1
+        if not emissions:
+            if original:
+                results.append((msg_id, K_ABSORB, F_ORIG, member.index, 0, b""))
+            else:
+                results.append((
+                    msg_id, K_ABSORB, 0, member.index, 0,
+                    serialize_message(message),
+                ))
+            continue
+        peer = member.streamlet.peer_id
+        lineage = original
+        for out_port, out_msg in emissions:
+            mine = lineage
+            lineage = False  # only the first emission keeps the original id
+            if peer is not None:
+                out_msg.headers.push_peer(peer)
+            chan = member.out_ports.get(out_port)
+            if chan is None:
+                # open circuit: secondary lineages ship the message so the
+                # parent can mirror the admit-then-drop accounting exactly
+                results.append((
+                    msg_id, K_OC, F_ORIG if mine else 0, member.index, 0,
+                    b"" if mine else serialize_message(out_msg),
+                ))
+                continue
+            target = spec.intra.get(chan)
+            if target is not None:
+                worklist.append((target[0], target[1], out_msg, mine, chan))
+            else:
+                results.append((
+                    msg_id, K_EXIT, F_ORIG if mine else 0, chan, 0,
+                    serialize_message(out_msg),
+                ))
+    results.append((msg_id, K_DONE, 0, 0, 0, b""))
+
+
+def _child_flush_stats(conn, stats: dict) -> None:
+    if not stats["steps"] and not stats["busy"]:
+        return
+    conn.send(("stats", {
+        "processed": stats["processed"],
+        "busy": stats["busy"],
+        "steps": stats["steps"],
+    }))
+    stats["processed"] = {}
+    stats["busy"] = 0.0
+    stats["steps"] = 0
+
+
+def _child_drain(spec: _ChildSpec, states: dict, stats: dict) -> int:
+    moved = 0
+    while True:
+        batch = spec.tx.receive(32)
+        if not batch:
+            return moved
+        started = time.perf_counter()
+        results: list = []
+        for msg_id, kind, flags, a, _b, payload in batch:
+            if kind == K_STATE:
+                try:
+                    _child_apply_control(spec, states, pickle.loads(payload))
+                except Exception:
+                    pass
+            elif kind == K_DISPATCH:
+                _child_run(spec, states, stats, msg_id, a, payload, results)
+        if results:
+            _child_post(spec, results)
+        stats["busy"] += time.perf_counter() - started
+        moved += len(batch)
+
+
+def _shard_worker(spec: _ChildSpec) -> None:
+    """Main loop of one forked shard worker."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # the forked image may contain a lock an unrelated parent thread held
+    # at fork time; the wire module's boundary-id generator is the one
+    # module-level lock this process can touch, so give it a fresh one
+    from repro.mime import wire as _wire
+    from repro.util.ids import IdGenerator as _IdGenerator
+    _wire._BOUNDARY_IDS = _IdGenerator("mgbd")
+    try:
+        spec.parent_conn.close()  # our copy of the parent's end: EOF detection
+    except OSError:
+        pass
+    conn = spec.conn
+    states: dict[str, bool] = {}
+    _child_apply_control(spec, states, spec.control)
+    stats: dict = {"processed": {}, "busy": 0.0, "steps": 0}
+    last_flush = time.monotonic()
+    running = True
+    try:
+        while True:
+            try:
+                ready, _, _ = select.select(
+                    [spec.bell_in.read_fd, conn], [], [], 0.05)
+            except (OSError, ValueError):
+                break
+            if spec.bell_in.read_fd in ready:
+                spec.bell_in.drain()
+            if conn in ready:
+                try:
+                    note = conn.recv()
+                except (EOFError, OSError):
+                    break  # parent is gone
+                if note == ("stop",):
+                    running = False
+            _child_drain(spec, states, stats)
+            if not running:
+                _child_drain(spec, states, stats)  # finish what is queued
+                break
+            now = time.monotonic()
+            if now - last_flush >= 0.2:
+                try:
+                    _child_flush_stats(conn, stats)
+                except (OSError, BrokenPipeError):
+                    break
+                last_flush = now
+    finally:
+        try:
+            _child_flush_stats(conn, stats)
+        except Exception:
+            pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+        spec.tx.close()
+        spec.rx.close()
+
+
+# -- parent-side shard state ---------------------------------------------------
+
+
+class _Shard:
+    __slots__ = (
+        "index", "names", "layout", "tx", "rx", "bell_in", "bell_out",
+        "conn", "proc", "reader", "wake", "dead", "lock",
+        "in_flight", "backlog", "sent_control", "util", "started_at",
+        "sent", "returned", "ring_gauge_tx", "ring_gauge_rx", "util_gauge",
+    )
+
+    def __init__(self, index: int, layout: _Layout):
+        self.index = index
+        self.names = layout.members
+        self.layout = layout
+        self.tx = None
+        self.rx = None
+        self.bell_in = None
+        self.bell_out = None
+        self.conn = None
+        self.proc = None
+        self.reader = None
+        self.wake = threading.Event()
+        self.dead = False
+        #: serialises segment I/O between the dispatcher and respawn paths
+        self.lock = threading.Lock()
+        #: msg_id → (node, port): dispatched, terminal not yet returned
+        self.in_flight: dict[str, tuple[str, str]] = {}
+        #: (node, port, msg_id): claimed but not yet dispatched (full ring
+        #: or arena), and the re-injection vehicle after a worker kill
+        self.backlog: deque = deque()
+        self.sent_control: dict | None = None
+        self.util: dict = {"busy": 0.0, "steps": 0}
+        self.started_at = time.monotonic()
+        self.sent = 0
+        self.returned = 0
+        self.ring_gauge_tx = None
+        self.ring_gauge_rx = None
+        self.util_gauge = None
+
+
+class ProcessScheduler:
+    """Run a stream's shards in worker processes (one child per shard).
+
+    API-compatible with :class:`~repro.runtime.scheduler.ThreadedScheduler`
+    (``start``/``stop``/``drain``/``kill_worker``/``ensure_workers``/
+    ``worker_states``), with one semantic shift the fault plane relies
+    on: a *worker* is a shard process, so ``kill_worker(name)`` SIGKILLs
+    the child owning ``name`` and ``ensure_workers`` re-forks it and
+    re-injects every message the dead worker held custody of.
+    """
+
+    #: idle heartbeat — covers direct streamlet pause/activate calls that
+    #: fire no wakeup, exactly like the threaded engine's backstop
+    _IDLE_WAIT = 0.05
+
+    _SEGMENT_IDS = 0
+    _SEGMENT_LOCK = threading.Lock()
+
+    def __init__(
+        self, stream: RuntimeStream, *,
+        shards: int | None = None, window: int = 64,
+        ring_slots: int = 256, arena_bytes: int = 1 << 22,
+        quiesce_timeout: float = 10.0,
+    ):
+        self._stream = stream
+        self._max_shards = shards if shards is not None else (os.cpu_count() or 1)
+        self._window = max(1, window)
+        self._ring_slots = max(4, ring_slots)
+        self._arena_bytes = arena_bytes
+        self._quiesce_timeout = quiesce_timeout
+        self._shards: list[_Shard] = []
+        self._threads: list[threading.Thread] = []
+        self._run_stop = threading.Event()
+        self._mgmt = threading.RLock()
+        self._started = False
+        self._stopping = False
+        self._plan = ShardPlan(shards=(), sync_edges=())
+        self._gen = 0
+        self.workers_killed = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def dispatches(self) -> int:
+        return sum(shard.sent for shard in self._shards)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Plan the shards, create the segments, and spawn the workers."""
+        if self._started:
+            raise RuntimeError("scheduler already started")
+        # reap segments a SIGKILLed predecessor could not unlink — the
+        # crash-recovery boot is exactly when such leftovers exist
+        sweep_stale_segments()
+        self._started = True
+        self._stopping = False
+        self._stream.add_wakeup_listener(self._on_topology_wakeup)
+        self._stream.add_quiesce_listener(self._on_quiesce)
+        with self._mgmt:
+            self._boot()
+
+    def stop(self, *, timeout: float = 2.0) -> None:
+        """Stop the workers and unlink every shared-memory segment.
+
+        Idempotent; in-flight loans are reclaimed into the parent pool
+        before the segments go away, so nothing is lost.
+        """
+        if not self._started:
+            return
+        self._stopping = True
+        self._stream.remove_wakeup_listener(self._on_topology_wakeup)
+        self._stream.remove_quiesce_listener(self._on_quiesce)
+        with self._mgmt:
+            self._teardown(timeout=timeout)
+            self._started = False
+
+    def _boot(self) -> None:
+        stream = self._stream
+        self._run_stop = threading.Event()
+        with stream.topology_lock:
+            plan = self._compute_plan()
+            layouts = [self._new_layout(members) for members in plan.shards]
+        self._plan = plan
+        self._shards = [
+            _Shard(index, layout) for index, layout in enumerate(layouts)
+        ]
+        self._threads = []
+        run_stop = self._run_stop
+        for shard in self._shards:
+            self._attach_telemetry(shard)
+            self._fork_child(shard)
+        # children are forked before any parent thread below exists, so
+        # the fresh images never inherit a mid-acquire dispatcher lock
+        for shard in self._shards:
+            self._start_reader(shard, run_stop)
+            thread = threading.Thread(
+                target=self._dispatch_loop, args=(shard, run_stop),
+                name=f"shard-dispatch-{shard.index}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _teardown(self, *, timeout: float = 2.0) -> None:
+        self._run_stop.set()
+        for shard in self._shards:
+            shard.wake.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        for shard in self._shards:
+            self._stop_child(shard, timeout=timeout)
+        for shard in self._shards:
+            if shard.reader is not None:
+                shard.reader.join(timeout)
+            # the reader exits on run_stop, possibly before the child's
+            # final stats flush arrived — drain the pipe here so the
+            # processed/busy mirror is complete at stop
+            if shard.conn is not None:
+                try:
+                    while shard.conn.poll(0):
+                        note = shard.conn.recv()
+                        if isinstance(note, tuple) and note and note[0] == "stats":
+                            self._apply_stats(shard, note[1])
+                except (EOFError, OSError):
+                    pass
+            # settle the terminals the child flushed on its way out so
+            # custody (and the ledger) close as far as possible
+            try:
+                self._pump_returns(shard)
+            except Exception:
+                pass
+            self._destroy_shard_io(shard)
+        self._shards = []
+        self._threads = []
+
+    def _stop_child(self, shard: _Shard, *, timeout: float = 2.0) -> None:
+        proc = shard.proc
+        if proc is None:
+            return
+        if proc.is_alive():
+            try:
+                shard.conn.send(("stop",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+            shard.bell_in.ring()
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(1.0)
+        shard.dead = True
+
+    def _destroy_shard_io(self, shard: _Shard) -> None:
+        for segment in (shard.tx, shard.rx):
+            if segment is not None:
+                segment.destroy()
+        for bell in (shard.bell_in, shard.bell_out):
+            if bell is not None:
+                bell.close()
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+
+    # -- planning and layouts --------------------------------------------------
+
+    def _compute_plan(self) -> ShardPlan:
+        """Plan shards over the live wiring (topology lock held)."""
+        nodes = self._stream._nodes
+        order = [name for name in self._stream.processing_order() if name in nodes]
+        edges = []
+        for name, node in nodes.items():
+            for channel in node.outputs.values():
+                sink = channel.sink
+                if sink is not None and sink.instance in nodes:
+                    edges.append(
+                        (name, sink.instance, is_synchronous(channel.definition))
+                    )
+        return plan_shards(order, edges, self._max_shards)
+
+    def _new_layout(self, members) -> _Layout:
+        self._gen += 1
+        return _build_layout(self._stream._nodes, members, self._gen)
+
+    # -- child process management ----------------------------------------------
+
+    @classmethod
+    def _segment_name(cls) -> str:
+        with cls._SEGMENT_LOCK:
+            cls._SEGMENT_IDS += 1
+            serial = cls._SEGMENT_IDS
+        return f"mgps_{os.getpid()}_{serial}"
+
+    def _attach_telemetry(self, shard: _Shard) -> None:
+        tm = self._stream.tm
+        if not tm.enabled:
+            return
+        label = f"shard-{shard.index}"
+        shard.ring_gauge_tx = tm.shard_ring_gauge(label, "tx")
+        shard.ring_gauge_rx = tm.shard_ring_gauge(label, "rx")
+        shard.util_gauge = tm.shard_utilization_gauge(label)
+
+    def _control_payload(self, layout: _Layout) -> dict:
+        stream = self._stream
+        states = {}
+        params = {}
+        for name in layout.members:
+            states[name] = layout.streamlets[name].state is StreamletState.ACTIVE
+            params[name] = dict(layout.ctxs[name].params)
+        return {
+            "states": states, "params": params,
+            "version": stream.snapshot_version, "epoch": stream.epoch,
+        }
+
+    def _fork_child(self, shard: _Shard) -> None:
+        layout = shard.layout
+        shard.tx = ShardSegment(
+            self._segment_name(),
+            slots=self._ring_slots, arena_bytes=self._arena_bytes,
+        )
+        shard.rx = ShardSegment(
+            self._segment_name(),
+            slots=self._ring_slots, arena_bytes=self._arena_bytes,
+        )
+        shard.bell_in = Doorbell()
+        shard.bell_out = Doorbell()
+        parent_conn, child_conn = Pipe(duplex=True)
+        shard.conn = parent_conn
+        control = self._control_payload(layout)
+        shard.sent_control = control
+
+        spec = _ChildSpec()
+        spec.index = shard.index
+        spec.parent_pid = os.getpid()
+        spec.entries = tuple(
+            (name, port, idx) for _channel, name, port, idx in layout.entries
+        )
+        spec.members = {
+            name: _ChildMember(
+                position, layout.streamlets[name], layout.ctxs[name],
+                layout.in_ports[name], layout.out_ports[name],
+            )
+            for position, name in enumerate(layout.members)
+        }
+        spec.intra = dict(layout.intra)
+        spec.tx = shard.tx
+        spec.rx = shard.rx
+        spec.bell_in = shard.bell_in
+        spec.bell_out = shard.bell_out
+        spec.conn = child_conn
+        spec.parent_conn = parent_conn
+        spec.control = control
+
+        proc = Process(
+            target=_shard_worker, args=(spec,),
+            name=f"mobigate-shard-{shard.index}", daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # our copy of the child's end: EOF detection
+        shard.proc = proc
+        shard.dead = False
+        shard.started_at = time.monotonic()
+        tm = self._stream.tm
+        if tm.enabled:
+            tm.recorder.record(
+                "worker_spawn", stream=self._stream.name,
+                worker=f"shard-{shard.index}", pid=proc.pid,
+            )
+
+    def _start_reader(self, shard: _Shard, run_stop: threading.Event) -> None:
+        shard.reader = threading.Thread(
+            target=self._reader_loop, args=(shard, run_stop),
+            name=f"shard-reader-{shard.index}", daemon=True,
+        )
+        shard.reader.start()
+
+    # -- reader thread: doorbells, stats, child-death detection ----------------
+
+    def _reader_loop(self, shard: _Shard, run_stop: threading.Event) -> None:
+        conn = shard.conn
+        bell = shard.bell_out
+        while not run_stop.is_set():
+            try:
+                ready, _, _ = select.select([bell.read_fd, conn], [], [], 0.1)
+            except (OSError, ValueError):
+                return  # respawn/teardown closed our fds
+            if bell.read_fd in ready:
+                bell.drain()
+                shard.wake.set()
+            if conn in ready:
+                try:
+                    note = conn.recv()
+                except (EOFError, OSError):
+                    if not run_stop.is_set() and not self._stopping:
+                        shard.dead = True
+                    shard.wake.set()
+                    return
+                if isinstance(note, tuple) and note and note[0] == "stats":
+                    self._apply_stats(shard, note[1])
+
+    def _apply_stats(self, shard: _Shard, payload: dict) -> None:
+        stream = self._stream
+        counts = payload.get("processed") or {}
+        total = sum(counts.values())
+        if total:
+            stream.stats.inc("processed", total)
+            streamlets = shard.layout.streamlets
+            for name, n in counts.items():
+                streamlet = streamlets.get(name)
+                if streamlet is not None:
+                    streamlet.processed += n
+        shard.util["busy"] += payload.get("busy", 0.0)
+        shard.util["steps"] += payload.get("steps", 0)
+        if shard.util_gauge is not None:
+            uptime = time.monotonic() - shard.started_at
+            if uptime > 0:
+                shard.util_gauge.value = shard.util["busy"] / uptime
+
+    # -- dispatcher thread ------------------------------------------------------
+
+    def _dispatch_loop(self, shard: _Shard, run_stop: threading.Event) -> None:
+        wake = shard.wake
+        registered: list = []
+        layout_gen = -1
+        while not run_stop.is_set():
+            # edge-triggered: clear BEFORE working so a signal that lands
+            # mid-iteration re-arms the next one
+            wake.clear()
+            worked = 0
+            sent = 0
+            with shard.lock:
+                if not shard.dead:
+                    worked = self._pump_returns(shard)
+                    layout = shard.layout
+                    if layout.gen != layout_gen:
+                        queues = [
+                            channel.queue
+                            for channel, _n, _p, _i in layout.entries
+                        ]
+                        for queue in registered:
+                            if not any(queue is q for q in queues):
+                                queue.remove_waiter(wake)
+                        for queue in queues:
+                            if not any(queue is q for q in registered):
+                                queue.add_waiter(wake)
+                        registered = queues
+                        layout_gen = layout.gen
+                    # dispatch only against a published snapshot: a writer
+                    # retired it, and new work must wait out the quiesce.
+                    # The control broadcast goes FIRST and gates dispatch,
+                    # so a pause always precedes the next message in-band.
+                    if (
+                        self._published_snapshot() is not None
+                        and self._sync_control(shard, layout)
+                    ):
+                        sent += self._dispatch_backlog(shard, layout)
+                        sent += self._dispatch_entries(shard, layout)
+                    if sent:
+                        shard.bell_in.ring()
+                    if shard.ring_gauge_tx is not None:
+                        shard.ring_gauge_tx.value = float(len(shard.tx.ring))
+                        shard.ring_gauge_rx.value = float(len(shard.rx.ring))
+            if worked or sent:
+                continue
+            wake.wait(self._IDLE_WAIT)
+        for queue in registered:
+            queue.remove_waiter(wake)
+
+    def _published_snapshot(self):
+        """The published topology view, republishing a stale one if safe.
+
+        Snapshot rebuilds are lazy: after boot or a completed write the
+        published slot can legitimately be empty with no writer active.
+        Republish it with a *non-blocking* lock attempt — blocking here
+        would deadlock against a writer whose quiesce callback waits for
+        this very dispatcher to drain its in-flight work.
+        """
+        stream = self._stream
+        snap = stream._snapshot
+        if snap is not None:
+            return snap
+        if stream.topology_lock.acquire(blocking=False):
+            try:
+                if stream._write_depth == 0:
+                    snap = stream.topology_snapshot()
+            finally:
+                stream.topology_lock.release()
+        return snap
+
+    def _sync_control(self, shard: _Shard, layout: _Layout) -> bool:
+        """Broadcast state/param/version changes in-band; False when full."""
+        control = self._control_payload(layout)
+        if control == shard.sent_control:
+            return True
+        try:
+            blob = pickle.dumps(control, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # unpicklable params: ship states/version so pause/resume and
+            # epoch bumps still land (params stay at their fork values)
+            fallback = dict(control, params={})
+            blob = pickle.dumps(fallback, pickle.HIGHEST_PROTOCOL)
+        if shard.tx.send("", K_STATE, 0, 0, 0, blob):
+            shard.sent_control = control
+            shard.bell_in.ring()
+            return True
+        return False  # full ring: dispatch must wait so ordering holds
+
+    def _dispatch_entries(self, shard: _Shard, layout: _Layout) -> int:
+        budget = self._window - len(shard.in_flight) - len(shard.backlog)
+        sent = 0
+        for channel, node, port, _idx in layout.entries:
+            if budget <= 0:
+                break
+            if layout.streamlets[node].state is not StreamletState.ACTIVE:
+                continue  # parent-side gate: paused members keep queueing
+            position = layout.entry_index[(node, port)][0]
+            while budget > 0:
+                if shard.tx.ring.free_slots() == 0:
+                    return sent
+                if channel.queue.is_empty():
+                    break
+                try:
+                    msg_id = channel.fetch(0.0)
+                except QueueClosedError:
+                    break
+                if msg_id is None:
+                    break
+                # re-sync control *after* the fetch: a pause/param change
+                # that happened-before this message's post is visible now,
+                # so its K_STATE lands on the ring ahead of the dispatch
+                if not self._sync_control(shard, layout):
+                    shard.backlog.append((node, port, msg_id))
+                    return sent
+                outcome = self._send_dispatch(shard, node, port, position, msg_id)
+                if outcome is None:
+                    continue  # dropped or vanished: no custody taken
+                if not outcome:
+                    shard.backlog.append((node, port, msg_id))
+                    return sent
+                budget -= 1
+                sent += 1
+        return sent
+
+    def _dispatch_backlog(self, shard: _Shard, layout: _Layout) -> int:
+        sent = 0
+        while shard.backlog:
+            node, port, msg_id = shard.backlog[0]
+            entry = layout.entry_index.get((node, port))
+            if entry is None:
+                # the member (or its wiring) is gone: account the drop
+                shard.backlog.popleft()
+                _drop(self._stream, msg_id)
+                continue
+            streamlet = layout.streamlets.get(node)
+            if streamlet is None or streamlet.state is not StreamletState.ACTIVE:
+                break  # hold (FIFO) until the member can accept again
+            outcome = self._send_dispatch(shard, node, port, entry[0], msg_id)
+            if outcome is False:
+                break
+            shard.backlog.popleft()
+            if outcome:
+                sent += 1
+        return sent
+
+    def _send_dispatch(self, shard: _Shard, node: str, port: str,
+                       position: int, msg_id: str) -> bool | None:
+        """True = dispatched, False = ring/arena full, None = no custody."""
+        stream = self._stream
+        try:
+            message = stream.pool.peek(msg_id)
+        except MessagePoolError:
+            return None
+        frame = serialize_message(message)
+        if not shard.tx.fits(len(frame)):
+            _drop(stream, msg_id)  # larger than the arena can ever hold
+            return None
+        if not shard.tx.send(msg_id, K_DISPATCH, 0, position, 0, frame):
+            return False
+        shard.in_flight[msg_id] = (node, port)
+        shard.sent += 1
+        return True
+
+    # -- return path: terminal accounting (parent-authoritative) ---------------
+
+    def _pump_returns(self, shard: _Shard) -> int:
+        handled = 0
+        while True:
+            batch = shard.rx.receive(64)
+            if not batch:
+                return handled
+            for msg_id, kind, flags, a, b, payload in batch:
+                self._handle_return(shard, msg_id, kind, flags, a, b, payload)
+            handled += len(batch)
+            shard.returned += len(batch)
+
+    def _handle_return(self, shard: _Shard, msg_id: str, kind: int,
+                       flags: int, a: int, b: int, payload: bytes) -> None:
+        stream = self._stream
+        pool = stream.pool
+        stats = stream.stats
+        timed = stream.tm.enabled
+        layout = shard.layout
+
+        if kind == K_DONE:
+            shard.in_flight.pop(msg_id, None)
+            return
+
+        if kind == K_EXIT:
+            try:
+                message = parse_message(payload)
+            except Exception:
+                if flags & F_ORIG:
+                    _drop(stream, msg_id)
+                return
+            if flags & F_ORIG and msg_id in pool:
+                out_id = msg_id
+                pool.rebind(msg_id, message)
+            else:
+                out_id = pool.admit(message)
+            channel = layout.channels[a] if a < len(layout.channels) else None
+            if channel is None:
+                _drop(stream, out_id)
+                return
+            size = message.total_size()
+            try:
+                posted = channel.post(out_id, size, timeout=0)
+            except QueueClosedError:
+                _drop(stream, out_id)
+                return
+            if not posted:
+                _retry_stalled(stream, [(channel, out_id, size)],
+                               (self._run_stop,))
+            return
+
+        if kind in (K_ABSORB, K_OC):
+            stat = "absorbed" if kind == K_ABSORB else "open_circuit_drops"
+            if flags & F_ORIG:
+                if msg_id in pool:
+                    pool.release(msg_id)
+                    if timed:
+                        stream.tm.forget(msg_id)
+                stats.inc(stat)
+            elif payload:
+                # a secondary emission that terminated inside the shard:
+                # admit-then-release mirrors the in-process engines, so
+                # the conservation ledger sees the same traffic shape
+                try:
+                    pool.release(pool.admit(parse_message(payload)))
+                except Exception:
+                    return
+                stats.inc(stat)
+            return
+
+        if kind == K_FAIL:
+            try:
+                (frame_len,) = _LEN.unpack_from(payload)
+                frame = payload[_LEN.size:_LEN.size + frame_len]
+                text = payload[_LEN.size + frame_len:].decode("utf-8", "replace")
+                message = parse_message(frame)
+            except Exception:
+                if flags & F_ORIG:
+                    _drop(stream, msg_id)
+                return
+            members = layout.members
+            name = members[a] if a < len(members) else "?"
+            ports = layout.in_ports.get(name, ())
+            port = ports[b] if b < len(ports) else ""
+            if flags & F_ORIG and msg_id in pool:
+                fid = msg_id
+                pool.rebind(fid, message)
+            else:
+                fid = pool.admit(message)
+            stats.inc("processing_failures")
+            exc = ShardWorkerError(f"{name}: {text}")
+            handler = stream.fault_handler
+            retained = handler is not None and handler(name, port, fid, exc)
+            if not retained:
+                pool.release(fid)
+                stats.inc("failure_drops")
+                if timed:
+                    stream.tm.forget(fid)
+            if stream.failure_hook is not None:
+                stream.failure_hook(name, exc)
+            return
+
+    # -- quiesce / wakeup listeners (reconfiguration protocol) -----------------
+
+    def _on_quiesce(self) -> None:
+        """Wait out every dispatched message; called with the snapshot retired.
+
+        Dispatchers stop issuing new work the instant ``stream._snapshot``
+        goes ``None`` and keep pumping returns, so the wait converges
+        without this thread ever taking the topology lock.  Dead shards
+        are excluded — their custody is frozen parent-side (resident in
+        the pool) and re-injected on respawn, which is exactly the state
+        a transactional rollback can restore around.
+        """
+        if self._stopping:
+            return
+        shards = self._shards
+        for shard in shards:
+            shard.wake.set()
+        deadline = time.monotonic() + self._quiesce_timeout
+        while time.monotonic() < deadline:
+            if all(shard.dead or not shard.in_flight for shard in shards):
+                return
+            time.sleep(0.002)
+
+    def _on_topology_wakeup(self) -> None:
+        """React to a committed write: re-plan, re-layout, resume dispatch."""
+        if self._stopping or not self._started:
+            return
+        with self._mgmt:
+            if self._stopping:
+                return
+            stream = self._stream
+            stream.topology_snapshot()  # republish for the dispatch gate
+            with stream.topology_lock:
+                plan = self._compute_plan()
+                layouts = (
+                    [self._new_layout(members) for members in plan.shards]
+                    if plan.shards == self._plan.shards else None
+                )
+            if layouts is None:
+                # the partition itself changed (instances added/removed):
+                # rebuild the whole plane — quiescence guarantees no
+                # in-flight work on live shards, and dead shards carry
+                # their custody into the new backlogs
+                self._restart_all()
+                return
+            for shard, layout in zip(self._shards, layouts):
+                if layout.signature != shard.layout.signature:
+                    # structure changed inside the shard: the forked child
+                    # routes by stale indices, so respawn it in place
+                    self._respawn_shard(shard, layout)
+                else:
+                    shard.layout = layout  # fresh gen: waiters re-register
+                shard.wake.set()
+
+    def _restart_all(self) -> None:
+        old_shards = self._shards
+        self._teardown()
+        # collect custody only AFTER teardown: its final return pump may
+        # have settled in-flight entries, and re-injecting a settled id
+        # would double-process it
+        custody: list[tuple[str, str, str]] = []
+        for shard in old_shards:
+            custody.extend(
+                (node, port, msg_id)
+                for msg_id, (node, port) in shard.in_flight.items()
+            )
+            custody.extend(shard.backlog)
+        self._boot()
+        if custody:
+            shard_of = self._plan.shard_of
+            for node, port, msg_id in custody:
+                index = shard_of.get(node)
+                if index is None or index >= len(self._shards):
+                    _drop(self._stream, msg_id)
+                else:
+                    self._shards[index].backlog.append((node, port, msg_id))
+            self._stream.stats.inc("retries", len(custody))
+            for shard in self._shards:
+                shard.wake.set()
+
+    # -- fault plane: kill / respawn -------------------------------------------
+
+    def kill_worker(self, name: str, *, join_timeout: float = 2.0) -> bool:
+        """SIGKILL the shard process owning ``name`` (fault injection).
+
+        The shard's custody table survives in the parent; messages the
+        worker held die with it and are re-injected by
+        :meth:`ensure_workers`, so the conservation ledger stays
+        balanced across the kill.
+        """
+        with self._mgmt:
+            index = self._plan.shard_of.get(name)
+            if index is None or index >= len(self._shards):
+                return False
+            shard = self._shards[index]
+            proc = shard.proc
+            if shard.dead or proc is None or not proc.is_alive():
+                return False
+            shard.dead = True  # dispatcher stops touching the segments now
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover - race
+                pass
+            proc.join(join_timeout)
+            self.workers_killed += 1
+            tm = self._stream.tm
+            if tm.enabled:
+                tm.recorder.record(
+                    "worker_kill", stream=self._stream.name,
+                    worker=f"shard-{shard.index}",
+                )
+            return True
+
+    def ensure_workers(self) -> None:
+        """Respawn dead shard processes and re-inject their custody."""
+        with self._mgmt:
+            if self._stopping or not self._started:
+                return
+            for shard in self._shards:
+                proc = shard.proc
+                if shard.dead or proc is None or not proc.is_alive():
+                    self._respawn_shard(shard)
+                    shard.wake.set()
+
+    def _respawn_shard(self, shard: _Shard, layout: _Layout | None = None) -> None:
+        stream = self._stream
+        with shard.lock:
+            shard.dead = True
+        self._stop_child(shard, timeout=1.0)
+        if shard.reader is not None:
+            shard.reader.join(1.0)
+        with shard.lock:
+            # settle anything the old child managed to flush, then carry
+            # the unresolved custody over as the new child's backlog
+            try:
+                self._pump_returns(shard)
+            except Exception:
+                pass
+            custody = [
+                (node, port, msg_id)
+                for msg_id, (node, port) in shard.in_flight.items()
+            ]
+            shard.in_flight.clear()
+            custody.extend(shard.backlog)
+            shard.backlog.clear()
+            self._destroy_shard_io(shard)
+            if layout is None:
+                with stream.topology_lock:
+                    layout = self._new_layout(shard.names)
+            shard.layout = layout
+            shard.names = layout.members
+            self._fork_child(shard)
+            for item in custody:
+                shard.backlog.append(item)
+            if custody:
+                stream.stats.inc("retries", len(custody))
+        if shard.reader is None or not shard.reader.is_alive():
+            self._start_reader(shard, self._run_stop)
+        shard.wake.set()
+
+    # -- quiescence / introspection --------------------------------------------
+
+    def drain(self, *, timeout: float = 5.0, settle: float = 0.01) -> bool:
+        """Wait until every queue, backlog, and in-flight table is empty."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._quiescent():
+                time.sleep(settle)
+                if self._quiescent():
+                    return True
+            if time.monotonic() >= deadline:
+                return False
+            for shard in self._shards:
+                shard.wake.set()
+            time.sleep(0.005)
+
+    def _quiescent(self) -> bool:
+        for shard in self._shards:
+            if shard.in_flight or shard.backlog:
+                return False
+        snap = self._stream.topology_snapshot()
+        for queue in snap.input_queues:
+            if not queue.is_empty():
+                return False
+        return True
+
+    def worker_states(self) -> dict[str, dict]:
+        """Per-instance liveness plus the owning shard's time accounting."""
+        states: dict[str, dict] = {}
+        for shard in self._shards:
+            proc = shard.proc
+            alive = proc is not None and proc.is_alive() and not shard.dead
+            busy = shard.util["busy"]
+            uptime = time.monotonic() - shard.started_at
+            base = {
+                "alive": alive,
+                "busy": bool(shard.in_flight),
+                "shard": shard.index,
+                "pid": proc.pid if proc is not None else None,
+                "busy_seconds": busy,
+                "steps": shard.util["steps"],
+                "utilization": busy / uptime if uptime > 0 else 0.0,
+            }
+            for name in shard.names:
+                states[name] = dict(base)
+        return states

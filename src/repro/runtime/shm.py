@@ -1,0 +1,403 @@
+"""Shared-memory primitives for the multi-process execution plane.
+
+The :class:`~repro.runtime.process_scheduler.ProcessScheduler` moves
+messages between the parent gateway process and its shard workers through
+plain shared memory — no pickling channel, no socket round-trip per hop.
+Each direction of each shard gets one segment laid out as::
+
+    [ ring header | ring slots ... | arena header | arena bytes ... ]
+
+* :class:`SpscRing` — a single-producer/single-consumer descriptor ring.
+  The producer owns the ``head`` counter, the consumer owns ``tail``;
+  both are 8-byte-aligned unsigned monotonic counts written with single
+  ``struct.pack_into`` stores, which CPython performs as one aligned
+  write — the only cross-process synchronisation the ring needs.  Slots
+  are fixed-size descriptors (id, kind, flags, two operand words, and an
+  arena offset/length pair).
+* :class:`ByteArena` — a circular bump allocator for the variable-size
+  payloads the descriptors point at.  Allocation order equals descriptor
+  order, and the consumer copies a payload out *at claim time*, so
+  freeing is a single monotonic ``tail`` advance (FIFO reclaim — the
+  free list degenerates to one counter).
+* :class:`ShardSegment` — one ``multiprocessing.shared_memory`` block
+  holding a ring + arena pair, with ``send``/``receive`` conveniences
+  and the unlink bookkeeping the shutdown path (and an ``atexit``
+  backstop) relies on so test runs never leak ``/dev/shm`` segments.
+
+Both ring and arena operate on any writable buffer, so the property
+tests drive them over a plain ``bytearray`` with no shared memory (and
+no cleanup) involved.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import struct
+import threading
+from multiprocessing import shared_memory
+
+_U64 = struct.Struct("<Q")
+
+#: one ring slot: message id (utf-8, NUL padded), kind, flags, two
+#: operand words, and the payload's arena offset + length
+_SLOT = struct.Struct("<32sHHIIQQ")
+SLOT_SIZE = _SLOT.size
+ID_BYTES = 32
+
+#: ring header: head (producer-owned) and tail (consumer-owned) counters,
+#: each on its own 8-byte slot so the two writers never share a word
+RING_HEADER = 16
+ARENA_HEADER = 16
+
+#: a claimed/posted descriptor: (msg_id, kind, flags, a, b, offset, length)
+Descriptor = tuple[str, int, int, int, int, int, int]
+
+
+def _align(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class SpscRing:
+    """Single-producer / single-consumer descriptor ring over a buffer.
+
+    ``head`` counts descriptors ever posted, ``tail`` descriptors ever
+    claimed; both are monotonic, so ``head - tail`` is the depth and
+    wrap-around is plain modulo arithmetic.  The producer writes the slot
+    *before* publishing the new head (and x86-64 preserves that store
+    order for aligned writes), so a consumer never observes a
+    half-written descriptor.
+    """
+
+    def __init__(self, buf, slots: int, offset: int = 0):
+        if slots < 2:
+            raise ValueError("ring needs at least 2 slots")
+        self._buf = buf
+        self._slots = slots
+        self._off = offset
+        self._slot0 = offset + RING_HEADER
+
+    @staticmethod
+    def region_size(slots: int) -> int:
+        """Bytes a ring with ``slots`` slots occupies in its buffer."""
+        return RING_HEADER + slots * SLOT_SIZE
+
+    # -- counters (each has exactly one writing process) ----------------------
+
+    @property
+    def head(self) -> int:
+        return _U64.unpack_from(self._buf, self._off)[0]
+
+    @property
+    def tail(self) -> int:
+        return _U64.unpack_from(self._buf, self._off + 8)[0]
+
+    def _set_head(self, value: int) -> None:
+        _U64.pack_into(self._buf, self._off, value)
+
+    def _set_tail(self, value: int) -> None:
+        _U64.pack_into(self._buf, self._off + 8, value)
+
+    def __len__(self) -> int:
+        return self.head - self.tail
+
+    def free_slots(self) -> int:
+        """Slots the producer may still fill before the ring is full."""
+        return self._slots - (self.head - self.tail)
+
+    # -- producer side ---------------------------------------------------------
+
+    def post(self, desc: Descriptor) -> bool:
+        """Publish one descriptor; False when the ring is full."""
+        head = self.head
+        if head - self.tail >= self._slots:
+            return False
+        self._write_slot(head % self._slots, desc)
+        self._set_head(head + 1)
+        return True
+
+    def post_batch(self, descs) -> int:
+        """Publish descriptors until the ring fills; one head store total."""
+        head = self.head
+        room = self._slots - (head - self.tail)
+        posted = 0
+        for desc in descs:
+            if posted >= room:
+                break
+            self._write_slot((head + posted) % self._slots, desc)
+            posted += 1
+        if posted:
+            self._set_head(head + posted)
+        return posted
+
+    def _write_slot(self, index: int, desc: Descriptor) -> None:
+        msg_id, kind, flags, a, b, off, length = desc
+        raw = msg_id.encode("utf-8")
+        if len(raw) > ID_BYTES:
+            raise ValueError(f"descriptor id {msg_id!r} exceeds {ID_BYTES} bytes")
+        _SLOT.pack_into(
+            self._buf, self._slot0 + index * SLOT_SIZE,
+            raw, kind, flags, a, b, off, length,
+        )
+
+    # -- consumer side ---------------------------------------------------------
+
+    def claim_batch(self, max_n: int) -> list[Descriptor]:
+        """Claim up to ``max_n`` descriptors in FIFO order (may be empty)."""
+        tail = self.tail
+        avail = self.head - tail
+        n = min(max_n, avail)
+        if n <= 0:
+            return []
+        out = []
+        for i in range(n):
+            base = self._slot0 + ((tail + i) % self._slots) * SLOT_SIZE
+            raw, kind, flags, a, b, off, length = _SLOT.unpack_from(self._buf, base)
+            out.append(
+                (raw.rstrip(b"\x00").decode("utf-8"), kind, flags, a, b, off, length)
+            )
+        self._set_tail(tail + n)
+        return out
+
+
+class ByteArena:
+    """Circular byte allocator with FIFO reclaim, over any buffer.
+
+    ``alloc`` bump-allocates a contiguous block (skipping the wrap gap
+    when the block would straddle the end), returning an *absolute*
+    monotonic offset; the consumer reads via the same offset and frees by
+    advancing ``tail`` past it.  Because payloads are consumed in
+    descriptor order, reclaim needs no free list — one counter suffices.
+    """
+
+    def __init__(self, buf, capacity: int, offset: int = 0):
+        if capacity < 64:
+            raise ValueError("arena capacity too small")
+        self._buf = buf
+        self._cap = capacity
+        self._off = offset
+        self._data0 = offset + ARENA_HEADER
+
+    @staticmethod
+    def region_size(capacity: int) -> int:
+        return ARENA_HEADER + capacity
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    @property
+    def head(self) -> int:
+        return _U64.unpack_from(self._buf, self._off)[0]
+
+    @property
+    def tail(self) -> int:
+        return _U64.unpack_from(self._buf, self._off + 8)[0]
+
+    def used(self) -> int:
+        """Bytes currently allocated (including any skipped wrap gap)."""
+        return self.head - self.tail
+
+    def alloc(self, payload: bytes) -> int | None:
+        """Copy ``payload`` in; returns its absolute offset, None if full.
+
+        A payload larger than the arena can never fit — callers must
+        check :attr:`capacity` for that case rather than retrying.
+        """
+        size = _align(len(payload))
+        head = self.head
+        tail = self.tail
+        pos = head % self._cap
+        if pos + size > self._cap:
+            head += self._cap - pos  # skip the wrap gap; freed with the block
+            pos = 0
+        if head + size - tail > self._cap:
+            return None
+        self._buf[self._data0 + pos:self._data0 + pos + len(payload)] = payload
+        _U64.pack_into(self._buf, self._off, head + size)
+        return head
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy a payload out by its descriptor's (offset, length)."""
+        pos = offset % self._cap
+        return bytes(self._buf[self._data0 + pos:self._data0 + pos + length])
+
+    def release_to(self, offset: int, length: int) -> None:
+        """Free everything up to and including the block at ``offset``."""
+        end = offset + _align(length)
+        if end > self.tail:
+            _U64.pack_into(self._buf, self._off + 8, end)
+
+
+class Doorbell:
+    """A self-pipe wakeup: byte-in-pipe means "look at the ring".
+
+    The writer side is non-blocking — a full pipe already carries the
+    signal, so the extra byte is simply dropped.
+    """
+
+    def __init__(self):
+        self.read_fd, self.write_fd = os.pipe()
+        os.set_blocking(self.write_fd, False)
+        os.set_blocking(self.read_fd, False)
+
+    def ring(self) -> None:
+        """Wake the other side; never blocks, a full pipe already signals."""
+        try:
+            os.write(self.write_fd, b"\x00")
+        except (BlockingIOError, OSError):
+            pass
+
+    def drain(self) -> None:
+        """Swallow every pending wakeup byte before re-polling the ring."""
+        try:
+            while os.read(self.read_fd, 4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def close(self) -> None:
+        """Close both pipe ends, tolerating an already-closed fd."""
+        for fd in (self.read_fd, self.write_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+#: segments the owning process must unlink before exit; the atexit hook
+#: below is the backstop for paths that skip ProcessScheduler.stop()
+_LIVE_SEGMENTS: dict[int, "ShardSegment"] = {}
+_SEGMENTS_LOCK = threading.Lock()
+
+
+def _atexit_unlink_segments() -> None:  # pragma: no cover - exit path
+    with _SEGMENTS_LOCK:
+        segments = list(_LIVE_SEGMENTS.values())
+    for segment in segments:
+        segment.destroy()
+
+
+atexit.register(_atexit_unlink_segments)
+
+
+def sweep_stale_segments(prefix: str = "mgps_") -> int:
+    """Unlink ``/dev/shm`` segments whose creating process is dead.
+
+    A ``SIGKILL`` of a whole gateway skips every ``atexit`` hook, so its
+    shard segments outlive it.  Segment names embed the creator's pid
+    (``mgps_<pid>_<serial>``); the next process-plane boot sweeps any
+    whose owner no longer exists.  Best-effort: unreadable directories,
+    foreign names, and permission errors are skipped silently.
+    """
+    count = 0
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - non-tmpfs platforms
+        return 0
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        try:
+            pid = int(name.split("_")[1])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # the owner is alive: not ours to reap
+        except ProcessLookupError:
+            pass
+        except PermissionError:  # pragma: no cover - alive, other user
+            continue
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+            count += 1
+        except OSError:  # pragma: no cover - concurrent sweep
+            pass
+    return count
+
+
+class ShardSegment:
+    """One shared-memory block holding a descriptor ring plus its arena.
+
+    Created (and eventually unlinked) by the parent; shard children
+    inherit the mapping across ``fork`` and only ever ``close`` it.  The
+    module-level registry plus the ``atexit`` hook guarantee the segment
+    is unlinked even when ``stop()`` never runs — the satellite contract
+    that repeated test runs cannot leak ``/dev/shm`` entries.
+    """
+
+    def __init__(self, name: str, *, slots: int = 256, arena_bytes: int = 1 << 22):
+        total = SpscRing.region_size(slots) + ByteArena.region_size(arena_bytes)
+        self.shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        self.name = self.shm.name
+        buf = self.shm.buf
+        buf[:RING_HEADER] = b"\x00" * RING_HEADER
+        ring_end = SpscRing.region_size(slots)
+        buf[ring_end:ring_end + ARENA_HEADER] = b"\x00" * ARENA_HEADER
+        self.ring = SpscRing(buf, slots, offset=0)
+        self.arena = ByteArena(buf, arena_bytes, offset=ring_end)
+        self._owner_pid = os.getpid()
+        self._destroyed = False
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS[id(self)] = self
+
+    # -- combined ring + arena traffic ----------------------------------------
+
+    def send(self, msg_id: str, kind: int, flags: int, a: int, b: int,
+             payload: bytes = b"") -> bool:
+        """Post one descriptor (allocating its payload); False when full."""
+        if self.ring.free_slots() == 0:
+            return False
+        off = 0
+        if payload:
+            got = self.arena.alloc(payload)
+            if got is None:
+                return False
+            off = got
+        return self.ring.post((msg_id, kind, flags, a, b, off, len(payload)))
+
+    def receive(self, max_n: int = 64) -> list[tuple[str, int, int, int, int, bytes]]:
+        """Claim descriptors, copying payloads out and freeing their arena."""
+        out = []
+        for msg_id, kind, flags, a, b, off, length in self.ring.claim_batch(max_n):
+            payload = b""
+            if length:
+                payload = self.arena.read(off, length)
+                self.arena.release_to(off, length)
+            out.append((msg_id, kind, flags, a, b, payload))
+        return out
+
+    def fits(self, payload_len: int) -> bool:
+        """Whether a payload of this size can *ever* fit the arena."""
+        return _align(payload_len) <= self.arena.capacity
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (children call this; never unlink)."""
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.pop(id(self), None)
+        try:
+            self.shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+    def destroy(self) -> None:
+        """Close and unlink — only in the process that created the segment."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.pop(id(self), None)
+        try:
+            self.shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+        if os.getpid() == self._owner_pid:
+            try:
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass

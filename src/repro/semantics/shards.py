@@ -1,0 +1,131 @@
+"""Shard-cut planning — how a stream splits across worker processes.
+
+The fusion legality analysis (:mod:`repro.semantics.fusion`) already
+classifies every channel: a *synchronous* edge (``SYNC`` or category
+``S``) is a zero-length rendezvous whose producer and consumer must step
+in lockstep, so it can never be cut by a process boundary — the two
+endpoints land in the same shard and hop in memory.  An *asynchronous*
+edge buffers, which is exactly the decoupling a shared-memory ring
+provides, so it is a legal cut point.
+
+The planner therefore:
+
+1. unions instances across synchronous edges into **atoms** — the
+   indivisible units of placement;
+2. orders atoms by their first member's position in the processing
+   order (so a pipeline shards into contiguous segments and a cross-
+   shard hop always moves "forward");
+3. packs consecutive atoms into at most ``max_shards`` shards, balanced
+   by instance count.
+
+The result is purely structural — no live objects — so the same plan
+function serves the compiled :class:`~repro.mcl.config.ConfigurationTable`
+(for ahead-of-time inspection) and the live runtime wiring (which the
+:class:`~repro.runtime.process_scheduler.ProcessScheduler` re-plans on
+every topology change).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.mcl.config import ConfigurationTable
+from repro.semantics.fusion import is_synchronous
+
+__all__ = ["ShardPlan", "plan_shards", "plan_table_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition one stream runs under: shards of instance names."""
+
+    #: shards in processing order; each a tuple of instance names
+    shards: tuple[tuple[str, ...], ...]
+    #: ``(source, sink)`` pairs of synchronous edges (never cut)
+    sync_edges: tuple[tuple[str, str], ...]
+
+    @property
+    def shard_of(self) -> dict[str, int]:
+        """Instance name → shard index."""
+        return {
+            name: index
+            for index, members in enumerate(self.shards)
+            for name in members
+        }
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(
+    order: Sequence[str],
+    edges: Iterable[tuple[str, str, bool]],
+    max_shards: int,
+) -> ShardPlan:
+    """Partition ``order`` into shards, cutting only asynchronous edges.
+
+    ``edges`` are ``(source, sink, synchronous)`` triples over the names
+    in ``order``; unknown endpoints are ignored.  ``max_shards`` bounds
+    the shard count — the plan may use fewer when synchronous coupling
+    leaves fewer atoms than that.
+    """
+    names = list(order)
+    if not names:
+        return ShardPlan(shards=(), sync_edges=())
+    max_shards = max(1, max_shards)
+    position = {name: i for i, name in enumerate(names)}
+
+    # union-find over synchronous edges: atoms are the indivisible units
+    parent: dict[str, str] = {name: name for name in names}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    sync_edges: list[tuple[str, str]] = []
+    for source, sink, synchronous in edges:
+        if source not in position or sink not in position:
+            continue
+        if synchronous:
+            sync_edges.append((source, sink))
+            ra, rb = find(source), find(sink)
+            if ra != rb:
+                parent[rb] = ra
+
+    atoms: dict[str, list[str]] = {}
+    for name in names:  # processing order keeps atom members ordered
+        atoms.setdefault(find(name), []).append(name)
+    # order atoms by their earliest member so shards stay contiguous
+    atom_list = sorted(atoms.values(), key=lambda members: position[members[0]])
+
+    shard_count = min(max_shards, len(atom_list))
+    target = max(1, -(-len(names) // shard_count))  # ceil(nodes / shards)
+    shards: list[tuple[str, ...]] = []
+    current: list[str] = []
+    for atom in atom_list:
+        # close the shard once it met its quota — as long as at least one
+        # more shard slot remains open for this atom and the tail
+        if current and len(current) >= target and len(shards) < shard_count - 1:
+            shards.append(tuple(current))
+            current = []
+        current.extend(atom)
+    if current:
+        shards.append(tuple(current))
+    return ShardPlan(shards=tuple(shards), sync_edges=tuple(sync_edges))
+
+
+def plan_table_shards(table: ConfigurationTable, max_shards: int) -> ShardPlan:
+    """Plan shards for a compiled configuration table (inspection aid)."""
+    order = list(table.instances)
+    edges = []
+    for link in table.links:
+        entry = table.channels.get(link.channel)
+        if entry is None:
+            continue
+        edges.append(
+            (link.source.instance, link.sink.instance, is_synchronous(entry.definition))
+        )
+    return plan_shards(order, edges, max_shards)

@@ -117,6 +117,7 @@ class CrashHarness:
         seed: int = 0,
         session_key: str = "crash-session",
         mcl: str = ECHO_MCL,
+        scheduler: str = "threaded",
         boot_timeout: float = 20.0,
         io_timeout: float = 10.0,
     ) -> None:
@@ -130,6 +131,7 @@ class CrashHarness:
         self.seed = seed
         self.session_key = session_key
         self.mcl = mcl
+        self.scheduler = scheduler
         self.boot_timeout = boot_timeout
         self.io_timeout = io_timeout
         self.rng = random.Random(seed)
@@ -229,7 +231,12 @@ class CrashHarness:
         if self.session_key in keys:
             return {"ok": True, "session": self.session_key, "recovered": True}
         reply = self._control(
-            {"op": "deploy", "mcl": self.mcl, "session": self.session_key}
+            {
+                "op": "deploy",
+                "mcl": self.mcl,
+                "session": self.session_key,
+                "scheduler": self.scheduler,
+            }
         )
         if not reply.get("ok"):
             raise StoreError(f"deploy failed in the child gateway: {reply}")

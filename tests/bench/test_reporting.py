@@ -63,7 +63,16 @@ class TestWriteBenchJson:
     def test_writes_strict_json_file(self, tmp_path):
         path = write_bench_json("demo", {"x": (1, math.inf)}, tmp_path)
         assert path == tmp_path / "BENCH_demo.json"
-        assert json.loads(path.read_text()) == {"x": [1, None]}
+        body = json.loads(path.read_text())
+        assert body["x"] == [1, None]
+        # every dict payload is stamped with the recording host so
+        # cross-machine baseline comparisons can be refused
+        assert set(body["host"]) == {"cpu_count", "platform", "python"}
+
+    def test_host_stamp_does_not_override_an_explicit_one(self, tmp_path):
+        mine = {"cpu_count": 64, "platform": "other", "python": "3.0.0"}
+        path = write_bench_json("demo", {"x": 1, "host": mine}, tmp_path)
+        assert json.loads(path.read_text())["host"] == mine
 
     def test_env_var_selects_directory(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "out"))
@@ -100,7 +109,8 @@ class TestBaselineRegressions:
 
     def test_load_baseline_reads_committed_json(self, tmp_path):
         directory = self.baseline(tmp_path, [{"engine": "x"}])
-        assert load_baseline("demo", directory) == {"rows": [{"engine": "x"}]}
+        loaded = load_baseline("demo", directory)
+        assert loaded["rows"] == [{"engine": "x"}]
 
     def test_load_baseline_rejects_corrupt_json(self, tmp_path):
         (tmp_path / "BENCH_demo.json").write_text("{nope")
@@ -143,6 +153,51 @@ class TestBaselineRegressions:
         )
         result = _BenchResult(rows=[_BenchRow("threaded", 1.0)])
         assert flag_regressions("demo", result, directory=directory) == []
+
+
+class TestCrossHostRefusal:
+    """A baseline recorded on different hardware is not a regression
+    baseline — comparing against it must be refused, not warned about."""
+
+    def baseline(self, tmp_path, host):
+        write_bench_json(
+            "demo",
+            {
+                "rows": [{"engine": "threaded", "throughput_msgs_per_sec": 100.0}],
+                "host": host,
+            },
+            tmp_path,
+        )
+        return tmp_path
+
+    def test_different_host_skips_instead_of_flagging(self, tmp_path):
+        directory = self.baseline(
+            tmp_path, {"cpu_count": 128, "platform": "weird", "python": "9.9.9"}
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 10.0)])
+        warnings = flag_regressions("demo", result, directory=directory)
+        assert len(warnings) == 1
+        assert "SKIP" in warnings[0] and "different host" in warnings[0]
+        assert "REGRESSION" not in warnings[0]
+
+    def test_same_host_still_flags(self, tmp_path):
+        from repro.bench.reporting import host_metadata
+
+        directory = self.baseline(tmp_path, host_metadata())
+        result = _BenchResult(rows=[_BenchRow("threaded", 10.0)])
+        warnings = flag_regressions("demo", result, directory=directory)
+        assert len(warnings) == 1 and "REGRESSION" in warnings[0]
+
+    def test_legacy_baseline_without_host_is_compared(self, tmp_path):
+        # pre-host baselines keep working: no fingerprint, no refusal
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps(
+                {"rows": [{"engine": "threaded", "throughput_msgs_per_sec": 100.0}]}
+            )
+        )
+        result = _BenchResult(rows=[_BenchRow("threaded", 10.0)])
+        warnings = flag_regressions("demo", result, directory=tmp_path)
+        assert len(warnings) == 1 and "REGRESSION" in warnings[0]
 
 
 @dataclass

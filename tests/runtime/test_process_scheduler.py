@@ -1,0 +1,253 @@
+"""The sharded multi-process execution plane, end to end.
+
+The contract under test (repro.runtime.process_scheduler +
+repro.semantics.shards): the planner cuts only at asynchronous channel
+boundaries; a multi-shard run delivers everything the inline engine
+would, with the conservation ledger balanced across processes; a paused
+member parks its traffic on the parent-side channel and resumes cleanly;
+a SIGKILLed shard worker loses nothing — the parent keeps custody of
+dispatched ids and re-injects them into the respawned child; shutdown
+unlinks every shared-memory segment.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.apps import build_server
+from repro.faults.invariant import check_conservation
+from repro.mime.message import MimeMessage
+from repro.runtime.process_scheduler import ProcessScheduler
+from repro.runtime.scheduler import InlineScheduler
+from repro.semantics.shards import plan_shards
+from repro.util.clock import VirtualClock
+
+SOURCE = """
+streamlet tap{
+  port{ in pi : text/*; out po : text/plain; }
+}
+main stream procchain{
+  streamlet a, b, c = new-streamlet (tap);
+  connect (a.po, b.pi);
+  connect (b.po, c.pi);
+}
+"""
+
+
+def deploy():
+    server = build_server(clock=VirtualClock())
+    stream = server.deploy_script(SOURCE)
+    return server, stream
+
+
+def shm_segments():
+    return [n for n in os.listdir("/dev/shm") if n.startswith("mgps_")]
+
+
+def await_pending(channel, n, timeout=5.0):
+    deadline = time.time() + timeout
+    while channel.pending() < n:
+        assert time.time() < deadline, "messages never parked"
+        time.sleep(0.002)
+
+
+class TestShardPlanner:
+    def test_async_edges_are_cut_points(self):
+        plan = plan_shards(
+            ["a", "b", "c", "d"],
+            [("a", "b", False), ("b", "c", False), ("c", "d", False)],
+            2,
+        )
+        assert plan.shards == (("a", "b"), ("c", "d"))
+        assert plan.sync_edges == ()
+
+    def test_synchronous_edges_never_split(self):
+        plan = plan_shards(
+            ["a", "b", "c", "d"],
+            [("a", "b", True), ("b", "c", False), ("c", "d", True)],
+            4,
+        )
+        assert plan.shards == (("a", "b"), ("c", "d"))
+        assert set(plan.sync_edges) == {("a", "b"), ("c", "d")}
+        assert plan.shard_of == {"a": 0, "b": 0, "c": 1, "d": 1}
+
+    def test_all_synchronous_collapses_to_one_shard(self):
+        plan = plan_shards(
+            ["a", "b", "c"],
+            [("a", "b", True), ("b", "c", True)],
+            3,
+        )
+        assert plan.shards == (("a", "b", "c"),)
+
+    def test_max_shards_bounds_the_partition(self):
+        plan = plan_shards(
+            [f"n{i}" for i in range(6)],
+            [(f"n{i}", f"n{i+1}", False) for i in range(5)],
+            3,
+        )
+        assert len(plan) == 3
+        assert [m for shard in plan.shards for m in shard] == [
+            f"n{i}" for i in range(6)
+        ]
+
+    def test_single_instance_and_empty(self):
+        assert plan_shards(["only"], [], 4).shards == (("only",),)
+        assert plan_shards([], [], 4).shards == ()
+
+
+class TestProcessExecution:
+    def test_multi_shard_delivery_and_conservation(self):
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2)
+        scheduler.start()
+        try:
+            assert len(scheduler.shard_plan) == 2
+            for i in range(40):
+                stream.post(MimeMessage("text/plain", f"m{i}".encode()))
+            assert scheduler.drain(timeout=15)
+            delivered = stream.collect()
+            assert len(delivered) == 40
+            report = check_conservation(stream)
+            assert report.balanced and report.lost == 0
+            assert scheduler.dispatches >= 40  # every message crossed a ring
+        finally:
+            scheduler.stop()
+            stream.end()
+        assert shm_segments() == []
+
+    def test_parity_with_inline_engine(self):
+        bodies = [f"payload-{i}".encode() for i in range(12)]
+        _server, istream = deploy()
+        inline = InlineScheduler(istream)
+        for body in bodies:
+            istream.post(MimeMessage("text/plain", body))
+        inline.pump()
+        expect = sorted(m.body for m in istream.collect())
+        istream.end()
+
+        _server, pstream = deploy()
+        scheduler = ProcessScheduler(pstream, shards=2)
+        scheduler.start()
+        try:
+            for body in bodies:
+                pstream.post(MimeMessage("text/plain", body))
+            assert scheduler.drain(timeout=15)
+            got = sorted(m.body for m in pstream.collect())
+        finally:
+            scheduler.stop()
+            pstream.end()
+        assert got == expect
+
+    def test_pause_parks_on_parent_channel_then_resumes(self):
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2)
+        scheduler.start()
+        try:
+            boundary = stream.node("b").inputs["pi"]
+            stream.node("b").streamlet.pause()
+            for i in range(3):
+                stream.post(MimeMessage("text/plain", f"m{i}".encode()))
+            # a (in the upstream shard) processed them; b's shard holds
+            # them on the parent-side channel, not inside the child
+            await_pending(boundary, 3)
+            assert all(not s.in_flight for s in scheduler._shards)
+            stream.node("b").streamlet.activate()
+            assert scheduler.drain(timeout=15)
+            assert len(stream.collect()) == 3
+            assert check_conservation(stream).balanced
+        finally:
+            scheduler.stop()
+            stream.end()
+
+    def test_worker_states_reports_every_member(self):
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2)
+        scheduler.start()
+        try:
+            states = scheduler.worker_states()
+            assert set(states) == {"a", "b", "c"}
+            for name, entry in states.items():
+                assert entry["alive"] is True
+                assert isinstance(entry["pid"], int)
+                assert entry["shard"] == scheduler.shard_plan.shard_of[name]
+        finally:
+            scheduler.stop()
+            stream.end()
+
+    def test_drain_on_idle_stream(self):
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2)
+        scheduler.start()
+        try:
+            assert scheduler.drain(timeout=5)
+        finally:
+            scheduler.stop()
+            stream.end()
+
+    def test_stop_is_idempotent_and_unlinks_segments(self):
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2)
+        scheduler.start()
+        assert shm_segments() != []
+        scheduler.stop()
+        scheduler.stop()
+        stream.end()
+        assert shm_segments() == []
+
+    def test_double_start_rejected(self):
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2)
+        scheduler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                scheduler.start()
+        finally:
+            scheduler.stop()
+            stream.end()
+
+
+class TestWorkerCrash:
+    def test_sigkill_mid_flight_loses_nothing(self):
+        """The cross-process conservation story: kill -9, respawn, balance.
+
+        The parent keeps pool custody of every dispatched id, so the ids
+        resident in the killed child are re-injected into its replacement
+        and every message still arrives exactly once.
+        """
+        _server, stream = deploy()
+        scheduler = ProcessScheduler(stream, shards=2, window=8)
+        scheduler.start()
+        try:
+            pid_before = scheduler.worker_states()["b"]["pid"]
+            for i in range(60):
+                stream.post(MimeMessage("text/plain", f"m{i}".encode()))
+            scheduler.kill_worker("b")  # SIGKILL the downstream shard
+            assert scheduler.workers_killed == 1
+            scheduler.ensure_workers()
+            assert scheduler.drain(timeout=20)
+            delivered = stream.collect()
+            assert len(delivered) == 60
+            report = check_conservation(stream)
+            assert report.balanced and report.lost == 0
+            after = scheduler.worker_states()["b"]
+            assert after["alive"] and after["pid"] != pid_before
+        finally:
+            scheduler.stop()
+            stream.end()
+        assert shm_segments() == []
+
+    def test_stale_segments_of_dead_owners_are_swept(self):
+        from multiprocessing import shared_memory
+
+        from repro.runtime.shm import sweep_stale_segments
+
+        # fabricate a leftover from a pid that cannot exist; a fresh
+        # scheduler start (which calls the sweep) must unlink it
+        fake = shared_memory.SharedMemory(
+            name="mgps_999999999_0", create=True, size=1024
+        )
+        fake.close()
+        assert "mgps_999999999_0" in shm_segments()
+        assert sweep_stale_segments() >= 1
+        assert "mgps_999999999_0" not in shm_segments()

@@ -1,0 +1,267 @@
+"""Property tests for the shared-memory primitives of the process plane.
+
+The contract under test (repro.runtime.shm): the SPSC ring delivers
+descriptors in FIFO order across arbitrary post/claim interleavings,
+including wrap-around of its monotonic counters; full and empty
+boundaries are exact (a full ring refuses, an empty ring returns
+nothing, nothing is lost or duplicated either way); the byte arena
+bump-allocates in descriptor order, skips the wrap gap, and reclaims
+with a single counter; a ShardSegment combines both and never leaks its
+/dev/shm entry.  Ring and arena run over a plain bytearray here — the
+layout maths is identical, no shared memory needed.
+"""
+
+import os
+import random
+from collections import deque
+
+import pytest
+
+from repro.runtime.shm import (
+    ARENA_HEADER,
+    ByteArena,
+    Doorbell,
+    ShardSegment,
+    SpscRing,
+    SLOT_SIZE,
+)
+
+
+def make_ring(slots):
+    buf = bytearray(SpscRing.region_size(slots))
+    return SpscRing(buf, slots)
+
+
+def desc(i, payload_len=0, offset=0):
+    return (f"msg-{i}", 1, 0, i, i * 2, offset, payload_len)
+
+
+class TestRingBoundaries:
+    def test_empty_ring_claims_nothing(self):
+        ring = make_ring(4)
+        assert ring.claim_batch(16) == []
+        assert len(ring) == 0
+        assert ring.free_slots() == 4
+
+    def test_full_ring_refuses_post(self):
+        ring = make_ring(4)
+        for i in range(4):
+            assert ring.post(desc(i))
+        assert ring.free_slots() == 0
+        assert not ring.post(desc(99))
+        got = ring.claim_batch(99)
+        assert [g[0] for g in got] == [f"msg-{i}" for i in range(4)]
+
+    def test_claim_frees_slots_for_reuse(self):
+        ring = make_ring(2)
+        assert ring.post(desc(0))
+        assert ring.post(desc(1))
+        assert not ring.post(desc(2))
+        assert len(ring.claim_batch(1)) == 1
+        assert ring.post(desc(2))  # the freed slot is immediately reusable
+        assert [g[0] for g in ring.claim_batch(9)] == ["msg-1", "msg-2"]
+
+    def test_minimum_two_slots_enforced(self):
+        with pytest.raises(ValueError):
+            make_ring(1)
+
+    def test_oversized_id_rejected(self):
+        ring = make_ring(4)
+        with pytest.raises(ValueError):
+            ring.post(("x" * 33, 1, 0, 0, 0, 0, 0))
+
+    def test_descriptor_fields_roundtrip(self):
+        ring = make_ring(4)
+        ring.post(("id-7", 3, 1, 123, 456, 789, 10))
+        (msg_id, kind, flags, a, b, off, length), = ring.claim_batch(1)
+        assert (msg_id, kind, flags, a, b, off, length) == (
+            "id-7", 3, 1, 123, 456, 789, 10
+        )
+
+
+class TestRingWrapAround:
+    def test_counters_pass_slot_count_many_times(self):
+        ring = make_ring(4)
+        for i in range(100):  # 25 full revolutions of a 4-slot ring
+            assert ring.post(desc(i))
+            got = ring.claim_batch(1)
+            assert got and got[0][0] == f"msg-{i}"
+        assert ring.head == 100 and ring.tail == 100
+
+    def test_batched_wrap_preserves_fifo(self):
+        ring = make_ring(8)
+        expect = deque()
+        serial = 0
+        for _round in range(50):
+            n = ring.post_batch([desc(serial + k) for k in range(5)])
+            for k in range(n):
+                expect.append(f"msg-{serial + k}")
+            serial += n
+            for got in ring.claim_batch(3):
+                assert got[0] == expect.popleft()
+        for got in ring.claim_batch(99):
+            assert got[0] == expect.popleft()
+        assert not expect
+
+    def test_post_batch_partial_fill(self):
+        ring = make_ring(4)
+        assert ring.post(desc(0))
+        posted = ring.post_batch([desc(i) for i in range(1, 10)])
+        assert posted == 3  # only the free slots were taken
+        assert [g[0] for g in ring.claim_batch(99)] == [
+            "msg-0", "msg-1", "msg-2", "msg-3"
+        ]
+
+
+class TestRingInterleavings:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_random_interleavings_match_deque_model(self, seed):
+        """Seeded producer/consumer schedules vs an exact deque model."""
+        rng = random.Random(seed)
+        slots = rng.choice([2, 3, 4, 8, 16])
+        ring = make_ring(slots)
+        model = deque()
+        serial = 0
+        for _step in range(400):
+            if rng.random() < 0.5:
+                batch = [desc(serial + k) for k in range(rng.randint(1, 6))]
+                if rng.random() < 0.5:
+                    posted = ring.post_batch(batch)
+                else:
+                    posted = 0
+                    for d in batch:
+                        if not ring.post(d):
+                            break
+                        posted += 1
+                assert posted == min(len(batch), slots - len(model))
+                for k in range(posted):
+                    model.append(f"msg-{serial + k}")
+                serial += len(batch)
+            else:
+                want = rng.randint(1, 8)
+                got = ring.claim_batch(want)
+                assert len(got) == min(want, len(model))
+                for g in got:
+                    assert g[0] == model.popleft()
+            assert len(ring) == len(model)
+            assert ring.free_slots() == slots - len(model)
+        for g in ring.claim_batch(10**6):
+            assert g[0] == model.popleft()
+        assert not model
+
+
+class TestByteArena:
+    def make(self, capacity=128):
+        buf = bytearray(ByteArena.region_size(capacity))
+        return ByteArena(buf, capacity)
+
+    def test_alloc_read_roundtrip(self):
+        arena = self.make()
+        off = arena.alloc(b"hello world")
+        assert off is not None
+        assert arena.read(off, 11) == b"hello world"
+
+    def test_full_arena_refuses(self):
+        arena = self.make(128)
+        assert arena.alloc(b"x" * 120) is not None
+        assert arena.alloc(b"y" * 16) is None
+
+    def test_release_reclaims_fifo(self):
+        arena = self.make(128)
+        first = arena.alloc(b"a" * 64)
+        second = arena.alloc(b"b" * 56)
+        assert arena.alloc(b"c" * 32) is None
+        arena.release_to(first, 64)
+        third = arena.alloc(b"c" * 32)
+        assert third is not None
+        assert arena.read(second, 56) == b"b" * 56
+        assert arena.read(third, 32) == b"c" * 32
+
+    def test_wrap_gap_skipped(self):
+        arena = self.make(128)
+        first = arena.alloc(b"a" * 96)
+        arena.release_to(first, 96)
+        # 96 bytes used then freed: a 64-byte block cannot straddle the
+        # end, so the allocator skips the 32-byte gap and wraps to 0
+        wrapped = arena.alloc(b"b" * 64)
+        assert wrapped is not None
+        assert wrapped % arena.capacity == 0
+        assert arena.read(wrapped, 64) == b"b" * 64
+
+    def test_many_revolutions_preserve_content(self):
+        arena = self.make(256)
+        rng = random.Random(3)
+        live = deque()
+        for i in range(500):
+            body = bytes([i % 256]) * rng.randint(1, 48)
+            off = arena.alloc(body)
+            while off is None:
+                gone_off, gone_body = live.popleft()
+                arena.release_to(gone_off, len(gone_body))
+                off = arena.alloc(body)
+            live.append((off, body))
+            for got_off, got_body in live:
+                assert arena.read(got_off, len(got_body)) == got_body
+
+
+class TestShardSegment:
+    def test_send_receive_and_unlink(self):
+        seg = ShardSegment(f"test_spsc_{os.getpid()}", slots=8, arena_bytes=1024)
+        try:
+            assert seg.send("m-1", 1, 0, 5, 6, b"payload-one")
+            assert seg.send("m-2", 2, 1, 7, 8)
+            got = seg.receive()
+            assert got == [
+                ("m-1", 1, 0, 5, 6, b"payload-one"),
+                ("m-2", 2, 1, 7, 8, b""),
+            ]
+        finally:
+            seg.destroy()
+        assert not os.path.exists(f"/dev/shm/{seg.name}")
+        seg.destroy()  # idempotent
+
+    def test_fits_is_about_capacity_not_occupancy(self):
+        seg = ShardSegment(f"test_fits_{os.getpid()}", slots=4, arena_bytes=256)
+        try:
+            assert seg.fits(256)
+            assert not seg.fits(257)
+            assert seg.send("m", 1, 0, 0, 0, b"x" * 200)
+            assert seg.fits(256)  # would fit once the reader drains
+            assert not seg.send("m2", 1, 0, 0, 0, b"y" * 100)  # but not now
+        finally:
+            seg.destroy()
+
+    def test_full_ring_blocks_send_without_losing_arena_space(self):
+        seg = ShardSegment(f"test_fullring_{os.getpid()}", slots=2, arena_bytes=1024)
+        try:
+            assert seg.send("a", 1, 0, 0, 0, b"one")
+            assert seg.send("b", 1, 0, 0, 0, b"two")
+            used = seg.arena.used()
+            assert not seg.send("c", 1, 0, 0, 0, b"three")
+            assert seg.arena.used() == used  # the refused send allocated nothing
+            assert [g[0] for g in seg.receive()] == ["a", "b"]
+        finally:
+            seg.destroy()
+
+
+class TestDoorbell:
+    def test_ring_then_drain(self):
+        bell = Doorbell()
+        try:
+            bell.ring()
+            assert os.read(bell.read_fd, 1) == b"\x00"
+            bell.ring()
+            bell.ring()
+            bell.drain()
+            with pytest.raises(BlockingIOError):
+                os.read(bell.read_fd, 1)
+        finally:
+            bell.close()
+
+    def test_ring_never_blocks_when_pipe_full(self):
+        bell = Doorbell()
+        try:
+            for _ in range(100_000):
+                bell.ring()  # far beyond the pipe buffer; must not raise
+        finally:
+            bell.close()
