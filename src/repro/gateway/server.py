@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import signal
 import threading
 from dataclasses import fields, replace
@@ -43,7 +44,11 @@ from repro.gateway.control_plane import ControlPlane, control_request
 from repro.gateway.data_plane import DataPlane
 from repro.gateway.faults import LinkOutageGate
 from repro.gateway.session import GatewaySession
-from repro.runtime.process_scheduler import ProcessScheduler
+from repro.runtime.process_scheduler import (
+    ProcessScheduler,
+    register_child_cleanup,
+    unregister_child_cleanup,
+)
 from repro.runtime.scheduler import InlineScheduler, ThreadedScheduler
 from repro.runtime.server import MobiGateServer
 from repro.store.base import open_store
@@ -117,6 +122,10 @@ class GatewayServer:
             await loop.run_in_executor(None, self.recovery.recover)
         await self.data.start()
         await self.control.start()
+        # a ProcessScheduler deploy forks from this live process; the
+        # children must drop our listening sockets right after fork or a
+        # surviving shard keeps the port bound when the gateway dies
+        register_child_cleanup(self._close_listeners_in_child)
         self._started_at = loop.time()
         # sessions deployed before start() could not install their egress
         # bridge (no loop yet); attach them now
@@ -130,6 +139,7 @@ class GatewayServer:
         closed without ``undeployed`` ledger records, so a later restart
         against the same store recovers them.
         """
+        unregister_child_cleanup(self._close_listeners_in_child)
         await self.control.stop()
         await self.data.stop()
         for key in list(self.sessions):
@@ -146,6 +156,7 @@ class GatewayServer:
         the per-session residency left when the wait ended (all zero on
         a clean drain).
         """
+        unregister_child_cleanup(self._close_listeners_in_child)
         await self.data.stop()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.config.drain_timeout
@@ -166,6 +177,18 @@ class GatewayServer:
         if self._loop is None or self._started_at is None:
             return 0.0
         return max(0.0, self._loop.time() - self._started_at)
+
+    def _close_listeners_in_child(self) -> None:
+        """Close this gateway's inherited listening fds (runs in a forked
+        shard worker only — closing there never touches the parent's
+        sockets, just the child's copies of the file descriptors)."""
+        for plane in (self.data, self.control):
+            server = getattr(plane, "_server", None)
+            for sock in getattr(server, "sockets", None) or ():
+                try:
+                    os.close(sock.fileno())
+                except (OSError, ValueError):
+                    pass
 
     # -- deployment (any thread) --------------------------------------------------------
 

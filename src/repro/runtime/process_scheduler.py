@@ -6,7 +6,11 @@ threaded schedulers: it partitions a stream's topology into **shards**
 channel boundaries — a synchronous rendezvous can never straddle a
 process) and runs each shard's streamlet chain inside a forked worker
 process, so CPU-bound streamlets on distinct shards execute truly in
-parallel.
+parallel.  Workers are always created from an explicit ``fork``
+multiprocessing context (children inherit shared-memory views, pipe
+fds, and live streamlet objects that can never cross a ``spawn`` or
+``forkserver`` boundary); on platforms without ``fork``, ``start()``
+refuses with an error naming the threaded/inline fallbacks.
 
 Topology custody stays entirely in the parent: the authoritative
 :class:`~repro.runtime.message_pool.MessagePool`, every
@@ -41,6 +45,8 @@ Reconfiguration protocol (quiesce → version bump → resume):
 
 from __future__ import annotations
 
+import logging
+import multiprocessing
 import os
 import pickle
 import select
@@ -49,7 +55,6 @@ import struct
 import threading
 import time
 from collections import deque
-from multiprocessing import Pipe, Process
 
 from repro.errors import MessagePoolError, QueueClosedError, RuntimeFault
 from repro.mime.wire import parse_message, serialize_message
@@ -60,7 +65,53 @@ from repro.runtime.streamlet import StreamletState
 from repro.semantics.fusion import is_synchronous
 from repro.semantics.shards import ShardPlan, plan_shards
 
-__all__ = ["ProcessScheduler", "ShardWorkerError"]
+__all__ = [
+    "ProcessScheduler", "ShardWorkerError",
+    "register_child_cleanup", "unregister_child_cleanup",
+]
+
+
+def _require_fork_context():
+    """The explicit ``fork`` multiprocessing context this engine requires.
+
+    Shard children inherit unpicklable state by design — shared-memory
+    memoryviews, doorbell pipe fds, live streamlet/ctx objects — which
+    only works under ``fork``, never under the ``spawn`` default of
+    macOS or the ``forkserver`` default of newer CPython on Linux.
+    Pinning the context here keeps the engine correct whatever the
+    interpreter's default; where fork itself is unavailable the caller
+    gets an actionable error instead of a pickling crash or dead fd
+    numbers in the child.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "ProcessScheduler requires the 'fork' start method, which this "
+            "platform does not provide; deploy with the 'threaded' or "
+            "'inline' scheduler instead"
+        )
+    return multiprocessing.get_context("fork")
+
+
+#: callables run inside every freshly forked shard worker before it does
+#: anything else.  The gateway registers one that closes its inherited
+#: listening sockets, so a shard child can never keep the port bound
+#: after the parent dies; anything else forked across (caches, fds,
+#: locks) can be repaired the same way.
+_CHILD_CLEANUPS: list = []
+
+
+def register_child_cleanup(fn):
+    """Run ``fn()`` inside every shard worker right after fork."""
+    _CHILD_CLEANUPS.append(fn)
+    return fn
+
+
+def unregister_child_cleanup(fn) -> None:
+    """Remove a cleanup previously registered; missing is a no-op."""
+    try:
+        _CHILD_CLEANUPS.remove(fn)
+    except ValueError:
+        pass
 
 # -- wire protocol over the shard rings ---------------------------------------
 # parent → child
@@ -348,15 +399,41 @@ def _child_drain(spec: _ChildSpec, states: dict, stats: dict) -> int:
         moved += len(batch)
 
 
+def _reinit_forked_child() -> None:
+    """Repair state a fork from a live multi-threaded gateway corrupts.
+
+    The fork happens while the parent's event loop, other sessions'
+    scheduler threads, and telemetry may each hold a lock, so the
+    child's image can contain locks that will never be released.  Every
+    module-level lock code in this process can reach is re-created
+    fresh, logging's handler locks are re-initialised (CPython's own
+    at-fork hook does this too; repeating it is harmless), and the
+    registered cleanups drop inherited parent-only resources such as
+    the gateway's listening sockets.
+    """
+    from repro.mime import wire as _wire
+    from repro.runtime import shm as _shm
+    from repro.util.ids import IdGenerator as _IdGenerator
+    _wire._BOUNDARY_IDS = _IdGenerator("mgbd")
+    _shm._SEGMENTS_LOCK = threading.Lock()
+    ProcessScheduler._SEGMENT_LOCK = threading.Lock()
+    reinit_logging = getattr(logging, "_after_at_fork_child_reinit_locks", None)
+    if reinit_logging is not None:
+        try:
+            reinit_logging()
+        except Exception:
+            pass
+    for cleanup in list(_CHILD_CLEANUPS):
+        try:
+            cleanup()
+        except Exception:
+            pass
+
+
 def _shard_worker(spec: _ChildSpec) -> None:
     """Main loop of one forked shard worker."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    # the forked image may contain a lock an unrelated parent thread held
-    # at fork time; the wire module's boundary-id generator is the one
-    # module-level lock this process can touch, so give it a fresh one
-    from repro.mime import wire as _wire
-    from repro.util.ids import IdGenerator as _IdGenerator
-    _wire._BOUNDARY_IDS = _IdGenerator("mgbd")
+    _reinit_forked_child()
     try:
         spec.parent_conn.close()  # our copy of the parent's end: EOF detection
     except OSError:
@@ -414,7 +491,7 @@ class _Shard:
     __slots__ = (
         "index", "names", "layout", "tx", "rx", "bell_in", "bell_out",
         "conn", "proc", "reader", "wake", "dead", "lock",
-        "in_flight", "backlog", "sent_control", "util", "started_at",
+        "in_flight", "settled", "backlog", "sent_control", "util", "started_at",
         "sent", "returned", "ring_gauge_tx", "ring_gauge_rx", "util_gauge",
     )
 
@@ -435,6 +512,9 @@ class _Shard:
         self.lock = threading.Lock()
         #: msg_id → (node, port): dispatched, terminal not yet returned
         self.in_flight: dict[str, tuple[str, str]] = {}
+        #: ids whose F_ORIG terminal was applied but whose K_DONE has not
+        #: arrived yet — already accounted, must never be re-injected
+        self.settled: set[str] = set()
         #: (node, port, msg_id): claimed but not yet dispatched (full ring
         #: or arena), and the re-injection vehicle after a worker kill
         self.backlog: deque = deque()
@@ -478,6 +558,7 @@ class ProcessScheduler:
         self._ring_slots = max(4, ring_slots)
         self._arena_bytes = arena_bytes
         self._quiesce_timeout = quiesce_timeout
+        self._mp_ctx = None
         self._shards: list[_Shard] = []
         self._threads: list[threading.Thread] = []
         self._run_stop = threading.Event()
@@ -504,6 +585,7 @@ class ProcessScheduler:
         """Plan the shards, create the segments, and spawn the workers."""
         if self._started:
             raise RuntimeError("scheduler already started")
+        self._mp_ctx = _require_fork_context()  # fail fast before any state
         # reap segments a SIGKILLed predecessor could not unlink — the
         # crash-recovery boot is exactly when such leftovers exist
         sweep_stale_segments()
@@ -681,7 +763,7 @@ class ProcessScheduler:
         )
         shard.bell_in = Doorbell()
         shard.bell_out = Doorbell()
-        parent_conn, child_conn = Pipe(duplex=True)
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
         shard.conn = parent_conn
         control = self._control_payload(layout)
         shard.sent_control = control
@@ -708,7 +790,7 @@ class ProcessScheduler:
         spec.parent_conn = parent_conn
         spec.control = control
 
-        proc = Process(
+        proc = self._mp_ctx.Process(
             target=_shard_worker, args=(spec,),
             name=f"mobigate-shard-{shard.index}", daemon=True,
         )
@@ -748,7 +830,11 @@ class ProcessScheduler:
                 try:
                     note = conn.recv()
                 except (EOFError, OSError):
-                    if not run_stop.is_set() and not self._stopping:
+                    # only the reader of the *current* child may declare
+                    # the shard dead — a stale reader that lost this
+                    # race to a respawn merely exits
+                    if (shard.conn is conn and not run_stop.is_set()
+                            and not self._stopping):
                         shard.dead = True
                     shard.wake.set()
                     return
@@ -960,7 +1046,17 @@ class ProcessScheduler:
 
         if kind == K_DONE:
             shard.in_flight.pop(msg_id, None)
+            shard.settled.discard(msg_id)
             return
+
+        if flags & F_ORIG and msg_id in shard.in_flight:
+            # the F_ORIG terminal is what actually rebinds/posts or
+            # releases the dispatched pool id; K_DONE merely closes the
+            # dispatch.  Mark the id settled NOW so a worker death in
+            # the window between the two cannot re-inject an id whose
+            # message is already queued downstream — that would process
+            # one message twice and admit a duplicate into the pool.
+            shard.settled.add(msg_id)
 
         if kind == K_EXIT:
             try:
@@ -1105,6 +1201,7 @@ class ProcessScheduler:
             custody.extend(
                 (node, port, msg_id)
                 for msg_id, (node, port) in shard.in_flight.items()
+                if msg_id not in shard.settled
             )
             custody.extend(shard.backlog)
         self._boot()
@@ -1181,8 +1278,10 @@ class ProcessScheduler:
             custody = [
                 (node, port, msg_id)
                 for msg_id, (node, port) in shard.in_flight.items()
+                if msg_id not in shard.settled
             ]
             shard.in_flight.clear()
+            shard.settled.clear()
             custody.extend(shard.backlog)
             shard.backlog.clear()
             self._destroy_shard_io(shard)
@@ -1196,8 +1295,11 @@ class ProcessScheduler:
                 shard.backlog.append(item)
             if custody:
                 stream.stats.inc("retries", len(custody))
-        if shard.reader is None or not shard.reader.is_alive():
-            self._start_reader(shard, self._run_stop)
+        # the new child ALWAYS gets a fresh reader wired to its conn and
+        # doorbell; the old thread — if join(1.0) above timed out — is
+        # looping on fds that were just destroyed and exits on its next
+        # select without ever touching the new child's state
+        self._start_reader(shard, self._run_stop)
         shard.wake.set()
 
     # -- quiescence / introspection --------------------------------------------

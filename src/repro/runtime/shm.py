@@ -10,10 +10,14 @@ Each direction of each shard gets one segment laid out as::
 * :class:`SpscRing` — a single-producer/single-consumer descriptor ring.
   The producer owns the ``head`` counter, the consumer owns ``tail``;
   both are 8-byte-aligned unsigned monotonic counts written with single
-  ``struct.pack_into`` stores, which CPython performs as one aligned
-  write — the only cross-process synchronisation the ring needs.  Slots
-  are fixed-size descriptors (id, kind, flags, two operand words, and an
-  arena offset/length pair).
+  ``struct.pack_into`` stores.  Publication does **not** ride on
+  ``head`` alone (that would assume x86-TSO store ordering): every slot
+  carries a *sequence word* the producer writes strictly after the slot
+  contents, and the consumer admits a slot only once its sequence
+  matches the position being claimed — a slot whose stores have not yet
+  become visible is simply retried on the next poll.  Slots are
+  fixed-size descriptors (id, kind, flags, two operand words, an arena
+  offset/length pair, and a payload checksum).
 * :class:`ByteArena` — a circular bump allocator for the variable-size
   payloads the descriptors point at.  Allocation order equals descriptor
   order, and the consumer copies a payload out *at claim time*, so
@@ -35,14 +39,16 @@ import atexit
 import os
 import struct
 import threading
+import zlib
 from multiprocessing import shared_memory
 
 _U64 = struct.Struct("<Q")
 
-#: one ring slot: message id (utf-8, NUL padded), kind, flags, two
-#: operand words, and the payload's arena offset + length
-_SLOT = struct.Struct("<32sHHIIQQ")
-SLOT_SIZE = _SLOT.size
+#: one ring slot's data portion: message id (utf-8, NUL padded), kind,
+#: flags, two operand words, the payload's arena offset + length, and a
+#: CRC-32 of the payload bytes; an 8-byte sequence word precedes it
+_SLOT_DATA = struct.Struct("<32sHHIIQQI")
+SLOT_SIZE = 8 + _SLOT_DATA.size  # seq word + data, a multiple of 8
 ID_BYTES = 32
 
 #: ring header: head (producer-owned) and tail (consumer-owned) counters,
@@ -63,10 +69,17 @@ class SpscRing:
 
     ``head`` counts descriptors ever posted, ``tail`` descriptors ever
     claimed; both are monotonic, so ``head - tail`` is the depth and
-    wrap-around is plain modulo arithmetic.  The producer writes the slot
-    *before* publishing the new head (and x86-64 preserves that store
-    order for aligned writes), so a consumer never observes a
-    half-written descriptor.
+    wrap-around is plain modulo arithmetic.  The counters alone are
+    *accounting*, not publication: on weakly-ordered CPUs (aarch64) a
+    consumer could observe an incremented ``head`` before the slot
+    stores land.  Publication is therefore per-slot — the producer
+    writes a slot's sequence word (``position + 1``) strictly after the
+    slot contents, and the consumer admits a slot only when its
+    sequence matches the position it is claiming.  A slot whose
+    sequence lags is left unclaimed and retried on the next poll, so a
+    torn or stale descriptor is never surfaced.  Payload bytes in the
+    arena are guarded the same way by the descriptor's CRC-32 (see
+    :meth:`ShardSegment.receive`).
     """
 
     def __init__(self, buf, slots: int, offset: int = 0):
@@ -107,12 +120,12 @@ class SpscRing:
 
     # -- producer side ---------------------------------------------------------
 
-    def post(self, desc: Descriptor) -> bool:
+    def post(self, desc: Descriptor, crc: int = 0) -> bool:
         """Publish one descriptor; False when the ring is full."""
         head = self.head
         if head - self.tail >= self._slots:
             return False
-        self._write_slot(head % self._slots, desc)
+        self._write_slot(head, desc, crc)
         self._set_head(head + 1)
         return True
 
@@ -124,39 +137,56 @@ class SpscRing:
         for desc in descs:
             if posted >= room:
                 break
-            self._write_slot((head + posted) % self._slots, desc)
+            self._write_slot(head + posted, desc)
             posted += 1
         if posted:
             self._set_head(head + posted)
         return posted
 
-    def _write_slot(self, index: int, desc: Descriptor) -> None:
+    def _write_slot(self, position: int, desc: Descriptor, crc: int = 0) -> None:
         msg_id, kind, flags, a, b, off, length = desc
         raw = msg_id.encode("utf-8")
         if len(raw) > ID_BYTES:
             raise ValueError(f"descriptor id {msg_id!r} exceeds {ID_BYTES} bytes")
-        _SLOT.pack_into(
-            self._buf, self._slot0 + index * SLOT_SIZE,
-            raw, kind, flags, a, b, off, length,
-        )
+        base = self._slot0 + (position % self._slots) * SLOT_SIZE
+        _SLOT_DATA.pack_into(self._buf, base + 8, raw, kind, flags, a, b,
+                             off, length, crc)
+        # publication marker — written strictly after the slot contents;
+        # the consumer gates on it, never on ``head`` alone
+        _U64.pack_into(self._buf, base, position + 1)
 
     # -- consumer side ---------------------------------------------------------
 
+    def peek_batch(self, max_n: int) -> list[tuple[Descriptor, int]]:
+        """Read up to ``max_n`` published ``(descriptor, crc)`` pairs in FIFO
+        order *without* consuming them; stops at the first slot whose
+        sequence word has not yet become visible."""
+        tail = self.tail
+        n = min(max_n, self.head - tail)
+        out: list[tuple[Descriptor, int]] = []
+        for i in range(n):
+            position = tail + i
+            base = self._slot0 + (position % self._slots) * SLOT_SIZE
+            if _U64.unpack_from(self._buf, base)[0] != position + 1:
+                break  # head landed before the slot stores: not published yet
+            raw, kind, flags, a, b, off, length, crc = _SLOT_DATA.unpack_from(
+                self._buf, base + 8)
+            out.append((
+                (raw.rstrip(b"\x00").decode("utf-8"), kind, flags, a, b,
+                 off, length),
+                crc,
+            ))
+        return out
+
+    def advance(self, n: int) -> None:
+        """Consume the first ``n`` peeked descriptors (frees their slots)."""
+        if n:
+            self._set_tail(self.tail + n)
+
     def claim_batch(self, max_n: int) -> list[Descriptor]:
         """Claim up to ``max_n`` descriptors in FIFO order (may be empty)."""
-        tail = self.tail
-        avail = self.head - tail
-        n = min(max_n, avail)
-        if n <= 0:
-            return []
-        out = []
-        for i in range(n):
-            base = self._slot0 + ((tail + i) % self._slots) * SLOT_SIZE
-            raw, kind, flags, a, b, off, length = _SLOT.unpack_from(self._buf, base)
-            out.append(
-                (raw.rstrip(b"\x00").decode("utf-8"), kind, flags, a, b, off, length)
-            )
-        self._set_tail(tail + n)
+        out = [desc for desc, _crc in self.peek_batch(max_n)]
+        self.advance(len(out))
         return out
 
 
@@ -352,22 +382,36 @@ class ShardSegment:
         if self.ring.free_slots() == 0:
             return False
         off = 0
+        crc = 0
         if payload:
             got = self.arena.alloc(payload)
             if got is None:
                 return False
             off = got
-        return self.ring.post((msg_id, kind, flags, a, b, off, len(payload)))
+            crc = zlib.crc32(payload)
+        return self.ring.post((msg_id, kind, flags, a, b, off, len(payload)), crc)
 
     def receive(self, max_n: int = 64) -> list[tuple[str, int, int, int, int, bytes]]:
-        """Claim descriptors, copying payloads out and freeing their arena."""
+        """Claim descriptors, copying payloads out and freeing their arena.
+
+        A payload whose CRC does not match its descriptor is a slot
+        whose arena stores have not yet become visible to this process
+        (weak memory ordering); the batch stops *before* it without
+        consuming, so the retry on the next poll re-reads settled bytes.
+        """
         out = []
-        for msg_id, kind, flags, a, b, off, length in self.ring.claim_batch(max_n):
+        consumed = 0
+        for (msg_id, kind, flags, a, b, off, length), crc in \
+                self.ring.peek_batch(max_n):
             payload = b""
             if length:
                 payload = self.arena.read(off, length)
+                if zlib.crc32(payload) != crc:
+                    break
                 self.arena.release_to(off, length)
+            consumed += 1
             out.append((msg_id, kind, flags, a, b, payload))
+        self.ring.advance(consumed)
         return out
 
     def fits(self, payload_len: int) -> bool:
